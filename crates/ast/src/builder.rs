@@ -1,0 +1,175 @@
+//! Fluent programmatic construction of programs.
+//!
+//! The reductions in `paper-constructions` build programs mechanically;
+//! going through text and the parser would be both slow and error-prone.
+//! [`ProgramBuilder`] offers a compact, validated alternative:
+//!
+//! ```
+//! use datalog_ast::ProgramBuilder;
+//!
+//! let program = ProgramBuilder::new()
+//!     .rule("win", &["X"], |b| {
+//!         b.pos("move", &["X", "Y"]).neg("win", &["Y"]);
+//!     })
+//!     .fact("move", &["a", "b"])
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(program.len(), 2);
+//! ```
+//!
+//! Terms follow the textual convention: leading uppercase or `_` means
+//! variable, anything else is a constant.
+
+use crate::atom::{Atom, Literal};
+use crate::error::ValidationError;
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::term::Term;
+
+/// Accumulates the body of one rule. See [`ProgramBuilder::rule`].
+#[derive(Debug, Default)]
+pub struct BodyBuilder {
+    literals: Vec<Literal>,
+}
+
+impl BodyBuilder {
+    /// Appends a positive literal `pred(args…)`.
+    pub fn pos(&mut self, pred: &str, args: &[&str]) -> &mut Self {
+        self.literals.push(Literal::pos(Atom::from_texts(pred, args)));
+        self
+    }
+
+    /// Appends a negative literal `not pred(args…)`.
+    pub fn neg(&mut self, pred: &str, args: &[&str]) -> &mut Self {
+        self.literals.push(Literal::neg(Atom::from_texts(pred, args)));
+        self
+    }
+
+    /// Appends an already-built literal.
+    pub fn literal(&mut self, lit: Literal) -> &mut Self {
+        self.literals.push(lit);
+        self
+    }
+}
+
+/// A fluent builder for [`Program`]s.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    rules: Vec<Rule>,
+}
+
+impl ProgramBuilder {
+    /// A fresh, empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Adds a rule with head `head(head_args…)`; the closure populates the
+    /// body.
+    #[must_use]
+    pub fn rule(mut self, head: &str, head_args: &[&str], f: impl FnOnce(&mut BodyBuilder)) -> Self {
+        let mut body = BodyBuilder::default();
+        f(&mut body);
+        self.rules
+            .push(Rule::new(Atom::from_texts(head, head_args), body.literals));
+        self
+    }
+
+    /// Adds a fact `head(args…).`
+    #[must_use]
+    pub fn fact(mut self, head: &str, args: &[&str]) -> Self {
+        self.rules.push(Rule::fact(Atom::from_texts(head, args)));
+        self
+    }
+
+    /// Adds an already-built rule.
+    #[must_use]
+    pub fn push(mut self, rule: Rule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Adds all rules of an existing program.
+    #[must_use]
+    pub fn extend(mut self, program: &Program) -> Self {
+        self.rules.extend(program.rules().iter().cloned());
+        self
+    }
+
+    /// Number of rules added so far.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` iff no rules were added.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Validates and finishes the program.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::ArityMismatch`] on inconsistent predicate use.
+    pub fn build(self) -> Result<Program, ValidationError> {
+        Program::new(self.rules)
+    }
+}
+
+/// Builds a term from text using the variable convention (re-export of
+/// [`Term::from_text`] for builder call sites).
+pub fn term(text: &str) -> Term {
+    Term::from_text(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = ProgramBuilder::new()
+            .rule("win", &["X"], |b| {
+                b.pos("move", &["X", "Y"]).neg("win", &["Y"]);
+            })
+            .fact("move", &["a", "b"])
+            .build()
+            .unwrap();
+        let parsed = parse_program("win(X) :- move(X, Y), not win(Y).\nmove(a, b).").unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn arity_errors_surface_at_build() {
+        let res = ProgramBuilder::new()
+            .fact("p", &["a"])
+            .fact("p", &["a", "b"])
+            .build();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let base = parse_program("p :- not q.").unwrap();
+        let ext = ProgramBuilder::new()
+            .extend(&base)
+            .rule("q", &[], |b| {
+                b.neg("p", &[]);
+            })
+            .build()
+            .unwrap();
+        assert_eq!(ext.len(), 2);
+    }
+
+    #[test]
+    fn propositional_rule_via_builder() {
+        let p = ProgramBuilder::new()
+            .rule("p", &[], |b| {
+                b.pos("p", &[]).neg("q", &[]);
+            })
+            .build()
+            .unwrap();
+        assert_eq!(p.rules()[0].to_string(), "p :- p, not q.");
+    }
+}

@@ -1,0 +1,72 @@
+//! Display helpers shared by consumers of the AST.
+//!
+//! The core `Display` impls live next to their types; this module adds
+//! aggregate pretty-printers used by the CLI, the experiment harness, and
+//! test assertions.
+
+use std::fmt::Write as _;
+
+use crate::atom::GroundAtom;
+use crate::program::Program;
+
+/// Renders a program with a comment header summarizing its signature.
+///
+/// Output shape:
+///
+/// ```text
+/// % IDB: win/1   EDB: move/2
+/// win(X) :- move(X, Y), not win(Y).
+/// ```
+pub fn program_with_signature(program: &Program) -> String {
+    let mut out = String::new();
+    let idb: Vec<String> = program
+        .idb_predicates()
+        .map(|p| format!("{}/{}", p, program.arity(p).unwrap_or(0)))
+        .collect();
+    let edb: Vec<String> = program
+        .edb_predicates()
+        .map(|p| format!("{}/{}", p, program.arity(p).unwrap_or(0)))
+        .collect();
+    let _ = writeln!(out, "% IDB: {}   EDB: {}", idb.join(", "), edb.join(", "));
+    let _ = write!(out, "{program}");
+    out
+}
+
+/// Renders a list of ground atoms, sorted, one per line with trailing dots
+/// (i.e. a fact file round-trippable through `parse_database`).
+pub fn fact_lines(facts: &[GroundAtom]) -> String {
+    let mut sorted: Vec<&GroundAtom> = facts.iter().collect();
+    sorted.sort_by(|a, b| {
+        (a.pred.as_str(), a.args.iter().map(|c| c.as_str()).collect::<Vec<_>>())
+            .cmp(&(b.pred.as_str(), b.args.iter().map(|c| c.as_str()).collect()))
+    });
+    let mut out = String::new();
+    for f in sorted {
+        let _ = writeln!(out, "{f}.");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_database, parse_program};
+
+    #[test]
+    fn signature_header() {
+        let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let s = program_with_signature(&p);
+        assert!(s.starts_with("% IDB: win/1   EDB: move/2\n"));
+        assert!(s.contains("win(X) :- move(X, Y), not win(Y)."));
+    }
+
+    #[test]
+    fn fact_lines_round_trip() {
+        let db = parse_database("e(b, c).\ne(a, b).").unwrap();
+        let facts: Vec<_> = db.facts().collect();
+        let rendered = fact_lines(&facts);
+        assert_eq!(rendered, "e(a, b).\ne(b, c).\n");
+        let db2 = parse_database(&rendered).unwrap();
+        assert_eq!(db, db2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Error types for the language front-end.
+
+use std::fmt;
+
+use crate::symbol::PredSym;
+
+/// A source position (1-based line and column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A parse error with position information.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Where the error was detected.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(pos: Pos, message: impl Into<String>) -> Self {
+        ParseError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A semantic validation error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValidationError {
+    /// A predicate was used with two different arities.
+    ArityMismatch {
+        /// The offending predicate.
+        pred: PredSym,
+        /// The arity seen first.
+        first: usize,
+        /// The conflicting arity.
+        second: usize,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::ArityMismatch { pred, first, second } => write!(
+                f,
+                "predicate `{pred}` used with conflicting arities {first} and {second}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Any front-end error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AstError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Semantic validation failed.
+    Validation(ValidationError),
+}
+
+impl fmt::Display for AstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstError::Parse(e) => e.fmt(f),
+            AstError::Validation(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for AstError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AstError::Parse(e) => Some(e),
+            AstError::Validation(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for AstError {
+    fn from(e: ParseError) -> Self {
+        AstError::Parse(e)
+    }
+}
+
+impl From<ValidationError> for AstError {
+    fn from(e: ValidationError) -> Self {
+        AstError::Validation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let pe = ParseError::new(Pos { line: 3, col: 7 }, "expected `.`");
+        assert_eq!(pe.to_string(), "parse error at 3:7: expected `.`");
+        let ve = ValidationError::ArityMismatch {
+            pred: PredSym::new("p"),
+            first: 1,
+            second: 2,
+        };
+        assert_eq!(
+            ve.to_string(),
+            "predicate `p` used with conflicting arities 1 and 2"
+        );
+        let ae: AstError = pe.into();
+        assert!(ae.to_string().contains("3:7"));
+    }
+}

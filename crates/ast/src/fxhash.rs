@@ -1,0 +1,131 @@
+//! A fast, non-cryptographic hasher for interned identifiers.
+//!
+//! Grounding and joins hash small integer keys (interned [`Symbol`]s and
+//! tuples of them) in hot loops. SipHash — the standard-library default —
+//! is needlessly slow for that workload, so we bundle the classic "Fx" hash
+//! (the multiply–rotate–xor scheme popularized by Firefox and rustc) rather
+//! than pulling in an external crate. HashDoS resistance is irrelevant
+//! here: keys are program-derived, not attacker-controlled.
+//!
+//! [`Symbol`]: crate::symbol::Symbol
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Fx hash (64-bit golden-ratio based).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hasher state: a single 64-bit accumulator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(word) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// A `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the Fx hash. Drop-in for `std::collections::HashMap`.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the Fx hash. Drop-in for `std::collections::HashSet`.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(b"tie-breaking"), hash_of(b"tie-breaking"));
+    }
+
+    #[test]
+    fn distinguishes_simple_inputs() {
+        assert_ne!(hash_of(b"p"), hash_of(b"q"));
+        assert_ne!(hash_of(b""), hash_of(b"\0"));
+        // Length is mixed into the tail word, so zero padding is not free.
+        assert_ne!(hash_of(&[0, 0, 0]), hash_of(&[0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn integer_writes_differ_from_each_other() {
+        let mut a = FxHasher::default();
+        a.write_u32(7);
+        let mut b = FxHasher::default();
+        b.write_u32(8);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m[&1], "one");
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        s.insert("p");
+        assert!(s.contains("p"));
+        assert!(!s.contains("q"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Lexer for the concrete Datalog¬ syntax.
+//!
+//! Token language:
+//!
+//! * identifiers: `[A-Za-z0-9_]+` — classified later by the variable
+//!   convention (leading uppercase or `_` ⇒ variable),
+//! * punctuation: `(`, `)`, `,`, `.`, `:-`,
+//! * negation: the keyword `not`, or the operators `!` and `~`,
+//! * comments: `%` and `//` to end of line,
+//! * whitespace is insignificant.
+
+use crate::error::{ParseError, Pos};
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// An identifier (predicate, variable, or constant — classified by the
+    /// parser).
+    Ident(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:-`
+    Arrow,
+    /// `not`, `!`, or `~`
+    Not,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::LParen => f.write_str("`(`"),
+            Token::RParen => f.write_str("`)`"),
+            Token::Comma => f.write_str("`,`"),
+            Token::Dot => f.write_str("`.`"),
+            Token::Arrow => f.write_str("`:-`"),
+            Token::Not => f.write_str("`not`"),
+            Token::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token tagged with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Position of the token's first character.
+    pub pos: Pos,
+}
+
+/// Lexes `input` into a token stream (ending with [`Token::Eof`]).
+///
+/// # Errors
+///
+/// [`ParseError`] on any character outside the token language.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(ch) = c {
+                if ch == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            c
+        }};
+    }
+
+    loop {
+        let pos = Pos { line, col };
+        let Some(&c) = chars.peek() else {
+            out.push(Spanned {
+                token: Token::Eof,
+                pos,
+            });
+            return Ok(out);
+        };
+        match c {
+            c if c.is_whitespace() => {
+                bump!();
+            }
+            '%' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    return Err(ParseError::new(pos, "stray `/` (expected `//` comment)"));
+                }
+            }
+            '(' => {
+                bump!();
+                out.push(Spanned {
+                    token: Token::LParen,
+                    pos,
+                });
+            }
+            ')' => {
+                bump!();
+                out.push(Spanned {
+                    token: Token::RParen,
+                    pos,
+                });
+            }
+            ',' => {
+                bump!();
+                out.push(Spanned {
+                    token: Token::Comma,
+                    pos,
+                });
+            }
+            '.' => {
+                bump!();
+                out.push(Spanned {
+                    token: Token::Dot,
+                    pos,
+                });
+            }
+            '!' | '~' | '¬' => {
+                bump!();
+                out.push(Spanned {
+                    token: Token::Not,
+                    pos,
+                });
+            }
+            ':' => {
+                bump!();
+                if chars.peek() == Some(&'-') {
+                    bump!();
+                    out.push(Spanned {
+                        token: Token::Arrow,
+                        pos,
+                    });
+                } else {
+                    return Err(ParseError::new(pos, "stray `:` (expected `:-`)"));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let token = if ident == "not" {
+                    Token::Not
+                } else {
+                    Token::Ident(ident)
+                };
+                out.push(Spanned { token, pos });
+            }
+            other => {
+                return Err(ParseError::new(
+                    pos,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Token> {
+        lex(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_a_rule() {
+        let toks = kinds("win(X) :- move(X, Y), not win(Y).");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("win".into()),
+                Token::LParen,
+                Token::Ident("X".into()),
+                Token::RParen,
+                Token::Arrow,
+                Token::Ident("move".into()),
+                Token::LParen,
+                Token::Ident("X".into()),
+                Token::Comma,
+                Token::Ident("Y".into()),
+                Token::RParen,
+                Token::Comma,
+                Token::Not,
+                Token::Ident("win".into()),
+                Token::LParen,
+                Token::Ident("Y".into()),
+                Token::RParen,
+                Token::Dot,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn negation_spellings() {
+        assert_eq!(kinds("not !  ~ ¬"), vec![Token::Not; 4].into_iter().chain([Token::Eof]).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("p. % trailing comment\n// full line\nq.");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("p".into()),
+                Token::Dot,
+                Token::Ident("q".into()),
+                Token::Dot,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("p.\n q.").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[2].pos, Pos { line: 2, col: 2 }); // `q`
+    }
+
+    #[test]
+    fn stray_colon_is_an_error() {
+        let err = lex("p :").unwrap_err();
+        assert!(err.message.contains(":-"));
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let err = lex("p @ q").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.pos, Pos { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn numeric_identifiers_allowed() {
+        let toks = kinds("succ(0, 1).");
+        assert!(matches!(&toks[2], Token::Ident(s) if s == "0"));
+    }
+}

@@ -1,0 +1,282 @@
+//! Recursive-descent parser for Datalog¬ programs and fact files.
+//!
+//! Grammar:
+//!
+//! ```text
+//! program  ::= clause* EOF
+//! clause   ::= atom ( ":-" literal ("," literal)* )? "."
+//! literal  ::= ("not" | "!" | "~")? atom
+//! atom     ::= IDENT ( "(" term ("," term)* ")" )?
+//! term     ::= IDENT            -- uppercase/underscore ⇒ variable
+//! ```
+//!
+//! [`parse_program`] accepts the full grammar; [`parse_database`] accepts
+//! only ground facts and produces a [`Database`].
+
+use crate::atom::{Atom, Literal};
+use crate::database::Database;
+use crate::error::{AstError, ParseError, Pos};
+use crate::lexer::{lex, Spanned, Token};
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::term::Term;
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    at: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: lex(input)?,
+            at: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.at].token
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.at].pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.at].token.clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.pos(),
+                format!("expected {what}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(ParseError::new(
+                self.pos(),
+                format!("expected {what}, found {other}"),
+            )),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let name = self.ident("a predicate name")?;
+        let mut args = Vec::new();
+        if *self.peek() == Token::LParen {
+            self.bump();
+            loop {
+                let t = self.ident("a term")?;
+                args.push(Term::from_text(&t));
+                match self.peek() {
+                    Token::Comma => {
+                        self.bump();
+                    }
+                    Token::RParen => {
+                        self.bump();
+                        break;
+                    }
+                    other => {
+                        return Err(ParseError::new(
+                            self.pos(),
+                            format!("expected `,` or `)`, found {other}"),
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(Atom::new(name.as_str(), args))
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        if *self.peek() == Token::Not {
+            self.bump();
+            Ok(Literal::neg(self.atom()?))
+        } else {
+            Ok(Literal::pos(self.atom()?))
+        }
+    }
+
+    fn clause(&mut self) -> Result<Rule, ParseError> {
+        let head_pos = self.pos();
+        let head = self.atom()?;
+        let mut body = Vec::new();
+        if *self.peek() == Token::Arrow {
+            self.bump();
+            loop {
+                body.push(self.literal()?);
+                if *self.peek() == Token::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::Dot, "`.` terminating the clause")
+            .map_err(|e| {
+                ParseError::new(
+                    e.pos,
+                    format!("{} (clause starting at {head_pos})", e.message),
+                )
+            })?;
+        Ok(Rule::new(head, body))
+    }
+
+    fn program(&mut self) -> Result<Vec<Rule>, ParseError> {
+        let mut rules = Vec::new();
+        while *self.peek() != Token::Eof {
+            rules.push(self.clause()?);
+        }
+        Ok(rules)
+    }
+}
+
+/// Parses a Datalog¬ program from text.
+///
+/// # Errors
+///
+/// [`AstError::Parse`] on syntax errors; [`AstError::Validation`] if a
+/// predicate occurs with inconsistent arities.
+pub fn parse_program(input: &str) -> Result<Program, AstError> {
+    let rules = Parser::new(input)?.program()?;
+    Ok(Program::new(rules)?)
+}
+
+/// Parses a database (fact file): every clause must be a ground fact.
+///
+/// # Errors
+///
+/// [`AstError::Parse`] on syntax errors or non-fact clauses;
+/// [`AstError::Validation`] on arity conflicts.
+pub fn parse_database(input: &str) -> Result<Database, AstError> {
+    let mut parser = Parser::new(input)?;
+    let mut db = Database::new();
+    while *parser.peek() != Token::Eof {
+        let pos = parser.pos();
+        let rule = parser.clause()?;
+        if !rule.is_fact() {
+            return Err(ParseError::new(pos, "expected a fact (no `:-` in fact files)").into());
+        }
+        let Some(ground) = rule.head.to_ground() else {
+            return Err(ParseError::new(pos, "facts must be ground (no variables)").into());
+        };
+        db.insert(ground)?;
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_win_move() {
+        let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(
+            p.rules()[0].to_string(),
+            "win(X) :- move(X, Y), not win(Y)."
+        );
+    }
+
+    #[test]
+    fn parses_propositional_rules() {
+        // The paper's §3 example: p ← p, ¬q ; q ← q, ¬p.
+        let p = parse_program("p :- p, not q.\nq :- q, not p.").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.rules()[0].to_string(), "p :- p, not q.");
+        assert!(p.is_idb("p".into()));
+        assert!(p.is_idb("q".into()));
+    }
+
+    #[test]
+    fn parses_facts_and_alternative_negations() {
+        let p = parse_program("e(a, b).\np(X) :- e(X, Y), !q(Y), ~r(X).").unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.rules()[0].is_fact());
+        assert_eq!(p.rules()[1].body[1].to_string(), "not q(Y)");
+        assert_eq!(p.rules()[1].body[2].to_string(), "not r(X)");
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let src = "win(X) :- move(X, Y), not win(Y).\nmove(a, b).\n";
+        let p = parse_program(src).unwrap();
+        let p2 = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn missing_dot_is_an_error() {
+        let err = parse_program("p :- q").unwrap_err();
+        assert!(err.to_string().contains('.'));
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_validation_error() {
+        let err = parse_program("p(a).\np(a, b).").unwrap_err();
+        assert!(matches!(err, AstError::Validation(_)));
+    }
+
+    #[test]
+    fn database_accepts_ground_facts_only() {
+        let db = parse_database("e(a, b).\ne(b, c).\nzero(0).").unwrap();
+        assert_eq!(db.len(), 3);
+        assert!(parse_database("p(X).").is_err());
+        assert!(parse_database("p :- q.").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_program() {
+        let p = parse_program("  % only a comment\n").unwrap();
+        assert!(p.is_empty());
+        let db = parse_database("").unwrap();
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn error_positions_point_at_the_problem() {
+        let err = parse_program("p(X) :- q(X)\nr(a).").unwrap_err();
+        let AstError::Parse(pe) = err else {
+            panic!("expected parse error")
+        };
+        assert_eq!(pe.pos.line, 2);
+    }
+
+    #[test]
+    fn empty_argument_list_is_rejected() {
+        // Zero-arity atoms are written without parentheses; `p()` is a
+        // syntax error, not an empty tuple.
+        let err = parse_program("p() :- q.").unwrap_err();
+        assert!(err.to_string().contains("term"), "{err}");
+    }
+
+    #[test]
+    fn not_is_reserved() {
+        // `not` always lexes as the negation keyword, so it cannot name a
+        // predicate.
+        assert!(parse_program("not :- p.").is_err());
+        assert!(parse_program("p :- not not q.").is_err());
+    }
+
+    #[test]
+    fn dangling_comma_in_body_is_rejected() {
+        let err = parse_program("p :- q, .").unwrap_err();
+        assert!(matches!(err, AstError::Parse(_)));
+    }
+}

@@ -1,0 +1,327 @@
+//! Programs: validated collections of rules.
+//!
+//! A [`Program`] is a finite set of rules together with derived metadata:
+//! the predicate signature (consistent arities), the IDB/EDB split (a
+//! predicate is IDB iff it heads some rule — paper, Section 2), and the
+//! constants appearing in the rules.
+
+use std::fmt;
+
+use crate::atom::Sign;
+use crate::error::ValidationError;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::rule::Rule;
+use crate::skeleton::Skeleton;
+use crate::symbol::{ConstSym, PredSym};
+
+/// Signature information for one predicate of a program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PredInfo {
+    /// The predicate's arity.
+    pub arity: usize,
+    /// `true` iff the predicate appears in the head of some rule.
+    pub is_idb: bool,
+    /// `true` iff the predicate appears negated somewhere in a body.
+    pub occurs_negatively: bool,
+}
+
+/// A validated Datalog¬ program.
+///
+/// Construction via [`Program::new`] enforces that every occurrence of a
+/// predicate has the same arity. Rules keep their source order; rule
+/// indices (`usize` positions into [`Program::rules`]) are the stable rule
+/// identities used by the grounder and the analyses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    rules: Vec<Rule>,
+    preds: FxHashMap<PredSym, PredInfo>,
+    /// Predicates in deterministic first-occurrence order.
+    pred_order: Vec<PredSym>,
+}
+
+impl Program {
+    /// Validates and constructs a program from rules.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::ArityMismatch`] if a predicate occurs with two
+    /// different arities.
+    pub fn new(rules: impl IntoIterator<Item = Rule>) -> Result<Self, ValidationError> {
+        let rules: Vec<Rule> = rules.into_iter().collect();
+        let mut preds: FxHashMap<PredSym, PredInfo> = FxHashMap::default();
+        let mut pred_order: Vec<PredSym> = Vec::new();
+
+        let note = |pred: PredSym,
+                        arity: usize,
+                        is_head: bool,
+                        neg: bool,
+                        preds: &mut FxHashMap<PredSym, PredInfo>,
+                        pred_order: &mut Vec<PredSym>|
+         -> Result<(), ValidationError> {
+            match preds.get_mut(&pred) {
+                Some(info) => {
+                    if info.arity != arity {
+                        return Err(ValidationError::ArityMismatch {
+                            pred,
+                            first: info.arity,
+                            second: arity,
+                        });
+                    }
+                    info.is_idb |= is_head;
+                    info.occurs_negatively |= neg;
+                }
+                None => {
+                    preds.insert(
+                        pred,
+                        PredInfo {
+                            arity,
+                            is_idb: is_head,
+                            occurs_negatively: neg,
+                        },
+                    );
+                    pred_order.push(pred);
+                }
+            }
+            Ok(())
+        };
+
+        for rule in &rules {
+            note(
+                rule.head.pred,
+                rule.head.arity(),
+                true,
+                false,
+                &mut preds,
+                &mut pred_order,
+            )?;
+            for lit in &rule.body {
+                note(
+                    lit.atom.pred,
+                    lit.atom.arity(),
+                    false,
+                    lit.is_neg(),
+                    &mut preds,
+                    &mut pred_order,
+                )?;
+            }
+        }
+
+        Ok(Program {
+            rules,
+            preds,
+            pred_order,
+        })
+    }
+
+    /// An empty program.
+    pub fn empty() -> Self {
+        Program::new(std::iter::empty()).expect("empty program is valid")
+    }
+
+    /// The rules, in source order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` iff there are no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Signature info for `pred`, if it occurs in the program.
+    pub fn pred_info(&self, pred: PredSym) -> Option<&PredInfo> {
+        self.preds.get(&pred)
+    }
+
+    /// All predicates in deterministic first-occurrence order.
+    pub fn predicates(&self) -> &[PredSym] {
+        &self.pred_order
+    }
+
+    /// IDB predicates (those that head a rule), in first-occurrence order.
+    pub fn idb_predicates(&self) -> impl Iterator<Item = PredSym> + '_ {
+        self.pred_order
+            .iter()
+            .copied()
+            .filter(move |p| self.preds[p].is_idb)
+    }
+
+    /// EDB predicates (those that never head a rule), in first-occurrence
+    /// order.
+    pub fn edb_predicates(&self) -> impl Iterator<Item = PredSym> + '_ {
+        self.pred_order
+            .iter()
+            .copied()
+            .filter(move |p| !self.preds[p].is_idb)
+    }
+
+    /// `true` iff `pred` is an IDB predicate of this program.
+    pub fn is_idb(&self, pred: PredSym) -> bool {
+        self.preds.get(&pred).is_some_and(|i| i.is_idb)
+    }
+
+    /// The arity of `pred`, if known.
+    pub fn arity(&self, pred: PredSym) -> Option<usize> {
+        self.preds.get(&pred).map(|i| i.arity)
+    }
+
+    /// `true` iff some body literal anywhere is negative.
+    pub fn has_negation(&self) -> bool {
+        self.rules.iter().any(Rule::has_negation)
+    }
+
+    /// `true` iff every rule is safe (see [`Rule::is_safe`]).
+    pub fn is_safe(&self) -> bool {
+        self.rules.iter().all(Rule::is_safe)
+    }
+
+    /// The distinct constants appearing in the rules, in first-occurrence
+    /// order.
+    pub fn constants(&self) -> Vec<ConstSym> {
+        let mut seen: FxHashSet<ConstSym> = FxHashSet::default();
+        let mut out = Vec::new();
+        for rule in &self.rules {
+            for c in rule.constants() {
+                if seen.insert(c) {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// The rule indices whose head predicate is `pred`.
+    pub fn rules_for_head(&self, pred: PredSym) -> impl Iterator<Item = usize> + '_ {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter(move |(_, r)| r.head.pred == pred)
+            .map(|(i, _)| i)
+    }
+
+    /// The skeleton (propositional form) of this program: rules with all
+    /// parentheses, variables, and constants omitted (paper, Section 4).
+    pub fn skeleton(&self) -> Skeleton {
+        Skeleton::of_program(self)
+    }
+
+    /// `true` iff `other` is an alphabetic variant of `self`: same skeleton
+    /// (paper, Section 4 — "programs that only differ in the arity of the
+    /// predicates and the names of the variables and constants in each
+    /// rule").
+    pub fn is_alphabetic_variant_of(&self, other: &Program) -> bool {
+        self.skeleton() == other.skeleton()
+    }
+
+    /// Signed predicate-level dependencies: for every rule `Q ← …(¬)P…`,
+    /// yields `(P, sign, Q)` — an edge of the paper's *program graph*.
+    ///
+    /// (The program graph itself, with SCC/tie machinery, lives in the
+    /// `tiebreak-core` crate; this iterator is the raw edge source.)
+    pub fn dependency_edges(&self) -> impl Iterator<Item = (PredSym, Sign, PredSym)> + '_ {
+        self.rules.iter().flat_map(|r| {
+            let head = r.head.pred;
+            r.body.iter().map(move |lit| (lit.atom.pred, lit.sign, head))
+        })
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, Literal};
+
+    fn win_move() -> Program {
+        // win(X) :- move(X, Y), not win(Y).
+        let r = Rule::new(
+            Atom::from_texts("win", &["X"]),
+            vec![
+                Literal::pos(Atom::from_texts("move", &["X", "Y"])),
+                Literal::neg(Atom::from_texts("win", &["Y"])),
+            ],
+        );
+        Program::new(vec![r]).expect("valid")
+    }
+
+    #[test]
+    fn idb_edb_split() {
+        let p = win_move();
+        let idb: Vec<&str> = p.idb_predicates().map(|p| p.as_str()).collect();
+        let edb: Vec<&str> = p.edb_predicates().map(|p| p.as_str()).collect();
+        assert_eq!(idb, vec!["win"]);
+        assert_eq!(edb, vec!["move"]);
+        assert!(p.is_idb(PredSym::new("win")));
+        assert!(!p.is_idb(PredSym::new("move")));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let r1 = Rule::fact(Atom::from_texts("p", &["a"]));
+        let r2 = Rule::fact(Atom::from_texts("p", &["a", "b"]));
+        let err = Program::new(vec![r1, r2]).unwrap_err();
+        match err {
+            ValidationError::ArityMismatch { pred, first, second } => {
+                assert_eq!(pred.as_str(), "p");
+                assert_eq!((first, second), (1, 2));
+            }
+        }
+    }
+
+    #[test]
+    fn dependency_edges_signed() {
+        let p = win_move();
+        let deps: Vec<(String, Sign, String)> = p
+            .dependency_edges()
+            .map(|(a, s, b)| (a.to_string(), s, b.to_string()))
+            .collect();
+        assert_eq!(
+            deps,
+            vec![
+                ("move".to_owned(), Sign::Pos, "win".to_owned()),
+                ("win".to_owned(), Sign::Neg, "win".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn negation_and_safety_flags() {
+        let p = win_move();
+        assert!(p.has_negation());
+        assert!(p.is_safe());
+        assert_eq!(p.arity(PredSym::new("move")), Some(2));
+        assert_eq!(p.arity(PredSym::new("absent")), None);
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.predicates().len(), 0);
+        assert!(!p.has_negation());
+    }
+
+    #[test]
+    fn constants_first_occurrence_order() {
+        let r = Rule::new(
+            Atom::from_texts("p", &["b"]),
+            vec![Literal::pos(Atom::from_texts("q", &["a", "b"]))],
+        );
+        let p = Program::new(vec![r]).unwrap();
+        let cs: Vec<&str> = p.constants().iter().map(|c| c.as_str()).collect();
+        assert_eq!(cs, vec!["b", "a"]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Rules: `head :- body`.
+//!
+//! A rule `A ← L1, …, Ls` has an atom head and a body of literals
+//! (paper, Section 2). A rule with an empty body is a *fact*.
+
+use std::fmt;
+
+use crate::atom::{Atom, Literal, Sign};
+use crate::fxhash::FxHashSet;
+use crate::symbol::{ConstSym, VarSym};
+
+/// A Datalog¬ rule.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// The body literals, in source order.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Constructs a rule.
+    pub fn new(head: Atom, body: impl IntoIterator<Item = Literal>) -> Self {
+        Rule {
+            head,
+            body: body.into_iter().collect(),
+        }
+    }
+
+    /// Constructs a fact (empty body).
+    pub fn fact(head: Atom) -> Self {
+        Rule {
+            head,
+            body: Vec::new(),
+        }
+    }
+
+    /// `true` iff the body is empty.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// The distinct variables of the rule, in first-occurrence order
+    /// (head first, then body left to right).
+    ///
+    /// The order is significant: the grounder substitutes constant tuples
+    /// positionally against this list, and rule-node identities in the
+    /// ground graph are keyed by it.
+    pub fn variables(&self) -> Vec<VarSym> {
+        let mut seen: FxHashSet<VarSym> = FxHashSet::default();
+        let mut out = Vec::new();
+        let mut push = |v: VarSym| {
+            if seen.insert(v) {
+                out.push(v);
+            }
+        };
+        for v in self.head.variables() {
+            push(v);
+        }
+        for lit in &self.body {
+            for v in lit.atom.variables() {
+                push(v);
+            }
+        }
+        out
+    }
+
+    /// The distinct constants of the rule (head and body).
+    pub fn constants(&self) -> Vec<ConstSym> {
+        let mut seen: FxHashSet<ConstSym> = FxHashSet::default();
+        let mut out = Vec::new();
+        for c in self
+            .head
+            .constants()
+            .chain(self.body.iter().flat_map(|l| l.atom.constants()))
+        {
+            if seen.insert(c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// `true` iff head and all body atoms are ground.
+    pub fn is_ground(&self) -> bool {
+        self.head.is_ground() && self.body.iter().all(|l| l.atom.is_ground())
+    }
+
+    /// `true` iff some body literal is negative.
+    pub fn has_negation(&self) -> bool {
+        self.body.iter().any(Literal::is_neg)
+    }
+
+    /// Iterates over body literals of the given sign.
+    pub fn body_with_sign(&self, sign: Sign) -> impl Iterator<Item = &Literal> {
+        self.body.iter().filter(move |l| l.sign == sign)
+    }
+
+    /// *Safety* (range restriction): every head variable and every variable
+    /// of a negative body literal also occurs in some positive body
+    /// literal.
+    ///
+    /// The paper's semantics do not require safety — the ground graph
+    /// quantifies over the whole universe — but safe rules are the ones for
+    /// which semi-naive evaluation of positive strata terminates without
+    /// universe-relative complementation, so the analysis is provided.
+    pub fn is_safe(&self) -> bool {
+        let positive: FxHashSet<VarSym> = self
+            .body_with_sign(Sign::Pos)
+            .flat_map(|l| l.atom.variables())
+            .collect();
+        let needs: Vec<VarSym> = self
+            .head
+            .variables()
+            .chain(self.body_with_sign(Sign::Neg).flat_map(|l| l.atom.variables()))
+            .collect();
+        needs.into_iter().all(|v| positive.contains(&v))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.head.fmt(f)?;
+        if !self.body.is_empty() {
+            f.write_str(" :- ")?;
+            for (i, lit) in self.body.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                lit.fmt(f)?;
+            }
+        }
+        f.write_str(".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(text_head: (&str, &[&str]), body: &[(bool, &str, &[&str])]) -> Rule {
+        Rule::new(
+            Atom::from_texts(text_head.0, text_head.1),
+            body.iter().map(|(pos, p, args)| {
+                let a = Atom::from_texts(p, args);
+                if *pos {
+                    Literal::pos(a)
+                } else {
+                    Literal::neg(a)
+                }
+            }),
+        )
+    }
+
+    #[test]
+    fn variables_in_first_occurrence_order() {
+        // win(X) :- move(X, Y), not win(Y).
+        let r = rule(("win", &["X"]), &[(true, "move", &["X", "Y"]), (false, "win", &["Y"])]);
+        let vars: Vec<&str> = r.variables().iter().map(|v| v.as_str()).collect();
+        assert_eq!(vars, vec!["X", "Y"]);
+    }
+
+    #[test]
+    fn paper_program_1() {
+        // P(a) :- not P(X), E(b).   — program (1) of the paper.
+        let r = rule(("p", &["a"]), &[(false, "p", &["X"]), (true, "e", &["b"])]);
+        assert_eq!(r.variables().len(), 1);
+        let consts: Vec<&str> = r.constants().iter().map(|c| c.as_str()).collect();
+        assert_eq!(consts, vec!["a", "b"]);
+        assert!(r.has_negation());
+        assert!(!r.is_ground());
+        // Unsafe: head constant is fine, but X occurs only negatively.
+        assert!(!r.is_safe());
+    }
+
+    #[test]
+    fn fact_properties() {
+        let f = Rule::fact(Atom::from_texts("e", &["a", "b"]));
+        assert!(f.is_fact());
+        assert!(f.is_ground());
+        assert!(!f.has_negation());
+        assert!(f.is_safe());
+        assert_eq!(f.to_string(), "e(a, b).");
+    }
+
+    #[test]
+    fn display_full_rule() {
+        let r = rule(("win", &["X"]), &[(true, "move", &["X", "Y"]), (false, "win", &["Y"])]);
+        assert_eq!(r.to_string(), "win(X) :- move(X, Y), not win(Y).");
+    }
+
+    #[test]
+    fn safety_requires_head_vars_positive() {
+        let r = rule(("p", &["X"]), &[(true, "q", &["X"])]);
+        assert!(r.is_safe());
+        let r = rule(("p", &["X"]), &[(true, "q", &["Y"])]);
+        assert!(!r.is_safe());
+    }
+}

@@ -1,0 +1,213 @@
+//! Skeletons: the paper's "propositional forms".
+//!
+//! Section 4 of the paper: *"For each Datalog program Π, we define its
+//! skeleton (or propositional form) to be Π with all parentheses,
+//! variables, and constants omitted."* Two programs are **alphabetic
+//! variants** of one another iff they have the same skeleton, and a
+//! program is *structurally total* iff all programs with its skeleton are
+//! total.
+//!
+//! A skeleton is itself a propositional program (all predicates of arity
+//! zero); [`Skeleton::to_propositional`] realizes it as such, which is how
+//! the useless-predicate analysis of Theorem 3 runs the well-founded
+//! machinery "on the skeleton".
+
+use std::fmt;
+
+use crate::atom::{Atom, Literal, Sign};
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::symbol::PredSym;
+
+/// One skeleton rule: the head predicate and the signed body predicates.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SkeletonRule {
+    /// Head predicate symbol.
+    pub head: PredSym,
+    /// Signed body predicate occurrences, in source order.
+    pub body: Vec<(Sign, PredSym)>,
+}
+
+impl SkeletonRule {
+    /// `true` iff some body occurrence is negative.
+    pub fn has_negation(&self) -> bool {
+        self.body.iter().any(|(s, _)| s.is_neg())
+    }
+}
+
+impl fmt::Display for SkeletonRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.head.fmt(f)?;
+        if !self.body.is_empty() {
+            f.write_str(" :- ")?;
+            for (i, (sign, pred)) in self.body.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                if sign.is_neg() {
+                    f.write_str("not ")?;
+                }
+                pred.fmt(f)?;
+            }
+        }
+        f.write_str(".")
+    }
+}
+
+/// The skeleton of a program: its rules with arguments erased.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Skeleton {
+    /// Skeleton rules, in the source order of the original program.
+    pub rules: Vec<SkeletonRule>,
+}
+
+impl Skeleton {
+    /// Computes the skeleton of `program`.
+    pub fn of_program(program: &Program) -> Self {
+        Skeleton {
+            rules: program
+                .rules()
+                .iter()
+                .map(|r| SkeletonRule {
+                    head: r.head.pred,
+                    body: r.body.iter().map(|l| (l.sign, l.atom.pred)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of skeleton rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` iff no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The head predicates (IDB predicates of any realization).
+    pub fn idb_predicates(&self) -> Vec<PredSym> {
+        let mut seen = crate::fxhash::FxHashSet::default();
+        let mut out = Vec::new();
+        for r in &self.rules {
+            if seen.insert(r.head) {
+                out.push(r.head);
+            }
+        }
+        out
+    }
+
+    /// All predicates, heads first then body occurrences, deduplicated in
+    /// first-occurrence order.
+    pub fn predicates(&self) -> Vec<PredSym> {
+        let mut seen = crate::fxhash::FxHashSet::default();
+        let mut out = Vec::new();
+        for r in &self.rules {
+            if seen.insert(r.head) {
+                out.push(r.head);
+            }
+            for &(_, p) in &r.body {
+                if seen.insert(p) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Realizes the skeleton as a propositional program (every predicate
+    /// nullary). This is the canonical *alphabetic variant of arity zero*,
+    /// used by the useless-predicate analysis of Theorem 3.
+    pub fn to_propositional(&self) -> Program {
+        let rules: Vec<Rule> = self
+            .rules
+            .iter()
+            .map(|sr| {
+                Rule::new(
+                    Atom::new(sr.head, std::iter::empty()),
+                    sr.body.iter().map(|&(sign, pred)| Literal {
+                        sign,
+                        atom: Atom::new(pred, std::iter::empty()),
+                    }),
+                )
+            })
+            .collect();
+        Program::new(rules).expect("skeleton realization cannot have arity mismatches")
+    }
+}
+
+impl fmt::Display for Skeleton {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, Literal};
+
+    fn program_1() -> Program {
+        // P(a) :- not P(X), E(b).         — paper's program (1)
+        let r = Rule::new(
+            Atom::from_texts("p", &["a"]),
+            vec![
+                Literal::neg(Atom::from_texts("p", &["X"])),
+                Literal::pos(Atom::from_texts("e", &["b"])),
+            ],
+        );
+        Program::new(vec![r]).unwrap()
+    }
+
+    fn program_2() -> Program {
+        // P(x, y) :- not P(y, y), E(x).   — paper's program (2)
+        let r = Rule::new(
+            Atom::from_texts("p", &["X", "Y"]),
+            vec![
+                Literal::neg(Atom::from_texts("p", &["Y", "Y"])),
+                Literal::pos(Atom::from_texts("e", &["X"])),
+            ],
+        );
+        Program::new(vec![r]).unwrap()
+    }
+
+    #[test]
+    fn paper_programs_1_and_2_are_alphabetic_variants() {
+        assert!(program_1().is_alphabetic_variant_of(&program_2()));
+        assert_eq!(program_1().skeleton(), program_2().skeleton());
+    }
+
+    #[test]
+    fn different_sign_patterns_differ() {
+        let r = Rule::new(
+            Atom::from_texts("p", &["a"]),
+            vec![
+                Literal::pos(Atom::from_texts("p", &["X"])),
+                Literal::pos(Atom::from_texts("e", &["b"])),
+            ],
+        );
+        let q = Program::new(vec![r]).unwrap();
+        assert!(!program_1().is_alphabetic_variant_of(&q));
+    }
+
+    #[test]
+    fn propositional_realization() {
+        let prop = program_1().skeleton().to_propositional();
+        assert_eq!(prop.len(), 1);
+        assert_eq!(prop.rules()[0].to_string(), "p :- not p, e.");
+        // And the propositional program's skeleton is the same skeleton.
+        assert_eq!(prop.skeleton(), program_1().skeleton());
+    }
+
+    #[test]
+    fn skeleton_display() {
+        let s = program_1().skeleton();
+        assert_eq!(s.to_string(), "p :- not p, e.\n");
+        assert_eq!(s.idb_predicates().len(), 1);
+        assert_eq!(s.predicates().len(), 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Interned identifiers.
+//!
+//! Every name in a program — predicate symbols, variable names, constant
+//! symbols — is interned once in a process-global table and thereafter
+//! represented by a 4-byte [`Symbol`]. Equality and hashing are integer
+//! operations; the text is recovered with [`Symbol::as_str`].
+//!
+//! The table leaks its strings deliberately: interned names live for the
+//! lifetime of the process (the set of distinct identifiers is bounded by
+//! the input programs), and leaking lets `as_str` hand out `&'static str`
+//! without reference-counting overhead. This is the standard compiler
+//! interner design.
+//!
+//! Three transparent newtypes keep the kinds apart at compile time:
+//! [`PredSym`] for predicate symbols, [`VarSym`] for variables, and
+//! [`ConstSym`] for constants. Mixing them up is a type error, which is
+//! load-bearing in the alphabetic-variant constructions where predicate
+//! names survive but argument patterns are rewritten.
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use crate::fxhash::FxHashMap;
+
+/// An interned string. Cheap to copy, compare, and hash.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: FxHashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: FxHashMap::default(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `text`, returning its canonical [`Symbol`].
+    ///
+    /// Interning the same text twice yields the same symbol.
+    pub fn intern(text: &str) -> Self {
+        let mut guard = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = guard.map.get(text) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        let id = u32::try_from(guard.strings.len()).expect("interner overflow: > 2^32 symbols");
+        guard.strings.push(leaked);
+        guard.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned text.
+    pub fn as_str(self) -> &'static str {
+        let guard = interner().lock().expect("symbol interner poisoned");
+        guard.strings[self.0 as usize]
+    }
+
+    /// The raw interner index. Stable within a process run only.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(text: &str) -> Self {
+        Symbol::intern(text)
+    }
+}
+
+macro_rules! symbol_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub Symbol);
+
+        impl $name {
+            /// Interns `text` as this kind of identifier.
+            pub fn new(text: &str) -> Self {
+                Self(Symbol::intern(text))
+            }
+
+            /// The interned text.
+            pub fn as_str(self) -> &'static str {
+                self.0.as_str()
+            }
+
+            /// The underlying generic [`Symbol`].
+            pub fn symbol(self) -> Symbol {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:?})"), self.as_str())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(text: &str) -> Self {
+                Self::new(text)
+            }
+        }
+    };
+}
+
+symbol_newtype! {
+    /// A predicate symbol (e.g. the `p` in `p(X, a)`).
+    PredSym
+}
+
+symbol_newtype! {
+    /// A variable name (e.g. the `X` in `p(X, a)`).
+    VarSym
+}
+
+symbol_newtype! {
+    /// A constant symbol (e.g. the `a` in `p(X, a)`).
+    ConstSym
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("edge");
+        let b = Symbol::intern("edge");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "edge");
+    }
+
+    #[test]
+    fn distinct_texts_distinct_symbols() {
+        assert_ne!(Symbol::intern("p"), Symbol::intern("q"));
+    }
+
+    #[test]
+    fn newtypes_share_the_interner_but_not_the_type() {
+        let p = PredSym::new("shared");
+        let c = ConstSym::new("shared");
+        // Same underlying symbol...
+        assert_eq!(p.symbol(), c.symbol());
+        // ...but the newtypes cannot be compared directly (compile-time
+        // property; this test documents the runtime view).
+        assert_eq!(p.as_str(), c.as_str());
+    }
+
+    #[test]
+    fn display_matches_text() {
+        let v = VarSym::new("X1");
+        assert_eq!(v.to_string(), "X1");
+        assert_eq!(format!("{v:?}"), "VarSym(\"X1\")");
+    }
+
+    #[test]
+    fn many_symbols_survive() {
+        let syms: Vec<Symbol> = (0..1000).map(|i| Symbol::intern(&format!("s{i}"))).collect();
+        for (i, s) in syms.iter().enumerate() {
+            assert_eq!(s.as_str(), format!("s{i}"));
+        }
+    }
+}

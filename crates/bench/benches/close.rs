@@ -1,0 +1,61 @@
+//! E-PERF — the `close(M, G)` operator: worklist propagation throughput
+//! and the largest-unfounded-set computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datalog_bench::{ground_or_die, tc_program};
+use datalog_ground::{Closer, PartialModel};
+use paper_constructions::generators;
+
+fn bench_close_transitive_closure(c: &mut Criterion) {
+    let program = tc_program();
+    let mut group = c.benchmark_group("close_transitive_closure");
+    group.sample_size(20);
+    for &n in &[8usize, 16, 24] {
+        let db = generators::chain_db(n);
+        let graph = ground_or_die(&program, &db);
+        group.throughput(Throughput::Elements(graph.rule_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut model = PartialModel::initial(&program, &db, graph.atoms());
+                let mut closer = Closer::new(&graph);
+                closer.bootstrap(&model);
+                closer.run(&mut model).expect("no conflict");
+                assert!(model.is_total(), "positive programs close fully");
+                std::hint::black_box(model.true_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_unfounded_set(c: &mut Criterion) {
+    // k guarded pairs leave a 2k-atom residual graph whose largest
+    // unfounded set is everything.
+    let mut group = c.benchmark_group("close_largest_unfounded_set");
+    group.sample_size(20);
+    for &k in &[64usize, 256, 1024] {
+        let mut src = String::new();
+        for i in 0..k {
+            src.push_str(&format!("p{i} :- p{i}, not q{i}.\nq{i} :- q{i}, not p{i}.\n"));
+        }
+        let program = datalog_ast::parse_program(&src).expect("parses");
+        let db = datalog_ast::Database::new();
+        let graph = ground_or_die(&program, &db);
+        let mut model = PartialModel::initial(&program, &db, graph.atoms());
+        let mut closer = Closer::new(&graph);
+        closer.bootstrap(&model);
+        closer.run(&mut model).expect("no conflict");
+        group.throughput(Throughput::Elements(2 * k as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let unfounded = closer.largest_unfounded_set();
+                assert_eq!(unfounded.len(), 2 * k);
+                std::hint::black_box(unfounded.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_close_transitive_closure, bench_unfounded_set);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E-PERF — semi-naive stratified evaluation (the \[CH, ABW\] substrate).
+//!
+//! Workload: transitive closure over chains and layered stratified
+//! programs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datalog_bench::tc_program;
+use paper_constructions::generators;
+use tiebreak_core::semantics::stratified::stratified;
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let program = tc_program();
+    let mut group = c.benchmark_group("seminaive_transitive_closure");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let db = generators::chain_db(n);
+        // Derived tuples: n(n+1)/2.
+        group.throughput(Throughput::Elements((n * (n + 1) / 2) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let run = stratified(&program, &db).expect("stratified");
+                std::hint::black_box(run.facts.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_layered(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seminaive_layered_strata");
+    for &layers in &[4usize, 8, 16] {
+        let program = generators::layered_stratified(layers, 4);
+        let db = generators::unary_db(16);
+        group.throughput(Throughput::Elements((layers * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &layers, |b, _| {
+            b.iter(|| {
+                let run = stratified(&program, &db).expect("stratified");
+                assert_eq!(run.derived_per_stratum.len(), layers);
+                std::hint::black_box(run.facts.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transitive_closure, bench_layered);
+criterion_main!(benches);

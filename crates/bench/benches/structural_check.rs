@@ -1,0 +1,58 @@
+//! E-T2 / E-T4 — structural totality is checkable in linear time
+//! (Theorem 4, uniform case).
+//!
+//! Workload: negation cycles C(n, k) and planted call-consistent programs
+//! up to 10^4 rules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paper_constructions::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tiebreak_core::analysis::structural_totality;
+
+fn bench_negation_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structural_totality_cycles");
+    group.sample_size(20);
+    for &n in &[100usize, 1_000, 10_000] {
+        // Even cycle (tie) and odd cycle (witness extraction) variants.
+        let even = generators::negation_cycle(n, 2);
+        let odd = generators::negation_cycle(n, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("even", n), &n, |b, _| {
+            b.iter(|| {
+                let st = structural_totality(&even);
+                assert!(st.total);
+                std::hint::black_box(st.total)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("odd_with_witness", n), &n, |b, _| {
+            b.iter(|| {
+                let st = structural_totality(&odd);
+                assert!(!st.total);
+                std::hint::black_box(st.witness.map(|w| w.preds.len()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_planted_call_consistent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structural_totality_planted");
+    group.sample_size(20);
+    for &rules in &[100usize, 1_000, 10_000] {
+        let mut rng = SmallRng::seed_from_u64(rules as u64);
+        let program = generators::random_call_consistent(&mut rng, rules / 4 + 2, rules, 3);
+        group.throughput(Throughput::Elements(rules as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rules), &rules, |b, _| {
+            b.iter(|| {
+                let st = structural_totality(&program);
+                assert!(st.total, "planted partition is call-consistent");
+                std::hint::black_box(st.total)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_negation_cycles, bench_planted_call_consistent);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E-T1 / E-PERF — the tie-breaking interpreters are polynomial and total
+//! on call-consistent instances.
+//!
+//! Workloads: k independent propositional ties (k tie-break rounds); one
+//! big even ground ring (win–move on a directed ring); random planted
+//! call-consistent programs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datalog_bench::{ground_or_die, ring_move_db};
+use paper_constructions::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tiebreak_core::semantics::tie_breaking::{
+    pure_tie_breaking, well_founded_tie_breaking, RootTruePolicy,
+};
+
+fn bench_independent_ties(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tie_breaking_independent_ties");
+    for &k in &[4usize, 16, 64] {
+        let program = generators::independent_ties(k);
+        let db = datalog_ast::Database::new();
+        let graph = ground_or_die(&program, &db);
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut policy = RootTruePolicy;
+                let run =
+                    well_founded_tie_breaking(&graph, &program, &db, &mut policy).expect("runs");
+                assert!(run.total);
+                assert_eq!(run.stats.ties_broken, k);
+                std::hint::black_box(run.model.true_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_even_ring(c: &mut Criterion) {
+    let program = generators::win_move_program();
+    let mut group = c.benchmark_group("tie_breaking_even_ring");
+    for &n in &[8usize, 16, 32] {
+        let db = ring_move_db(n);
+        let graph = ground_or_die(&program, &db);
+        group.throughput(Throughput::Elements(graph.atom_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut policy = RootTruePolicy;
+                let run =
+                    well_founded_tie_breaking(&graph, &program, &db, &mut policy).expect("runs");
+                std::hint::black_box(run.total)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pure_vs_wf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tie_breaking_pure_vs_wf");
+    let mut rng = SmallRng::seed_from_u64(13);
+    let program = generators::random_call_consistent(&mut rng, 8, 24, 3);
+    let db = generators::random_database(&mut rng, &program, 3, 0.4, false);
+    let graph = ground_or_die(&program, &db);
+    group.bench_function("pure", |b| {
+        b.iter(|| {
+            let mut policy = RootTruePolicy;
+            let run = pure_tie_breaking(&graph, &program, &db, &mut policy).expect("runs");
+            assert!(run.total, "call-consistent ⇒ total (Theorem 1)");
+            std::hint::black_box(run.stats.ties_broken)
+        });
+    });
+    group.bench_function("well_founded", |b| {
+        b.iter(|| {
+            let mut policy = RootTruePolicy;
+            let run = well_founded_tie_breaking(&graph, &program, &db, &mut policy).expect("runs");
+            assert!(run.total, "call-consistent ⇒ total (Theorem 1)");
+            std::hint::black_box(run.stats.ties_broken)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_independent_ties, bench_even_ring, bench_pure_vs_wf);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! E-L1 — Lemma 1: tie detection and partition are linear time.
+//!
+//! Workload: planted-partition signed graphs (guaranteed ties) and odd
+//! rings, n up to 10^5 nodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use signed_graph::{is_tie_double_cover, tie, EdgeSign, Sccs, SignedDigraph};
+
+/// A strongly connected planted tie: a ring plus random chords, signs
+/// chosen from a planted 2-partition.
+fn planted_tie(rng: &mut SmallRng, n: usize, chords: usize) -> SignedDigraph {
+    let sides: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+    let mut g = SignedDigraph::new(n);
+    let sign = |a: usize, b: usize| {
+        if sides[a] == sides[b] {
+            EdgeSign::Pos
+        } else {
+            EdgeSign::Neg
+        }
+    };
+    for i in 0..n {
+        let j = (i + 1) % n;
+        g.add_edge(i as u32, j as u32, sign(i, j));
+    }
+    for _ in 0..chords {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        g.add_edge(a as u32, b as u32, sign(a, b));
+    }
+    g
+}
+
+/// An odd ring: n nodes, one negative edge.
+fn odd_ring(n: usize) -> SignedDigraph {
+    let mut g = SignedDigraph::new(n);
+    for i in 0..n {
+        let s = if i == 0 { EdgeSign::Neg } else { EdgeSign::Pos };
+        g.add_edge(i as u32, ((i + 1) % n) as u32, s);
+    }
+    g
+}
+
+fn bench_tie_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma1_tie_partition");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let g = planted_tie(&mut rng, n, n);
+        let members: Vec<u32> = (0..n as u32).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("planted_tie", n), &n, |b, _| {
+            b.iter(|| {
+                let p = tie::check_tie(&g, &members).expect("planted ties are ties");
+                std::hint::black_box(p.members.len())
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("lemma1_odd_witness");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let g = odd_ring(n);
+        let members: Vec<u32> = (0..n as u32).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("odd_ring", n), &n, |b, _| {
+            b.iter(|| {
+                let w = tie::check_tie(&g, &members).expect_err("odd rings are odd");
+                std::hint::black_box(w.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation (DESIGN.md): Lemma 1 spanning-tree 2-colouring vs. the
+/// bipartite double-cover construction. Same asymptotics; the cover
+/// builds a 2x graph and yields no partition.
+fn bench_lemma1_vs_double_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tie_algorithms");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let g = planted_tie(&mut rng, n, n);
+        let members: Vec<u32> = (0..n as u32).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("lemma1_spanning_tree", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(tie::check_tie(&g, &members).is_ok()));
+        });
+        group.bench_with_input(BenchmarkId::new("double_cover", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(is_tie_double_cover(&g, &members)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tarjan_scc");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = planted_tie(&mut rng, n, 2 * n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(Sccs::compute(&g).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tie_detection,
+    bench_lemma1_vs_double_cover,
+    bench_scc
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E-P1 — totality is Π₂ᵖ-complete: the exhaustive oracle blows up
+//! exponentially while the structural check stays linear.
+//!
+//! Workload: k independent ties (2^2k databases × fixpoint search each)
+//! and ∀∃-CNF reductions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paper_constructions::generators;
+use paper_constructions::CnfFormula;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tiebreak_core::analysis::{
+    propositional_totality, structural_totality, TotalityConfig,
+};
+
+fn bench_sweep_vs_structural(c: &mut Criterion) {
+    let mut group = c.benchmark_group("totality_bruteforce_vs_structural");
+    group.sample_size(10);
+    for &k in &[1usize, 2, 3] {
+        let program = generators::independent_ties(k);
+        group.bench_with_input(BenchmarkId::new("bruteforce_sweep", 2 * k), &k, |b, _| {
+            b.iter(|| {
+                let r = propositional_totality(&program, false, &TotalityConfig::default())
+                    .expect("in budget");
+                assert!(r.total);
+                std::hint::black_box(r.databases_checked)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("structural_check", 2 * k), &k, |b, _| {
+            b.iter(|| {
+                let st = structural_totality(&program);
+                assert!(st.total);
+                std::hint::black_box(st.total)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pi2p_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("totality_pi2p_reduction");
+    group.sample_size(10);
+    let mut rng = SmallRng::seed_from_u64(5);
+    for &(x, y) in &[(1usize, 1usize), (2, 2)] {
+        let f = CnfFormula::random(&mut rng, x, y, 3, 2);
+        let program = f.to_program();
+        group.bench_with_input(
+            BenchmarkId::new("sweep", format!("x{x}_y{y}")),
+            &f,
+            |b, f| {
+                b.iter(|| {
+                    let r = propositional_totality(&program, false, &TotalityConfig::default())
+                        .expect("in budget");
+                    assert_eq!(r.total, f.forall_exists());
+                    std::hint::black_box(r.databases_checked)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_vs_structural, bench_pi2p_reductions);
+criterion_main!(benches);

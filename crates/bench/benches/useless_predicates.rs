@@ -1,0 +1,41 @@
+//! E-T4 — the nonuniform check: useless predicates + reduced program +
+//! odd-cycle test, on Theorem 4's circuit-value reductions.
+//!
+//! The check is linear time; the *problem it decides* is P-complete, so
+//! circuit-value instances are the canonical hard family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paper_constructions::Circuit;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tiebreak_core::analysis::{structural_nonuniform_totality, useless_predicates};
+
+fn bench_useless(c: &mut Criterion) {
+    let mut group = c.benchmark_group("useless_predicates_circuit");
+    group.sample_size(10);
+    for &gates in &[100usize, 1_000, 10_000] {
+        let mut rng = SmallRng::seed_from_u64(gates as u64);
+        let circuit = Circuit::random(&mut rng, 8, gates);
+        let x: Vec<bool> = (0..8).map(|_| rng.gen()).collect();
+        let program = circuit.to_program(&x);
+        group.throughput(Throughput::Elements(gates as u64));
+        group.bench_with_input(BenchmarkId::new("useless_only", gates), &gates, |b, _| {
+            b.iter(|| std::hint::black_box(useless_predicates(&program).useless.len()));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("full_nonuniform_check", gates),
+            &gates,
+            |b, _| {
+                b.iter(|| {
+                    let st = structural_nonuniform_totality(&program);
+                    assert_eq!(st.total, !circuit.evaluate(&x), "Theorem 4");
+                    std::hint::black_box(st.total)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_useless);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! E-WF / E-PERF — Algorithm Well-Founded is polynomial.
+//!
+//! Workload: the win–move game on acyclic (fully decided) and random
+//! (partially drawn) boards; the unfounded-set workload of guarded
+//! cycles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datalog_bench::ground_or_die;
+use paper_constructions::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tiebreak_core::semantics::well_founded::well_founded;
+
+fn bench_win_move_dag(c: &mut Criterion) {
+    let program = generators::win_move_program();
+    let mut group = c.benchmark_group("well_founded_win_move_dag");
+    for &n in &[8usize, 16, 32] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let db = generators::dag_move_db(&mut rng, n, 3 * n);
+        let graph = ground_or_die(&program, &db);
+        group.throughput(Throughput::Elements(graph.atom_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let run = well_founded(&graph, &program, &db).expect("runs");
+                assert!(run.total, "DAG games are fully decided");
+                std::hint::black_box(run.model.true_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_win_move_random(c: &mut Criterion) {
+    let program = generators::win_move_program();
+    let mut group = c.benchmark_group("well_founded_win_move_random");
+    for &n in &[8usize, 16, 32] {
+        let mut rng = SmallRng::seed_from_u64(n as u64);
+        let db = generators::random_move_db(&mut rng, n, 3 * n);
+        let graph = ground_or_die(&program, &db);
+        group.throughput(Throughput::Elements(graph.atom_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let run = well_founded(&graph, &program, &db).expect("runs");
+                std::hint::black_box(run.model.defined_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_unfounded_sets(c: &mut Criterion) {
+    // k guarded pairs: one unfounded-set round falsifies everything.
+    let mut group = c.benchmark_group("well_founded_unfounded_sets");
+    for &k in &[16usize, 64, 256] {
+        let mut src = String::new();
+        for i in 0..k {
+            src.push_str(&format!("p{i} :- p{i}, not q{i}.\nq{i} :- q{i}, not p{i}.\n"));
+        }
+        let program = datalog_ast::parse_program(&src).expect("parses");
+        let db = datalog_ast::Database::new();
+        let graph = ground_or_die(&program, &db);
+        group.throughput(Throughput::Elements(2 * k as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let run = well_founded(&graph, &program, &db).expect("runs");
+                assert!(run.total);
+                std::hint::black_box(run.stats.unfounded_rounds)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_win_move_dag,
+    bench_win_move_random,
+    bench_unfounded_sets
+);
+criterion_main!(benches);

@@ -1,0 +1,353 @@
+//! `datalog` — command-line interface to the tie-breaking Datalog engine.
+//!
+//! ```text
+//! datalog analyze  <program.dl>
+//! datalog run      <program.dl> [database.dl] [--semantics wf|tb|pure-tb|stratified]
+//!                  [--policy root-true|root-false|random] [--seed N]
+//! datalog models   <program.dl> [database.dl] [--stable] [--limit N]
+//! datalog ground   <program.dl> [database.dl]
+//! datalog explain  <program.dl> [database.dl] --atom "win(a)" [--semantics wf|tb]
+//! datalog outcomes <program.dl> [database.dl] [--semantics tb|pure-tb] [--limit N]
+//! datalog totality <program.dl> [--nonuniform]          (propositional only)
+//! ```
+//!
+//! Programs use `head(X) :- body(X), not other(X).` syntax; database files
+//! contain ground facts only.
+
+use std::process::ExitCode;
+
+use tiebreak_core::semantics::{RandomPolicy, RootFalsePolicy, RootTruePolicy, TiePolicy};
+use tiebreak_core::Engine;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  datalog analyze <program.dl>\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N]\n  datalog totality <program.dl> [--nonuniform]"
+        .to_owned()
+}
+
+struct Options {
+    files: Vec<String>,
+    semantics: String,
+    policy: String,
+    seed: u64,
+    stable: bool,
+    limit: usize,
+    atom: Option<String>,
+    nonuniform: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        semantics: "tb".to_owned(),
+        policy: "root-true".to_owned(),
+        seed: 0,
+        stable: false,
+        limit: 0,
+        atom: None,
+        nonuniform: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--semantics" => {
+                opts.semantics = it.next().ok_or("--semantics needs a value")?.clone();
+            }
+            "--policy" => {
+                opts.policy = it.next().ok_or("--policy needs a value")?.clone();
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--limit" => {
+                opts.limit = it
+                    .next()
+                    .ok_or("--limit needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad limit: {e}"))?;
+            }
+            "--stable" => opts.stable = true,
+            "--nonuniform" => opts.nonuniform = true,
+            "--atom" => {
+                opts.atom = Some(it.next().ok_or("--atom needs a value")?.clone());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            file => opts.files.push(file.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+fn load_engine(files: &[String]) -> Result<Engine, String> {
+    let program_path = files.first().ok_or_else(usage)?;
+    let program_src = std::fs::read_to_string(program_path)
+        .map_err(|e| format!("cannot read {program_path}: {e}"))?;
+    let db_src = match files.get(1) {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+        None => String::new(),
+    };
+    Engine::from_sources(&program_src, &db_src).map_err(|e| e.to_string())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    let opts = parse_options(&args[1..])?;
+
+    match command.as_str() {
+        "analyze" => {
+            let engine = load_engine(&opts.files)?;
+            let report = engine.analyze().map_err(|e| e.to_string())?;
+            print!("{report}");
+            Ok(())
+        }
+        "run" => {
+            let engine = load_engine(&opts.files)?;
+            let outcome = match opts.semantics.as_str() {
+                "wf" => engine.well_founded().map_err(|e| e.to_string())?,
+                "tb" | "pure-tb" => {
+                    let pure = opts.semantics == "pure-tb";
+                    let mut policy: Box<dyn TiePolicy> = match opts.policy.as_str() {
+                        "root-true" => Box::new(RootTruePolicy),
+                        "root-false" => Box::new(RootFalsePolicy),
+                        "random" => Box::new(RandomPolicy::seeded(opts.seed)),
+                        other => return Err(format!("unknown policy {other}")),
+                    };
+                    let mut adapter = PolicyBox(&mut *policy);
+                    let result = if pure {
+                        engine.pure_tie_breaking(&mut adapter)
+                    } else {
+                        engine.well_founded_tie_breaking(&mut adapter)
+                    };
+                    result.map_err(|e| e.to_string())?
+                }
+                "stratified" => {
+                    let run = engine.stratified().map_err(|e| e.to_string())?;
+                    for fact in run.true_atoms() {
+                        println!("{fact}.");
+                    }
+                    return Ok(());
+                }
+                other => return Err(format!("unknown semantics {other}")),
+            };
+            for fact in &outcome.true_facts {
+                println!("{fact}.");
+            }
+            if !outcome.total {
+                eprintln!(
+                    "% partial model: {} atoms left undefined",
+                    outcome.undefined.len()
+                );
+            }
+            eprintln!(
+                "% ties broken: {}, unfounded rounds: {}",
+                outcome.stats.ties_broken, outcome.stats.unfounded_rounds
+            );
+            Ok(())
+        }
+        "models" => {
+            let engine = load_engine(&opts.files)?;
+            let models = if opts.stable {
+                engine.stable_models().map_err(|e| e.to_string())?
+            } else {
+                engine.fixpoints().map_err(|e| e.to_string())?
+            };
+            let shown = if opts.limit == 0 {
+                models.len()
+            } else {
+                opts.limit.min(models.len())
+            };
+            for (i, model) in models.iter().take(shown).enumerate() {
+                println!("% model {} of {}:", i + 1, models.len());
+                for fact in model {
+                    println!("{fact}.");
+                }
+            }
+            if models.is_empty() {
+                println!(
+                    "% no {} exist",
+                    if opts.stable { "stable models" } else { "fixpoints" }
+                );
+            }
+            Ok(())
+        }
+        "ground" => {
+            let engine = load_engine(&opts.files)?;
+            let graph = engine.ground().map_err(|e| e.to_string())?;
+            println!(
+                "% {} ground atoms, {} rule nodes, {} edges",
+                graph.atom_count(),
+                graph.rule_count(),
+                graph.edge_count()
+            );
+            for i in 0..graph.rule_count() {
+                println!(
+                    "{}",
+                    graph.describe_rule(engine.program(), datalog_ground::RuleId(i as u32))
+                );
+            }
+            Ok(())
+        }
+        "explain" => {
+            let engine = load_engine(&opts.files)?;
+            let atom_src = opts.atom.ok_or("explain needs --atom \"pred(c1, ...)\"")?;
+            let parsed = datalog_ast::parse_program(&format!("{atom_src}."))
+                .map_err(|e| format!("bad --atom: {e}"))?;
+            let ground_atom = parsed
+                .rules()
+                .first()
+                .and_then(|r| r.head.to_ground())
+                .ok_or("--atom must be a single ground atom")?;
+
+            let graph = engine.ground().map_err(|e| e.to_string())?;
+            let program = engine.program();
+            let database = engine.database();
+            let model = match opts.semantics.as_str() {
+                "wf" => {
+                    tiebreak_core::semantics::well_founded::well_founded(
+                        &graph, program, database,
+                    )
+                    .map_err(|e| e.to_string())?
+                    .model
+                }
+                "tb" => {
+                    let mut policy = RootTruePolicy;
+                    tiebreak_core::semantics::well_founded_tie_breaking(
+                        &graph, program, database, &mut policy,
+                    )
+                    .map_err(|e| e.to_string())?
+                    .model
+                }
+                other => return Err(format!("explain supports wf|tb, not {other}")),
+            };
+            let id = graph
+                .atoms()
+                .id_of(&ground_atom)
+                .ok_or_else(|| format!("atom {ground_atom} is not in the ground atom space"))?;
+            let justification = tiebreak_core::analysis::justify(&graph, database, &model, id);
+            println!(
+                "{}",
+                tiebreak_core::analysis::explain::render(
+                    &graph,
+                    program,
+                    &model,
+                    id,
+                    &justification
+                )
+            );
+            Ok(())
+        }
+        "outcomes" => {
+            let engine = load_engine(&opts.files)?;
+            let graph = engine.ground().map_err(|e| e.to_string())?;
+            let max_runs = if opts.limit == 0 { 256 } else { opts.limit };
+            let set = tiebreak_core::semantics::outcomes::all_outcomes(
+                &graph,
+                engine.program(),
+                engine.database(),
+                opts.semantics == "pure-tb",
+                max_runs,
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "% {} distinct outcome(s) over {} run(s){}",
+                set.models.len(),
+                set.runs,
+                if set.truncated { " (truncated)" } else { "" }
+            );
+            for (i, model) in set.models.iter().enumerate() {
+                let facts: Vec<String> = model
+                    .true_atoms(graph.atoms())
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect();
+                println!(
+                    "% outcome {} ({}): {{{}}}",
+                    i + 1,
+                    if model.is_total() { "total" } else { "partial" },
+                    facts.join(", ")
+                );
+            }
+            Ok(())
+        }
+        "totality" => {
+            let engine = load_engine(&opts.files)?;
+            let report = tiebreak_core::analysis::propositional_totality(
+                engine.program(),
+                opts.nonuniform,
+                &tiebreak_core::analysis::TotalityConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "total ({}): {} ({} databases checked)",
+                if opts.nonuniform { "nonuniform" } else { "uniform" },
+                report.total,
+                report.databases_checked
+            );
+            if let Some(cex) = report.counterexample {
+                println!("counterexample database (no fixpoint):");
+                print!("{cex}");
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    }
+}
+
+/// Adapter: lets a boxed policy satisfy the generic bound.
+struct PolicyBox<'a>(&'a mut dyn TiePolicy);
+
+impl TiePolicy for PolicyBox<'_> {
+    fn choose_root_side_true(&mut self, view: &tiebreak_core::TieView<'_>) -> bool {
+        self.0.choose_root_side_true(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_parsing() {
+        let args: Vec<String> = ["prog.dl", "db.dl", "--semantics", "wf", "--seed", "7", "--stable"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_options(&args).unwrap();
+        assert_eq!(opts.files, vec!["prog.dl", "db.dl"]);
+        assert_eq!(opts.semantics, "wf");
+        assert_eq!(opts.seed, 7);
+        assert!(opts.stable);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let args = vec!["--bogus".to_owned()];
+        assert!(parse_options(&args).is_err());
+    }
+
+    #[test]
+    fn missing_command_yields_usage() {
+        let err = run(&[]).unwrap_err();
+        assert!(err.contains("usage"));
+    }
+}

@@ -1,0 +1,194 @@
+//! End-to-end tests of the `datalog` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tiebreak-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+fn datalog(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_datalog"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn analyze_reports_structure() {
+    let prog = write_temp("archetype.dl", "p(X) :- not q(X).\nq(X) :- not p(X).");
+    let out = datalog(&["analyze", prog.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stratified:                     false"), "{text}");
+    assert!(text.contains("structurally total (Thm 2):     true"), "{text}");
+}
+
+#[test]
+fn run_well_founded_prints_facts() {
+    let prog = write_temp("wm.dl", "win(X) :- move(X, Y), not win(Y).");
+    let db = write_temp("wm_db.dl", "move(a, b).\nmove(b, c).");
+    let out = datalog(&[
+        "run",
+        prog.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--semantics",
+        "wf",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("win(b)."), "{text}");
+    assert!(!text.contains("win(a)."), "{text}");
+}
+
+#[test]
+fn run_tie_breaking_decides_the_draw() {
+    let prog = write_temp("draw.dl", "win(X) :- move(X, Y), not win(Y).");
+    let db = write_temp("draw_db.dl", "move(a, b).\nmove(b, a).");
+    let out = datalog(&[
+        "run",
+        prog.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--semantics",
+        "tb",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Exactly one of the two positions wins.
+    let wins = text.matches("win(").count();
+    assert_eq!(wins, 1, "{text}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ties broken: 1"), "{stderr}");
+}
+
+#[test]
+fn models_enumerates_and_flags_stable() {
+    let prog = write_temp("pq.dl", "p :- p, not q.\nq :- q, not p.");
+    let all = datalog(&["models", prog.to_str().unwrap()]);
+    assert!(all.status.success());
+    let text = String::from_utf8_lossy(&all.stdout);
+    assert!(text.contains("model 1 of 3"), "{text}");
+
+    let stable = datalog(&["models", prog.to_str().unwrap(), "--stable"]);
+    let text = String::from_utf8_lossy(&stable.stdout);
+    assert!(text.contains("model 1 of 1"), "{text}");
+}
+
+#[test]
+fn no_fixpoints_is_reported() {
+    let prog = write_temp("odd.dl", "p :- not p.");
+    let out = datalog(&["models", prog.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("no fixpoints exist"), "{text}");
+}
+
+#[test]
+fn ground_lists_rule_nodes() {
+    let prog = write_temp("g.dl", "p(X) :- e(X).");
+    let db = write_temp("g_db.dl", "e(a).\ne(b).");
+    let out = datalog(&["ground", prog.to_str().unwrap(), db.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("4 ground atoms, 2 rule nodes"), "{text}");
+    assert!(text.contains("r0[X=a]: p(a) :- e(a)"), "{text}");
+}
+
+#[test]
+fn stratified_semantics_and_errors() {
+    let prog = write_temp("tc.dl", "t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).");
+    let db = write_temp("tc_db.dl", "e(a, b).\ne(b, c).");
+    let out = datalog(&[
+        "run",
+        prog.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--semantics",
+        "stratified",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("t(a, c)."), "{text}");
+
+    // Unstratified program under --semantics stratified: typed error.
+    let bad = write_temp("bad.dl", "p :- not p.");
+    let out = datalog(&["run", bad.to_str().unwrap(), "--semantics", "stratified"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not applicable"), "{err}");
+}
+
+#[test]
+fn bad_input_gives_parse_error_with_position() {
+    let prog = write_temp("syntax_error.dl", "p(X) :- q(X)\nr(a).");
+    let out = datalog(&["analyze", prog.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("parse error"), "{err}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = datalog(&["bogus"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn explain_justifies_values() {
+    let prog = write_temp("ex.dl", "win(X) :- move(X, Y), not win(Y).");
+    let db = write_temp("ex_db.dl", "move(a, b).");
+    let out = datalog(&[
+        "explain",
+        prog.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--atom",
+        "win(a)",
+        "--semantics",
+        "wf",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("win(a) is true"), "{text}");
+
+    let out = datalog(&[
+        "explain",
+        prog.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--atom",
+        "win(b)",
+        "--semantics",
+        "wf",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("win(b) is false"), "{text}");
+}
+
+#[test]
+fn outcomes_lists_all_orientations() {
+    let prog = write_temp("outc.dl", "p :- not q.\nq :- not p.");
+    let out = datalog(&["outcomes", prog.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 distinct outcome(s)"), "{text}");
+    assert!(text.contains("{p}") && text.contains("{q}"), "{text}");
+}
+
+#[test]
+fn totality_sweep_with_counterexample() {
+    let prog = write_temp("tot.dl", "p :- not p, e.");
+    let out = datalog(&["totality", prog.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("total (uniform): false"), "{text}");
+    assert!(text.contains("e."), "{text}");
+
+    let total_prog = write_temp("tot2.dl", "p :- not q.\nq :- not p.");
+    let out = datalog(&["totality", total_prog.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("total (uniform): true"), "{text}");
+}

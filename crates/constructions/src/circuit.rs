@@ -1,0 +1,235 @@
+//! Monotone Boolean circuits and the Theorem 4 reduction.
+//!
+//! Theorem 4 shows structural **nonuniform** totality is P-complete by
+//! reducing from the monotone circuit value problem: given a circuit B of
+//! ∧/∨ gates and an input assignment x, build a program that is
+//! structurally nonuniformly total **iff B(x) = 0**:
+//!
+//! * input bit 1 → the gate predicate is EDB (appears in no head);
+//! * input bit 0 → the rule `Gᵢ ← Gᵢ` (making Gᵢ useless);
+//! * ∧ gate → one rule whose body lists all gate inputs positively;
+//! * ∨ gate → one rule per input;
+//! * output gate G_m → the rule `p ← ¬p, G_m`.
+//!
+//! A gate predicate is *useful* iff the gate evaluates to 1, so the odd
+//! cycle at `p` survives reduction exactly when B(x) = 1.
+
+use datalog_ast::{Program, ProgramBuilder};
+use rand::Rng;
+
+/// A gate of a monotone circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Gate {
+    /// An input bit (index into the assignment).
+    Input(usize),
+    /// Conjunction of earlier gates (indices must be < this gate's index).
+    And(Vec<usize>),
+    /// Disjunction of earlier gates.
+    Or(Vec<usize>),
+}
+
+/// A monotone circuit in topological order; the last gate is the output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Circuit {
+    /// Number of input bits.
+    pub inputs: usize,
+    /// Gates; `Gate::And`/`Gate::Or` refer to earlier gates only.
+    pub gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Validates the topological discipline.
+    ///
+    /// # Panics
+    ///
+    /// If a gate references a later or equal index, a fan-in is empty, or
+    /// an input index is out of range.
+    pub fn validate(&self) {
+        for (i, g) in self.gates.iter().enumerate() {
+            match g {
+                Gate::Input(b) => assert!(*b < self.inputs, "input index out of range"),
+                Gate::And(fan) | Gate::Or(fan) => {
+                    assert!(!fan.is_empty(), "empty fan-in at gate {i}");
+                    assert!(
+                        fan.iter().all(|&j| j < i),
+                        "gate {i} references a non-earlier gate"
+                    );
+                }
+            }
+        }
+        assert!(!self.gates.is_empty(), "circuit has no gates");
+    }
+
+    /// Evaluates the circuit on `assignment`.
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.inputs);
+        let mut value = vec![false; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            value[i] = match g {
+                Gate::Input(b) => assignment[*b],
+                Gate::And(fan) => fan.iter().all(|&j| value[j]),
+                Gate::Or(fan) => fan.iter().any(|&j| value[j]),
+            };
+        }
+        value[self.gates.len() - 1]
+    }
+
+    /// Per-gate values (used to cross-check usefulness).
+    pub fn gate_values(&self, assignment: &[bool]) -> Vec<bool> {
+        let mut value = vec![false; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            value[i] = match g {
+                Gate::Input(b) => assignment[*b],
+                Gate::And(fan) => fan.iter().all(|&j| value[j]),
+                Gate::Or(fan) => fan.iter().any(|&j| value[j]),
+            };
+        }
+        value
+    }
+
+    /// The Theorem 4 reduction: a propositional program that is
+    /// structurally nonuniformly total iff `self.evaluate(assignment)` is
+    /// false.
+    pub fn to_program(&self, assignment: &[bool]) -> Program {
+        self.validate();
+        assert_eq!(assignment.len(), self.inputs);
+        let gate_name = |i: usize| format!("g{i}");
+        let mut b = ProgramBuilder::new();
+        for (i, g) in self.gates.iter().enumerate() {
+            let name = gate_name(i);
+            match g {
+                Gate::Input(bit) => {
+                    if !assignment[*bit] {
+                        // 0-input: Gi ← Gi (useless). 1-inputs stay EDB.
+                        b = b.rule(&name, &[], |body| {
+                            body.pos(&name, &[]);
+                        });
+                    }
+                }
+                Gate::And(fan) => {
+                    let fan = fan.clone();
+                    b = b.rule(&name, &[], |body| {
+                        for &j in &fan {
+                            body.pos(&gate_name(j), &[]);
+                        }
+                    });
+                }
+                Gate::Or(fan) => {
+                    for &j in fan {
+                        b = b.rule(&name, &[], |body| {
+                            body.pos(&gate_name(j), &[]);
+                        });
+                    }
+                }
+            }
+        }
+        let out = gate_name(self.gates.len() - 1);
+        b = b.rule("p", &[], |body| {
+            body.neg("p", &[]).pos(&out, &[]);
+        });
+        b.build().expect("reduction is arity-consistent")
+    }
+
+    /// A random layered monotone circuit (reproducible via `rng`).
+    pub fn random<R: Rng>(rng: &mut R, inputs: usize, gate_count: usize) -> Circuit {
+        assert!(inputs > 0 && gate_count > 0);
+        let mut gates: Vec<Gate> = (0..inputs).map(Gate::Input).collect();
+        for _ in 0..gate_count {
+            let i = gates.len();
+            let fan_size = rng.gen_range(1..=3.min(i));
+            let fan: Vec<usize> = (0..fan_size).map(|_| rng.gen_range(0..i)).collect();
+            gates.push(if rng.gen::<bool>() {
+                Gate::And(fan)
+            } else {
+                Gate::Or(fan)
+            });
+        }
+        Circuit { inputs, gates }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tiebreak_core::analysis::{
+        structural_nonuniform_totality, useless_predicates,
+    };
+
+    /// x0 ∧ (x1 ∨ x2)
+    fn sample() -> Circuit {
+        Circuit {
+            inputs: 3,
+            gates: vec![
+                Gate::Input(0),
+                Gate::Input(1),
+                Gate::Input(2),
+                Gate::Or(vec![1, 2]),
+                Gate::And(vec![0, 3]),
+            ],
+        }
+    }
+
+    #[test]
+    fn evaluation() {
+        let c = sample();
+        assert!(c.evaluate(&[true, true, false]));
+        assert!(c.evaluate(&[true, false, true]));
+        assert!(!c.evaluate(&[true, false, false]));
+        assert!(!c.evaluate(&[false, true, true]));
+    }
+
+    #[test]
+    fn reduction_tracks_circuit_value_on_sample() {
+        let c = sample();
+        for bits in 0u8..8 {
+            let x: Vec<bool> = (0..3).map(|i| bits & (1 << i) != 0).collect();
+            let program = c.to_program(&x);
+            let st = structural_nonuniform_totality(&program);
+            assert_eq!(
+                st.total,
+                !c.evaluate(&x),
+                "assignment {x:?}: totality must equal ¬B(x)"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_usefulness_equals_gate_value() {
+        let c = sample();
+        let x = [true, false, true];
+        let program = c.to_program(&x);
+        let analysis = useless_predicates(&program);
+        let values = c.gate_values(&x);
+        for (i, &v) in values.iter().enumerate() {
+            let pred = datalog_ast::PredSym::new(&format!("g{i}"));
+            // EDB predicates (1-inputs) are not IDB, hence never useless;
+            // they are trivially "useful" leaves.
+            let useless = analysis.is_useless(pred);
+            assert_eq!(!useless, v, "gate g{i}");
+        }
+    }
+
+    #[test]
+    fn random_circuits_agree_with_oracle() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for trial in 0..30 {
+            let c = Circuit::random(&mut rng, 4, 12);
+            let x: Vec<bool> = (0..4).map(|_| rng.gen::<bool>()).collect();
+            let program = c.to_program(&x);
+            let st = structural_nonuniform_totality(&program);
+            assert_eq!(st.total, !c.evaluate(&x), "trial {trial}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-earlier")]
+    fn forward_reference_rejected() {
+        let c = Circuit {
+            inputs: 1,
+            gates: vec![Gate::Input(0), Gate::And(vec![2]), Gate::Or(vec![0])],
+        };
+        c.validate();
+    }
+}

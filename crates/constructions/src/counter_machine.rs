@@ -1,0 +1,331 @@
+//! Deterministic 2-counter (Minsky) machines.
+//!
+//! The substrate of Theorem 6: 2-counter machines have an undecidable
+//! halting problem, and the paper reduces halting to (non)totality. A
+//! machine has states `0..=states-1` with `0` the start state (both
+//! counters zero) and a designated halt state; a transition is chosen by
+//! the current state and the zero-status of each counter, and may move to
+//! a new state while incrementing or decrementing each counter by at most
+//! one.
+
+use std::fmt;
+
+/// One transition: target state and counter deltas (each in {-1, 0, +1}).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// The next state.
+    pub next: usize,
+    /// Delta applied to counter 1.
+    pub d1: i8,
+    /// Delta applied to counter 2.
+    pub d2: i8,
+}
+
+/// A deterministic 2-counter machine.
+#[derive(Clone, Debug)]
+pub struct CounterMachine {
+    /// Number of states (numbered from 0, the start state).
+    pub states: usize,
+    /// The halting state (no transitions out of it).
+    pub halt: usize,
+    /// `rules[s][z1][z2]` = transition taken in state `s` when counter 1
+    /// is zero iff `z1` and counter 2 is zero iff `z2` (indices: 1 =
+    /// zero). `None` means the machine jams (treated as non-halting).
+    pub rules: Vec<[[Option<Transition>; 2]; 2]>,
+}
+
+/// The outcome of a bounded simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineOutcome {
+    /// Reached the halt state after this many steps (configurations
+    /// visited: steps + 1).
+    Halted(usize),
+    /// Still running (or jammed) after the step bound.
+    Running,
+}
+
+/// A configuration snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Config {
+    /// Current state.
+    pub state: usize,
+    /// Counter 1.
+    pub c1: u64,
+    /// Counter 2.
+    pub c2: u64,
+}
+
+impl CounterMachine {
+    /// A machine with `states` states, halting state `halt`, and no
+    /// transitions (fill via [`CounterMachine::on`]).
+    pub fn new(states: usize, halt: usize) -> Self {
+        assert!(halt < states);
+        CounterMachine {
+            states,
+            halt,
+            rules: vec![[[None; 2]; 2]; states],
+        }
+    }
+
+    /// Sets the transition for `(state, c1_zero, c2_zero)`.
+    ///
+    /// # Panics
+    ///
+    /// On out-of-range states or deltas, on decrements of a zero counter,
+    /// or on transitions out of the halt state.
+    #[must_use]
+    pub fn on(mut self, state: usize, c1_zero: bool, c2_zero: bool, t: Transition) -> Self {
+        assert!(state < self.states && t.next < self.states);
+        assert!(state != self.halt, "halt state has no transitions");
+        assert!((-1..=1).contains(&t.d1) && (-1..=1).contains(&t.d2));
+        assert!(!(c1_zero && t.d1 < 0), "cannot decrement zero counter 1");
+        assert!(!(c2_zero && t.d2 < 0), "cannot decrement zero counter 2");
+        self.rules[state][usize::from(c1_zero)][usize::from(c2_zero)] = Some(t);
+        self
+    }
+
+    /// Runs from the start configuration for at most `max_steps` steps.
+    pub fn simulate(&self, max_steps: usize) -> MachineOutcome {
+        let mut config = Config {
+            state: 0,
+            c1: 0,
+            c2: 0,
+        };
+        for step in 0..=max_steps {
+            if config.state == self.halt {
+                return MachineOutcome::Halted(step);
+            }
+            if step == max_steps {
+                break;
+            }
+            match self.step(config) {
+                Some(next) => config = next,
+                None => return MachineOutcome::Running, // jammed
+            }
+        }
+        MachineOutcome::Running
+    }
+
+    /// One step from `config`, if a transition applies.
+    pub fn step(&self, config: Config) -> Option<Config> {
+        if config.state == self.halt {
+            return None;
+        }
+        let t = self.rules[config.state][usize::from(config.c1 == 0)]
+            [usize::from(config.c2 == 0)]?;
+        Some(Config {
+            state: t.next,
+            c1: config.c1.checked_add_signed(t.d1 as i64).expect("counter underflow"),
+            c2: config.c2.checked_add_signed(t.d2 as i64).expect("counter underflow"),
+        })
+    }
+
+    /// The configuration trace for `steps` steps (first entry is the start
+    /// configuration; stops early at halt or jam).
+    pub fn trace(&self, steps: usize) -> Vec<Config> {
+        let mut out = vec![Config {
+            state: 0,
+            c1: 0,
+            c2: 0,
+        }];
+        for _ in 0..steps {
+            let last = *out.last().expect("nonempty");
+            match self.step(last) {
+                Some(next) => out.push(next),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Sample: counts counter 1 up to `n`, then halts. Halts in exactly
+    /// `n + 1` steps. States: 0 = counting, 1 = comparing... encoded with
+    /// `n + 1` counting states for a bounded, explicit machine.
+    pub fn count_up_and_halt(n: usize) -> CounterMachine {
+        // States 0..n increment; state n+1 is halt.
+        let states = n + 2;
+        let halt = n + 1;
+        let mut m = CounterMachine::new(states, halt);
+        for s in 0..=n {
+            let next = if s == n { halt } else { s + 1 };
+            // Same move regardless of counter status.
+            for z1 in [false, true] {
+                for z2 in [false, true] {
+                    m = m.on(
+                        s,
+                        z1,
+                        z2,
+                        Transition {
+                            next,
+                            d1: 1,
+                            d2: 0,
+                        },
+                    );
+                }
+            }
+        }
+        m
+    }
+
+    /// Sample: increments counter 1 forever (never halts).
+    pub fn run_forever() -> CounterMachine {
+        let mut m = CounterMachine::new(2, 1);
+        for z1 in [false, true] {
+            for z2 in [false, true] {
+                m = m.on(
+                    0,
+                    z1,
+                    z2,
+                    Transition {
+                        next: 0,
+                        d1: 1,
+                        d2: 0,
+                    },
+                );
+            }
+        }
+        m
+    }
+
+    /// Sample: pumps counter 1 up to `n`, drains it into counter 2, then
+    /// halts when both are zero again... (drain leaves c2 = n, so it
+    /// halts when c1 reaches zero). Exercises decrements and zero tests.
+    pub fn pump_and_drain(n: usize) -> CounterMachine {
+        // state 0: if c1 < n keep pumping — we encode the bound by
+        // dedicated pump states 0..n-1, then a drain state.
+        let pump_states = n.max(1);
+        let drain = pump_states;
+        let halt = pump_states + 1;
+        let mut m = CounterMachine::new(pump_states + 2, halt);
+        for s in 0..pump_states {
+            let next = if s + 1 == pump_states { drain } else { s + 1 };
+            for z1 in [false, true] {
+                for z2 in [false, true] {
+                    m = m.on(
+                        s,
+                        z1,
+                        z2,
+                        Transition {
+                            next,
+                            d1: 1,
+                            d2: 0,
+                        },
+                    );
+                }
+            }
+        }
+        // Drain: while c1 > 0: c1--, c2++; when c1 == 0: halt.
+        for z2 in [false, true] {
+            m = m.on(
+                drain,
+                false,
+                z2,
+                Transition {
+                    next: drain,
+                    d1: -1,
+                    d2: 1,
+                },
+            );
+            m = m.on(
+                drain,
+                true,
+                z2,
+                Transition {
+                    next: halt,
+                    d1: 0,
+                    d2: 0,
+                },
+            );
+        }
+        m
+    }
+}
+
+impl fmt::Display for CounterMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "2-counter machine: {} states, halt = {}", self.states, self.halt)?;
+        for (s, by_z1) in self.rules.iter().enumerate() {
+            for (z1, by_z2) in by_z1.iter().enumerate() {
+                for (z2, t) in by_z2.iter().enumerate() {
+                    if let Some(t) = t {
+                        writeln!(
+                            f,
+                            "  ({s}, c1{}0, c2{}0) -> state {}, d1={:+}, d2={:+}",
+                            if z1 == 1 { "=" } else { ">" },
+                            if z2 == 1 { "=" } else { ">" },
+                            t.next,
+                            t.d1,
+                            t.d2
+                        )?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_up_halts_in_n_plus_one_steps() {
+        let m = CounterMachine::count_up_and_halt(3);
+        assert_eq!(m.simulate(100), MachineOutcome::Halted(4));
+        assert_eq!(m.simulate(3), MachineOutcome::Running); // bound too low
+    }
+
+    #[test]
+    fn run_forever_never_halts() {
+        let m = CounterMachine::run_forever();
+        assert_eq!(m.simulate(10_000), MachineOutcome::Running);
+    }
+
+    #[test]
+    fn pump_and_drain_moves_counters() {
+        let m = CounterMachine::pump_and_drain(3);
+        // 3 pump steps + 3 drain steps + 1 halt-detect step.
+        let outcome = m.simulate(100);
+        let MachineOutcome::Halted(steps) = outcome else {
+            panic!("must halt")
+        };
+        assert_eq!(steps, 7);
+        let trace = m.trace(steps);
+        let last = trace.last().unwrap();
+        assert_eq!(last.state, m.halt);
+        assert_eq!(last.c1, 0);
+        assert_eq!(last.c2, 3);
+    }
+
+    #[test]
+    fn trace_records_configurations() {
+        let m = CounterMachine::count_up_and_halt(2);
+        let t = m.trace(10);
+        assert_eq!(t.len(), 4); // start + 3 steps (then halt, no move)
+        assert_eq!(t[0], Config { state: 0, c1: 0, c2: 0 });
+        assert_eq!(t[3].state, m.halt);
+        assert_eq!(t[3].c1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero counter")]
+    fn decrement_of_zero_rejected() {
+        let _ = CounterMachine::new(2, 1).on(
+            0,
+            true,
+            true,
+            Transition {
+                next: 1,
+                d1: -1,
+                d2: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn jammed_machine_reports_running() {
+        let m = CounterMachine::new(2, 1); // no transitions at all
+        assert_eq!(m.simulate(5), MachineOutcome::Running);
+    }
+}

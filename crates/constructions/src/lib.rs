@@ -1,0 +1,46 @@
+//! The paper's proof constructions, reductions, and workload generators.
+//!
+//! Everything in the paper that *builds* something is implemented here so
+//! the theorems can be validated mechanically:
+//!
+//! * [`variants`] — the alphabetic-variant constructions from the proofs
+//!   of Theorems 2, 3, and 5: given a program with an odd (or merely
+//!   negative) cycle, produce a same-skeleton program and a database with
+//!   no fixpoint (respectively, no total well-founded model);
+//! * [`circuit`] — monotone Boolean circuits and the Theorem 4 reduction
+//!   from the circuit value problem to structural nonuniform totality
+//!   (P-completeness);
+//! * [`counter_machine`] — deterministic 2-counter (Minsky) machines and
+//!   a step simulator;
+//! * [`undecidability`] — the Theorem 6 reduction from the halting problem
+//!   of 2-counter machines to (non)totality, including the uniform-case
+//!   `q`-transformation;
+//! * [`pi2p`] — ∀∃-CNF formulas, a brute-force Π₂ᵖ oracle, and the
+//!   Section 5 Proposition's reduction to propositional totality;
+//! * [`default_logic`] — atomic default theories, Reiter's Γ operator,
+//!   and the \[PS\]/\[BF1\] correspondence (extensions = stable models;
+//!   tie-breaking as extension finding);
+//! * [`generators`] — reproducible workload generators (win–move games,
+//!   negation cycles, planted-tie call-consistent programs, random
+//!   alphabetic variants, layered stratified programs) shared by tests,
+//!   examples, and benchmarks.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod circuit;
+pub mod counter_machine;
+pub mod default_logic;
+pub mod generators;
+pub mod pi2p;
+pub mod undecidability;
+pub mod variants;
+
+pub use circuit::{Circuit, Gate};
+pub use counter_machine::{CounterMachine, MachineOutcome, Transition};
+pub use default_logic::DefaultTheory;
+pub use pi2p::{CnfFormula, Lit, Var};
+pub use variants::{
+    realize_cycle, theorem2_ternary_variant, theorem2_unary_variant, theorem3_binary_variant,
+    theorem3_quaternary_variant, ArcRealization, CycleRealization,
+};

@@ -1,0 +1,261 @@
+//! ∀∃-SAT and the Section 5 Proposition's reduction.
+//!
+//! The paper shows deciding totality of a *propositional* program is
+//! Π₂ᵖ-complete by reducing from: given CNF F(x, y), does every assignment
+//! to x admit an assignment to y satisfying F? The reduction:
+//!
+//! * an EDB proposition `Xi` per x-variable, an IDB proposition `Yi` per
+//!   y-variable, plus IDB propositions `p` and `q`;
+//! * per clause Cj, the rule `p ← ¬p, ¬q, ⟨complements of Cj's literals⟩`
+//!   (literal `xi` contributes body literal `¬Xi`, literal `¬xi`
+//!   contributes `Xi`, and likewise for y);
+//! * the rules `Yi ← Yi, ¬q` and `q ← Yi, q` for every y-variable.
+//!
+//! The program is total (uniform or nonuniform sense) iff ∀x ∃y F(x, y).
+
+use datalog_ast::{Program, ProgramBuilder};
+use rand::Rng;
+
+/// A variable of the formula.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Var {
+    /// Universally quantified (an `x` variable).
+    X(usize),
+    /// Existentially quantified (a `y` variable).
+    Y(usize),
+}
+
+/// A literal of the formula.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Lit {
+    /// The variable.
+    pub var: Var,
+    /// `true` iff the literal is negated.
+    pub negated: bool,
+}
+
+impl Lit {
+    /// Positive literal over `var`.
+    pub fn pos(var: Var) -> Self {
+        Lit {
+            var,
+            negated: false,
+        }
+    }
+
+    /// Negative literal over `var`.
+    pub fn neg(var: Var) -> Self {
+        Lit { var, negated: true }
+    }
+
+    fn eval(self, x: &[bool], y: &[bool]) -> bool {
+        let v = match self.var {
+            Var::X(i) => x[i],
+            Var::Y(i) => y[i],
+        };
+        v != self.negated
+    }
+}
+
+/// A CNF formula F(x, y) with the variables split into ∀ (x) and ∃ (y).
+#[derive(Clone, Debug)]
+pub struct CnfFormula {
+    /// Number of x (∀) variables.
+    pub x_vars: usize,
+    /// Number of y (∃) variables.
+    pub y_vars: usize,
+    /// The clauses (disjunctions of literals).
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl CnfFormula {
+    /// Evaluates F on a full assignment.
+    pub fn eval(&self, x: &[bool], y: &[bool]) -> bool {
+        assert_eq!(x.len(), self.x_vars);
+        assert_eq!(y.len(), self.y_vars);
+        self.clauses
+            .iter()
+            .all(|clause| clause.iter().any(|l| l.eval(x, y)))
+    }
+
+    /// The Π₂ oracle: ∀x ∃y F(x, y), by brute force.
+    pub fn forall_exists(&self) -> bool {
+        let xs = 1usize << self.x_vars;
+        let ys = 1usize << self.y_vars;
+        (0..xs).all(|xm| {
+            let x: Vec<bool> = (0..self.x_vars).map(|i| xm & (1 << i) != 0).collect();
+            (0..ys).any(|ym| {
+                let y: Vec<bool> = (0..self.y_vars).map(|i| ym & (1 << i) != 0).collect();
+                self.eval(&x, &y)
+            })
+        })
+    }
+
+    /// The Proposition's reduction to a propositional program.
+    pub fn to_program(&self) -> Program {
+        let mut b = ProgramBuilder::new();
+        let xname = |i: usize| format!("x{i}");
+        let yname = |i: usize| format!("y{i}");
+
+        for clause in &self.clauses {
+            let clause = clause.clone();
+            let (xname, yname) = (&xname, &yname);
+            b = b.rule("p", &[], move |body| {
+                body.neg("p", &[]).neg("q", &[]);
+                for lit in &clause {
+                    let name = match lit.var {
+                        Var::X(i) => xname(i),
+                        Var::Y(i) => yname(i),
+                    };
+                    // The body carries the COMPLEMENT of the clause literal.
+                    if lit.negated {
+                        body.pos(&name, &[]);
+                    } else {
+                        body.neg(&name, &[]);
+                    }
+                }
+            });
+        }
+        for i in 0..self.y_vars {
+            let name = yname(i);
+            b = b.rule(&name, &[], |body| {
+                body.pos(&name, &[]).neg("q", &[]);
+            });
+            b = b.rule("q", &[], |body| {
+                body.pos(&name, &[]).pos("q", &[]);
+            });
+        }
+        b.build().expect("reduction is arity-consistent")
+    }
+
+    /// A random CNF (reproducible).
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        x_vars: usize,
+        y_vars: usize,
+        clauses: usize,
+        width: usize,
+    ) -> CnfFormula {
+        let total = x_vars + y_vars;
+        assert!(total > 0 && width > 0);
+        let clauses = (0..clauses)
+            .map(|_| {
+                (0..width)
+                    .map(|_| {
+                        let v = rng.gen_range(0..total);
+                        let var = if v < x_vars {
+                            Var::X(v)
+                        } else {
+                            Var::Y(v - x_vars)
+                        };
+                        Lit {
+                            var,
+                            negated: rng.gen::<bool>(),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        CnfFormula {
+            x_vars,
+            y_vars,
+            clauses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tiebreak_core::analysis::{propositional_totality, TotalityConfig};
+
+    fn totality_matches(f: &CnfFormula) {
+        let program = f.to_program();
+        let expected = f.forall_exists();
+        let uni = propositional_totality(&program, false, &TotalityConfig::default()).unwrap();
+        assert_eq!(uni.total, expected, "uniform totality vs ∀∃ oracle");
+        let non = propositional_totality(&program, true, &TotalityConfig::default()).unwrap();
+        assert_eq!(non.total, expected, "nonuniform totality vs ∀∃ oracle");
+    }
+
+    #[test]
+    fn tautological_formula_is_total() {
+        // (y0 ∨ ¬y0): always satisfiable.
+        let f = CnfFormula {
+            x_vars: 1,
+            y_vars: 1,
+            clauses: vec![vec![Lit::pos(Var::Y(0)), Lit::neg(Var::Y(0))]],
+        };
+        assert!(f.forall_exists());
+        totality_matches(&f);
+    }
+
+    #[test]
+    fn unsatisfiable_branch_kills_totality() {
+        // F = (x0): when x0 = false no y helps.
+        let f = CnfFormula {
+            x_vars: 1,
+            y_vars: 1,
+            clauses: vec![vec![Lit::pos(Var::X(0))]],
+        };
+        assert!(!f.forall_exists());
+        totality_matches(&f);
+    }
+
+    #[test]
+    fn y_can_repair_x() {
+        // F = (x0 ∨ y0) ∧ (¬x0 ∨ ¬y0): choose y0 = ¬x0.
+        let f = CnfFormula {
+            x_vars: 1,
+            y_vars: 1,
+            clauses: vec![
+                vec![Lit::pos(Var::X(0)), Lit::pos(Var::Y(0))],
+                vec![Lit::neg(Var::X(0)), Lit::neg(Var::Y(0))],
+            ],
+        };
+        assert!(f.forall_exists());
+        totality_matches(&f);
+    }
+
+    #[test]
+    fn contradictory_ys_fail() {
+        // F = (y0) ∧ (¬y0): never satisfiable.
+        let f = CnfFormula {
+            x_vars: 1,
+            y_vars: 1,
+            clauses: vec![vec![Lit::pos(Var::Y(0))], vec![Lit::neg(Var::Y(0))]],
+        };
+        assert!(!f.forall_exists());
+        totality_matches(&f);
+    }
+
+    #[test]
+    fn random_formulas_agree_with_oracle() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..10 {
+            let f = CnfFormula::random(&mut rng, 2, 2, 3, 2);
+            totality_matches(&f);
+        }
+    }
+
+    #[test]
+    fn reduction_shape() {
+        let f = CnfFormula {
+            x_vars: 1,
+            y_vars: 2,
+            clauses: vec![vec![Lit::pos(Var::X(0)), Lit::neg(Var::Y(1))]],
+        };
+        let p = f.to_program();
+        // 1 clause rule + 2 rules per y-variable.
+        assert_eq!(p.len(), 5);
+        assert_eq!(
+            p.rules()[0].to_string(),
+            "p :- not p, not q, not x0, y1."
+        );
+        // X variables are EDB.
+        assert!(p.edb_predicates().any(|q| q.as_str() == "x0"));
+        assert!(p.is_idb("y1".into()));
+    }
+}

@@ -1,0 +1,26 @@
+//! Static analyses: the program graph and the paper's structural
+//! characterizations.
+
+pub mod explain;
+pub mod local_strat;
+pub mod program_graph;
+pub mod stratification;
+pub mod structural;
+pub mod totality;
+pub mod useless;
+
+pub use explain::{justify, Justification};
+
+pub use local_strat::{
+    locally_stratified, locally_stratified_after_close, LocalStratification,
+};
+pub use program_graph::ProgramGraph;
+pub use stratification::{stratify, Stratification};
+pub use structural::{structural_totality, PredCycle, StructuralTotality};
+pub use totality::{
+    bounded_totality, bounded_well_founded_totality, propositional_totality, TotalityConfig,
+    TotalityReport,
+};
+pub use useless::{
+    reduce_program, structural_nonuniform_totality, useless_predicates, UselessAnalysis,
+};

@@ -1,0 +1,126 @@
+//! The program graph *G(Π)* (paper, Sections 1 and 3).
+//!
+//! Nodes are predicate names; there is a positive (resp. negative) edge
+//! from P to Q if P appears positively (resp. negatively) in the body of a
+//! rule with head Q. Paths in the ground graph project to paths in the
+//! program graph with the same number of negative edges, which is why an
+//! odd-cycle-free program graph forces an odd-cycle-free ground graph for
+//! every database (Theorem 1's engine).
+
+use datalog_ast::{FxHashMap, FxHashSet, PredSym, Program, Sign};
+use signed_graph::{EdgeSign, NodeId, SignedDigraph};
+
+/// The signed predicate-level dependency graph of a program.
+#[derive(Clone, Debug)]
+pub struct ProgramGraph {
+    /// The underlying signed digraph; node `i` is `preds[i]`.
+    pub graph: SignedDigraph,
+    /// Node-index → predicate.
+    pub preds: Vec<PredSym>,
+    index: FxHashMap<PredSym, NodeId>,
+}
+
+impl ProgramGraph {
+    /// Builds *G(Π)*. Every predicate of the program is a node (including
+    /// EDB predicates, which have no outgoing... no incoming edges — they
+    /// never head a rule). Duplicate `(from, to, sign)` edges from
+    /// repeated occurrences are collapsed.
+    pub fn of(program: &Program) -> Self {
+        let preds: Vec<PredSym> = program.predicates().to_vec();
+        let index: FxHashMap<PredSym, NodeId> = preds
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as NodeId))
+            .collect();
+        let mut graph = SignedDigraph::new(preds.len());
+        let mut seen: FxHashSet<(NodeId, NodeId, Sign)> = FxHashSet::default();
+        for (from, sign, to) in program.dependency_edges() {
+            let (f, t) = (index[&from], index[&to]);
+            if seen.insert((f, t, sign)) {
+                let s = match sign {
+                    Sign::Pos => EdgeSign::Pos,
+                    Sign::Neg => EdgeSign::Neg,
+                };
+                graph.add_edge(f, t, s);
+            }
+        }
+        ProgramGraph {
+            graph,
+            preds,
+            index,
+        }
+    }
+
+    /// The node of `pred`, if it occurs in the program.
+    pub fn node_of(&self, pred: PredSym) -> Option<NodeId> {
+        self.index.get(&pred).copied()
+    }
+
+    /// The predicate of node `n`.
+    pub fn pred_of(&self, n: NodeId) -> PredSym {
+        self.preds[n as usize]
+    }
+
+    /// Number of predicate nodes.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// `true` iff the program has no predicates.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_program;
+
+    #[test]
+    fn win_move_graph_shape() {
+        let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let pg = ProgramGraph::of(&p);
+        assert_eq!(pg.len(), 2);
+        let win = pg.node_of("win".into()).unwrap();
+        let mv = pg.node_of("move".into()).unwrap();
+        // move -+-> win ; win ---> win.
+        assert_eq!(pg.graph.edge_count(), 2);
+        assert!(pg
+            .graph
+            .out_edges(mv)
+            .contains(&(win, EdgeSign::Pos)));
+        assert!(pg
+            .graph
+            .out_edges(win)
+            .contains(&(win, EdgeSign::Neg)));
+    }
+
+    #[test]
+    fn duplicate_dependencies_collapsed() {
+        let p = parse_program("p(X) :- q(X), q(X).\np(Y) :- q(Y).").unwrap();
+        let pg = ProgramGraph::of(&p);
+        assert_eq!(pg.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn both_signs_kept() {
+        let p = parse_program("p(X) :- q(X), not q(X).").unwrap();
+        let pg = ProgramGraph::of(&p);
+        assert_eq!(pg.graph.edge_count(), 2);
+    }
+
+    #[test]
+    fn skeleton_invariance() {
+        // Alphabetic variants share the program graph (same skeleton ⇒
+        // same predicate-level edges).
+        let p1 = parse_program("p(a) :- not p(X), e(b).").unwrap();
+        let p2 = parse_program("p(X, Y) :- not p(Y, Y), e(X).").unwrap();
+        let g1 = ProgramGraph::of(&p1);
+        let g2 = ProgramGraph::of(&p2);
+        assert_eq!(g1.preds.len(), g2.preds.len());
+        let e1: Vec<_> = g1.graph.edges().collect();
+        let e2: Vec<_> = g2.graph.edges().collect();
+        assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,153 @@
+//! Stratification (paper: Section 1 history; Theorem 5 boundary).
+//!
+//! A program is **stratified** iff its program graph has no cycle through
+//! a negative edge — equivalently, no SCC contains an internal negative
+//! edge. Strata are then the longest-negative-path levels along the
+//! condensation: relations at each level depend positively on their own
+//! or lower levels and negatively only on strictly lower levels.
+//!
+//! Theorem 5 of the paper shows stratified programs are *exactly* those
+//! that are structurally total under the well-founded semantics.
+
+use datalog_ast::{FxHashMap, PredSym, Program};
+use signed_graph::{Condensation, NodeId, Sccs};
+
+use super::program_graph::ProgramGraph;
+use super::structural::PredCycle;
+
+/// The result of stratification analysis.
+#[derive(Clone, Debug)]
+pub struct Stratification {
+    /// `true` iff the program is stratified.
+    pub stratified: bool,
+    /// Stratum of every predicate (all zeros when unstratified). EDB
+    /// predicates are at stratum 0.
+    pub strata: FxHashMap<PredSym, u32>,
+    /// Number of strata (1 for purely positive programs; 0 for empty).
+    pub stratum_count: u32,
+    /// A cycle through a negative edge, when not stratified.
+    pub witness: Option<PredCycle>,
+}
+
+impl Stratification {
+    /// Predicates of stratum `s`, in the program's predicate order.
+    pub fn stratum_preds(&self, program: &Program, s: u32) -> Vec<PredSym> {
+        program
+            .predicates()
+            .iter()
+            .copied()
+            .filter(|p| self.strata.get(p) == Some(&s))
+            .collect()
+    }
+}
+
+/// Computes the stratification of `program`.
+pub fn stratify(program: &Program) -> Stratification {
+    let pg = ProgramGraph::of(program);
+    let sccs = Sccs::compute(&pg.graph);
+
+    // Unstratified iff some negative edge is internal to an SCC.
+    let offending = pg.graph.edges().find(|&(u, v, s)| {
+        s.is_neg() && sccs.component_of(u) == sccs.component_of(v)
+    });
+
+    if let Some((u, v, _)) = offending {
+        let witness = PredCycle::through_edge(&pg, &sccs, u, v);
+        return Stratification {
+            stratified: false,
+            strata: program.predicates().iter().map(|&p| (p, 0)).collect(),
+            stratum_count: 0,
+            witness: Some(witness),
+        };
+    }
+
+    let cond = Condensation::of(&pg.graph, &sccs);
+    let levels = cond.levels(&sccs, true);
+    let mut strata = FxHashMap::default();
+    let mut max_level = 0;
+    for (i, &pred) in pg.preds.iter().enumerate() {
+        let level = levels[sccs.component_of(i as NodeId) as usize];
+        max_level = max_level.max(level);
+        strata.insert(pred, level);
+    }
+    Stratification {
+        stratified: true,
+        strata,
+        stratum_count: if pg.preds.is_empty() { 0 } else { max_level + 1 },
+        witness: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_program;
+
+    #[test]
+    fn positive_program_is_one_stratum() {
+        let p = parse_program("t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
+        let s = stratify(&p);
+        assert!(s.stratified);
+        assert_eq!(s.stratum_count, 1);
+        assert_eq!(s.strata[&"t".into()], 0);
+        assert_eq!(s.strata[&"e".into()], 0);
+    }
+
+    #[test]
+    fn negation_pushes_up_a_stratum() {
+        let p = parse_program(
+            "reach(Y) :- reach(X), edge(X, Y).\n\
+             reach(X) :- start(X).\n\
+             blocked(X) :- node(X), not reach(X).\n\
+             doubly(X) :- node(X), not blocked(X).",
+        )
+        .unwrap();
+        let s = stratify(&p);
+        assert!(s.stratified);
+        assert_eq!(s.stratum_count, 3);
+        assert_eq!(s.strata[&"reach".into()], 0);
+        assert_eq!(s.strata[&"blocked".into()], 1);
+        assert_eq!(s.strata[&"doubly".into()], 2);
+    }
+
+    #[test]
+    fn win_move_is_not_stratified() {
+        let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let s = stratify(&p);
+        assert!(!s.stratified);
+        let w = s.witness.expect("witness");
+        assert!(w.negative_count >= 1);
+        assert!(w.preds.iter().any(|p| p.as_str() == "win"));
+    }
+
+    #[test]
+    fn even_negative_cycle_is_unstratified_but_structurally_total() {
+        // p ← ¬q ; q ← ¬p: not stratified (negative 2-cycle).
+        let p = parse_program("p :- not q.\nq :- not p.").unwrap();
+        let s = stratify(&p);
+        assert!(!s.stratified);
+        let w = s.witness.unwrap();
+        assert_eq!(w.preds.len(), 2);
+        assert_eq!(w.negative_count, 2);
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::empty();
+        let s = stratify(&p);
+        assert!(s.stratified);
+        assert_eq!(s.stratum_count, 0);
+    }
+
+    #[test]
+    fn stratum_preds_listing() {
+        let p = parse_program("a(X) :- e(X).\nb(X) :- e(X), not a(X).").unwrap();
+        let s = stratify(&p);
+        let s0 = s.stratum_preds(&p, 0);
+        let s1 = s.stratum_preds(&p, 1);
+        assert!(s0.iter().any(|p| p.as_str() == "a"));
+        assert!(s0.iter().any(|p| p.as_str() == "e"));
+        assert_eq!(s1.len(), 1);
+        assert_eq!(s1[0].as_str(), "b");
+    }
+}

@@ -1,0 +1,238 @@
+//! Structural totality (paper, Section 4, Theorem 2).
+//!
+//! A program is **structurally total** iff every program with the same
+//! skeleton is total (has a fixpoint for every database). Theorem 2: this
+//! holds iff the program graph *G(Π)* has no cycle with an odd number of
+//! negative edges — iff every SCC of *G(Π)* is a tie. Kunen called such
+//! programs *call-consistent*; Gire, *semi-strict*.
+//!
+//! The check is linear time (and in NC — Theorem 4): SCCs + the Lemma 1
+//! partition per component. On failure we surface the odd cycle as a
+//! [`PredCycle`] witness over predicate names.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use datalog_ast::{PredSym, Program};
+use signed_graph::{tie, NodeId, Sccs};
+
+use super::program_graph::ProgramGraph;
+
+/// A cycle in the program graph, over predicate names.
+///
+/// `preds[i] → preds[(i+1) % len]` is an edge; `negative_count` counts its
+/// negative steps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PredCycle {
+    /// The predicates along the cycle.
+    pub preds: Vec<PredSym>,
+    /// Signs per step (`true` = negative), aligned with `preds`.
+    pub negative_steps: Vec<bool>,
+    /// Number of negative steps.
+    pub negative_count: usize,
+}
+
+impl PredCycle {
+    /// Builds a cycle through the intra-SCC edge `u → v`: the edge plus a
+    /// BFS path from `v` back to `u` inside the component. (Used by the
+    /// stratification witness, where any cycle through a negative edge
+    /// will do.)
+    pub(crate) fn through_edge(
+        pg: &ProgramGraph,
+        sccs: &Sccs,
+        u: NodeId,
+        v: NodeId,
+    ) -> PredCycle {
+        let comp = sccs.component_of(u);
+        debug_assert_eq!(comp, sccs.component_of(v));
+        // BFS v → u within the component.
+        let mut prev: Vec<Option<(NodeId, bool)>> = vec![None; pg.graph.node_count()];
+        let mut seen = vec![false; pg.graph.node_count()];
+        seen[v as usize] = true;
+        let mut queue = VecDeque::from([v]);
+        while let Some(x) = queue.pop_front() {
+            if x == u {
+                break;
+            }
+            for &(y, s) in pg.graph.out_edges(x) {
+                if sccs.component_of(y) == comp && !seen[y as usize] {
+                    seen[y as usize] = true;
+                    prev[y as usize] = Some((x, s.is_neg()));
+                    queue.push_back(y);
+                }
+            }
+        }
+        // Reconstruct v → u.
+        let mut nodes_rev = Vec::new();
+        let mut negs_rev = Vec::new();
+        let mut cur = u;
+        while cur != v {
+            let (p, neg) = prev[cur as usize].expect("SCC path must exist");
+            nodes_rev.push(cur);
+            negs_rev.push(neg);
+            cur = p;
+        }
+        // Cycle: u -(edge sign)-> v -(path)-> u.
+        let edge_neg = pg
+            .graph
+            .out_edges(u)
+            .iter()
+            .find(|&&(t, _)| t == v)
+            .map(|&(_, s)| s.is_neg())
+            .expect("edge exists");
+        // Cycle: u -(edge)-> v -(BFS path)-> u. When v == u the cycle is
+        // the self-loop alone.
+        let (preds, negative_steps) = if v == u {
+            (vec![pg.pred_of(u)], vec![edge_neg])
+        } else {
+            let mut preds = vec![pg.pred_of(u), pg.pred_of(v)];
+            let mut negative_steps = vec![edge_neg];
+            for (n, neg) in nodes_rev.iter().rev().zip(negs_rev.iter().rev()) {
+                negative_steps.push(*neg);
+                if *n != u {
+                    preds.push(pg.pred_of(*n));
+                }
+            }
+            (preds, negative_steps)
+        };
+        let negative_count = negative_steps.iter().filter(|&&b| b).count();
+        PredCycle {
+            preds,
+            negative_steps,
+            negative_count,
+        }
+    }
+}
+
+impl fmt::Display for PredCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.preds.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(
+                f,
+                "{p} -{}->",
+                if self.negative_steps[i] { "¬" } else { "+" }
+            )?;
+        }
+        if let Some(first) = self.preds.first() {
+            write!(f, " {first}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The verdict of the structural totality analysis.
+#[derive(Clone, Debug)]
+pub struct StructuralTotality {
+    /// `true` iff *G(Π)* has no odd cycle (Theorem 2: structurally total;
+    /// Kunen: call-consistent).
+    pub total: bool,
+    /// An odd cycle over predicates, when not structurally total.
+    pub witness: Option<PredCycle>,
+}
+
+/// Checks structural totality of `program` (uniform case, Theorem 2).
+pub fn structural_totality(program: &Program) -> StructuralTotality {
+    let pg = ProgramGraph::of(program);
+    structural_totality_of_graph(&pg)
+}
+
+/// The same check over a pre-built program graph.
+pub fn structural_totality_of_graph(pg: &ProgramGraph) -> StructuralTotality {
+    let sccs = Sccs::compute(&pg.graph);
+    for c in 0..sccs.len() as u32 {
+        if let Err(odd) = tie::check_tie(&pg.graph, sccs.members(c)) {
+            let preds: Vec<PredSym> = odd.nodes.iter().map(|&n| pg.pred_of(n)).collect();
+            let negative_steps: Vec<bool> = odd.signs.iter().map(|s| s.is_neg()).collect();
+            let negative_count = odd.negative_count();
+            return StructuralTotality {
+                total: false,
+                witness: Some(PredCycle {
+                    preds,
+                    negative_steps,
+                    negative_count,
+                }),
+            };
+        }
+    }
+    StructuralTotality {
+        total: true,
+        witness: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_program;
+
+    #[test]
+    fn archetype_is_structurally_total() {
+        // P(x) ← ¬Q(x); Q(x) ← ¬P(x) — the paper's closing example.
+        let p = parse_program("p(X) :- not q(X).\nq(X) :- not p(X).").unwrap();
+        let st = structural_totality(&p);
+        assert!(st.total);
+        assert!(st.witness.is_none());
+    }
+
+    #[test]
+    fn program_1_is_not_structurally_total() {
+        // P(a) ← ¬P(x), E(b): self-negative-loop at predicate level ⇒
+        // odd cycle of length 1. (Total for many Δ, but not structurally.)
+        let p = parse_program("p(a) :- not p(X), e(b).").unwrap();
+        let st = structural_totality(&p);
+        assert!(!st.total);
+        let w = st.witness.unwrap();
+        assert_eq!(w.negative_count % 2, 1);
+        assert_eq!(w.preds[0].as_str(), "p");
+    }
+
+    #[test]
+    fn win_move_is_not_structurally_total() {
+        let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+        assert!(!structural_totality(&p).total);
+    }
+
+    #[test]
+    fn stratified_programs_are_structurally_total() {
+        let p = parse_program(
+            "reach(Y) :- reach(X), edge(X, Y).\n\
+             reach(X) :- start(X).\n\
+             blocked(X) :- node(X), not reach(X).",
+        )
+        .unwrap();
+        assert!(structural_totality(&p).total);
+    }
+
+    #[test]
+    fn odd_three_cycle_detected() {
+        let p = parse_program("p :- not q.\nq :- not r.\nr :- not p.").unwrap();
+        let st = structural_totality(&p);
+        assert!(!st.total);
+        let w = st.witness.unwrap();
+        assert_eq!(w.negative_count, 3);
+        assert_eq!(w.preds.len(), 3);
+    }
+
+    #[test]
+    fn even_mixed_cycle_is_fine() {
+        // p → q negatively, q → p negatively, plus positive self-loops.
+        let p = parse_program("p :- p, not q.\nq :- q, not p.").unwrap();
+        assert!(structural_totality(&p).total);
+    }
+
+    #[test]
+    fn witness_is_a_real_cycle() {
+        let p = parse_program(
+            "a :- not b.\nb :- c.\nc :- not d.\nd :- a.\nx :- not x.",
+        )
+        .unwrap();
+        let st = structural_totality(&p);
+        assert!(!st.total);
+        let w = st.witness.unwrap();
+        assert_eq!(w.negative_count % 2, 1);
+        assert_eq!(w.preds.len(), w.negative_steps.len());
+    }
+}

@@ -1,0 +1,222 @@
+//! Useful / useless predicates and the reduced program Π′ (paper,
+//! Section 4, Theorem 3 machinery).
+//!
+//! A predicate P is **useful** if the skeleton admits an *expansion*: a
+//! tree rooted at P where every internal node is a positive predicate
+//! expanded by some rule and every leaf is a negative literal or an EDB
+//! predicate. Equivalently, the **useless** predicates form the largest
+//! set D of IDB predicates such that every rule whose head is in D has a
+//! positive body occurrence of a predicate in D.
+//!
+//! Useless predicates stay empty in the nonuniform setting (IDBs
+//! initialized empty), whatever the database; the **reduced program** Π′
+//! drops every rule with a positive useless body occurrence and strips
+//! negative useless occurrences from the rest. Lemma 4: Π is structurally
+//! nonuniformly total iff Π′ is; Theorem 3: iff *G(Π′)* has no odd cycle.
+//!
+//! The computation below is the linear-time "ordering procedure" from the
+//! proof of Theorem 3 (deciding a *specific* predicate's uselessness is
+//! P-complete — Theorem 4 — which our monotone-circuit reduction
+//! exercises; linear here means linear in the program size).
+
+use datalog_ast::{FxHashMap, FxHashSet, Literal, PredSym, Program, Rule};
+
+use super::structural::{structural_totality, StructuralTotality};
+
+/// The outcome of the useless-predicate analysis.
+#[derive(Clone, Debug)]
+pub struct UselessAnalysis {
+    /// Useful IDB predicates, in the order the procedure chose them
+    /// (the ordering Q₁, Q₂, … used in the proof of Theorem 3).
+    pub useful_order: Vec<PredSym>,
+    /// The useless IDB predicates.
+    pub useless: FxHashSet<PredSym>,
+}
+
+impl UselessAnalysis {
+    /// `true` iff `pred` is useless.
+    pub fn is_useless(&self, pred: PredSym) -> bool {
+        self.useless.contains(&pred)
+    }
+}
+
+/// Computes the useful/useless split of the program's IDB predicates.
+pub fn useless_predicates(program: &Program) -> UselessAnalysis {
+    // Worklist algorithm over the skeleton. A rule becomes "enabled" when
+    // all its positive IDB body predicates are known useful; an IDB
+    // predicate becomes useful when one of its rules is enabled.
+    let mut useful: FxHashSet<PredSym> = FxHashSet::default();
+    let mut useful_order: Vec<PredSym> = Vec::new();
+
+    // For each rule: how many positive body occurrences of *not yet
+    // useful* IDB predicates remain.
+    let mut pending: Vec<usize> = Vec::with_capacity(program.len());
+    // pred → rules in whose body it occurs positively (as IDB).
+    let mut watchers: FxHashMap<PredSym, Vec<usize>> = FxHashMap::default();
+    let mut queue: Vec<usize> = Vec::new();
+
+    for (i, rule) in program.rules().iter().enumerate() {
+        let mut count = 0;
+        for lit in &rule.body {
+            if lit.is_pos() && program.is_idb(lit.atom.pred) {
+                count += 1;
+                watchers.entry(lit.atom.pred).or_default().push(i);
+            }
+        }
+        pending.push(count);
+        if count == 0 {
+            queue.push(i);
+        }
+    }
+
+    while let Some(i) = queue.pop() {
+        let head = program.rules()[i].head.pred;
+        if useful.insert(head) {
+            useful_order.push(head);
+            if let Some(rules) = watchers.get(&head) {
+                // `watchers` holds one entry per positive occurrence, so a
+                // rule with the predicate k times appears k times here and
+                // its pending count drops by exactly k in total.
+                for &j in rules {
+                    pending[j] -= 1;
+                    if pending[j] == 0 {
+                        queue.push(j);
+                    }
+                }
+            }
+        }
+    }
+
+    let useless: FxHashSet<PredSym> = program
+        .idb_predicates()
+        .filter(|p| !useful.contains(p))
+        .collect();
+    UselessAnalysis {
+        useful_order,
+        useless,
+    }
+}
+
+/// Builds the reduced program Π′: rules with a positive useless body
+/// occurrence are dropped, and negative useless occurrences are stripped
+/// from the remaining rules (useless predicates are treated as empty).
+pub fn reduce_program(program: &Program, analysis: &UselessAnalysis) -> Program {
+    let rules: Vec<Rule> = program
+        .rules()
+        .iter()
+        .filter(|rule| {
+            !rule
+                .body
+                .iter()
+                .any(|l| l.is_pos() && analysis.is_useless(l.atom.pred))
+        })
+        .map(|rule| {
+            let body: Vec<Literal> = rule
+                .body
+                .iter()
+                .filter(|l| !(l.is_neg() && analysis.is_useless(l.atom.pred)))
+                .cloned()
+                .collect();
+            Rule::new(rule.head.clone(), body)
+        })
+        .collect();
+    Program::new(rules).expect("reduction preserves arities")
+}
+
+/// Theorem 3's check: structural **nonuniform** totality — the reduced
+/// program's graph must be odd-cycle-free.
+pub fn structural_nonuniform_totality(program: &Program) -> StructuralTotality {
+    let analysis = useless_predicates(program);
+    let reduced = reduce_program(program, &analysis);
+    structural_totality(&reduced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_program;
+
+    #[test]
+    fn self_recursive_predicate_is_useless() {
+        // g :- g. is the circuit-reduction gadget for a 0 input bit.
+        let p = parse_program("g :- g.\np(X) :- e(X).").unwrap();
+        let a = useless_predicates(&p);
+        assert!(a.is_useless("g".into()));
+        assert!(!a.is_useless("p".into()));
+    }
+
+    #[test]
+    fn negative_only_dependencies_are_useful() {
+        // Expansion leaves may be negative literals: p :- not q. is useful
+        // even though q is useless.
+        let p = parse_program("p :- not q.\nq :- q.").unwrap();
+        let a = useless_predicates(&p);
+        assert!(!a.is_useless("p".into()));
+        assert!(a.is_useless("q".into()));
+    }
+
+    #[test]
+    fn mutual_positive_recursion_without_base_is_useless() {
+        let p = parse_program("a :- b.\nb :- a.\nc :- e.").unwrap();
+        let a = useless_predicates(&p);
+        assert!(a.is_useless("a".into()));
+        assert!(a.is_useless("b".into()));
+        assert!(!a.is_useless("c".into()));
+    }
+
+    #[test]
+    fn recursion_with_a_base_case_is_useful() {
+        let p = parse_program("t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
+        let a = useless_predicates(&p);
+        assert!(a.useless.is_empty());
+        // t enters the useful order exactly once.
+        assert_eq!(
+            a.useful_order.iter().filter(|p| p.as_str() == "t").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn reduction_drops_and_strips() {
+        // r1 uses u positively → dropped; r2 uses u negatively → stripped.
+        let p = parse_program(
+            "u :- u.\n\
+             a :- u, e.\n\
+             b :- not u, e.\n\
+             c :- e.",
+        )
+        .unwrap();
+        let analysis = useless_predicates(&p);
+        let reduced = reduce_program(&p, &analysis);
+        // Remaining rules: b :- e.  c :- e.  (u :- u. dropped: positive u.)
+        assert_eq!(reduced.len(), 2);
+        assert_eq!(reduced.rules()[0].to_string(), "b :- e.");
+        assert_eq!(reduced.rules()[1].to_string(), "c :- e.");
+    }
+
+    #[test]
+    fn useless_predicates_can_hide_odd_cycles_nonuniformly() {
+        // p :- not p, g.  with g useless: uniformly not structurally total
+        // (odd self-loop), but nonuniformly the rule is dead — total.
+        let p = parse_program("g :- g.\np :- not p, g.").unwrap();
+        assert!(!structural_totality(&p).total);
+        let st = structural_nonuniform_totality(&p);
+        assert!(st.total);
+    }
+
+    #[test]
+    fn odd_cycle_on_useful_predicates_stays_fatal() {
+        let p = parse_program("g :- e.\np :- not p, g.").unwrap();
+        assert!(!structural_nonuniform_totality(&p).total);
+    }
+
+    #[test]
+    fn useful_order_respects_dependencies() {
+        let p = parse_program("a :- e.\nb :- a.\nc :- b.").unwrap();
+        let an = useless_predicates(&p);
+        let pos =
+            |name: &str| an.useful_order.iter().position(|p| p.as_str() == name).unwrap();
+        assert!(pos("a") < pos("b"));
+        assert!(pos("b") < pos("c"));
+    }
+}

@@ -1,0 +1,368 @@
+//! A one-stop facade over parsing, analysis, grounding, and evaluation.
+//!
+//! ```
+//! use tiebreak_core::{Engine, RootTruePolicy};
+//!
+//! let engine = Engine::from_sources(
+//!     "win(X) :- move(X, Y), not win(Y).",
+//!     "move(a, b). move(b, a).",
+//! )
+//! .unwrap();
+//!
+//! let report = engine.analyze().unwrap();
+//! assert!(!report.stratified);          // win depends negatively on win
+//! assert!(!report.structurally_total);  // odd self-cycle at `win`
+//!
+//! // Not structurally total — yet for THIS database the ground cycle is
+//! // even (a ↔ b), so the tie-breaking interpreter still finds a fixpoint
+//! // where the well-founded semantics leaves the draw undefined.
+//! let outcome = engine
+//!     .well_founded_tie_breaking(&mut RootTruePolicy)
+//!     .unwrap();
+//! assert!(outcome.total);
+//! ```
+
+use std::fmt;
+
+use datalog_ast::{AstError, Database, GroundAtom, Program};
+use datalog_ground::{ground, GroundConfig, GroundGraph, PartialModel, TruthValue};
+
+use crate::analysis::{
+    self, structural_nonuniform_totality, structural_totality, stratify, useless_predicates,
+};
+use crate::semantics::enumerate::{enumerate_fixpoints, enumerate_stable, EnumerateConfig};
+use crate::semantics::stratified::{stratified, StratifiedRun};
+use crate::semantics::tie_breaking::{pure_tie_breaking, well_founded_tie_breaking, TiePolicy};
+use crate::semantics::well_founded::well_founded;
+use crate::semantics::{InterpreterRun, RunStats, SemanticsError};
+
+/// Engine-wide budgets.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineConfig {
+    /// Grounding budgets.
+    pub ground: GroundConfig,
+    /// Enumeration budgets.
+    pub enumerate: EnumerateConfig,
+}
+
+/// The static analysis report for a program (and, where noted, database).
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    /// Is the program stratified (Theorem 5's class)?
+    pub stratified: bool,
+    /// Is it structurally total — *G(Π)* odd-cycle-free (Theorem 2)?
+    pub structurally_total: bool,
+    /// Odd-cycle witness when not structurally total.
+    pub odd_cycle: Option<analysis::PredCycle>,
+    /// Structurally nonuniformly total — *G(Π′)* odd-cycle-free (Thm 3)?
+    pub structurally_nonuniform_total: bool,
+    /// The useless predicates (Theorem 3 machinery).
+    pub useless_predicates: Vec<String>,
+    /// Locally stratified for the engine's database (strict, full ground
+    /// graph)?
+    pub locally_stratified: Option<bool>,
+    /// Are all rules range-restricted (safe)?
+    pub safe: bool,
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stratified:                     {}", self.stratified)?;
+        writeln!(
+            f,
+            "structurally total (Thm 2):     {}",
+            self.structurally_total
+        )?;
+        if let Some(cycle) = &self.odd_cycle {
+            writeln!(f, "  odd cycle: {cycle}")?;
+        }
+        writeln!(
+            f,
+            "struct. nonuniform total (Thm 3): {}",
+            self.structurally_nonuniform_total
+        )?;
+        if !self.useless_predicates.is_empty() {
+            writeln!(f, "  useless predicates: {}", self.useless_predicates.join(", "))?;
+        }
+        if let Some(ls) = self.locally_stratified {
+            writeln!(f, "locally stratified (this Δ):    {ls}")?;
+        }
+        writeln!(f, "safe (range-restricted):        {}", self.safe)
+    }
+}
+
+/// The decoded outcome of an interpreter run.
+#[derive(Clone, Debug)]
+pub struct EvalOutcome {
+    /// True ground atoms, sorted.
+    pub true_facts: Vec<GroundAtom>,
+    /// Atoms left undefined (empty iff `total`), sorted.
+    pub undefined: Vec<GroundAtom>,
+    /// Whether the model is total.
+    pub total: bool,
+    /// Interpreter statistics.
+    pub stats: RunStats,
+}
+
+/// The facade: a program, a database, and budgets.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    program: Program,
+    database: Database,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Builds an engine from parsed parts.
+    pub fn new(program: Program, database: Database) -> Self {
+        Engine {
+            program,
+            database,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Parses program and database sources.
+    ///
+    /// # Errors
+    ///
+    /// [`AstError`] on syntax or arity problems.
+    pub fn from_sources(program_src: &str, database_src: &str) -> Result<Self, AstError> {
+        Ok(Engine::new(
+            datalog_ast::parse_program(program_src)?,
+            datalog_ast::parse_database(database_src)?,
+        ))
+    }
+
+    /// Replaces the budgets.
+    #[must_use]
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The database.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// Grounds the instance.
+    ///
+    /// # Errors
+    ///
+    /// [`SemanticsError::Ground`] over budget or on arity conflicts.
+    pub fn ground(&self) -> Result<GroundGraph, SemanticsError> {
+        Ok(ground(&self.program, &self.database, &self.config.ground)?)
+    }
+
+    /// Runs every static analysis. Local stratification is included when
+    /// the instance grounds within budget.
+    ///
+    /// # Errors
+    ///
+    /// Never fails on analysis itself; returns `Err` only if the *ground*
+    /// step both fails and was required (it is optional here — a grounding
+    /// failure yields `locally_stratified: None`).
+    pub fn analyze(&self) -> Result<AnalysisReport, SemanticsError> {
+        let strat = stratify(&self.program);
+        let st = structural_totality(&self.program);
+        let non = structural_nonuniform_totality(&self.program);
+        let useless = useless_predicates(&self.program);
+        let locally = self
+            .ground()
+            .ok()
+            .map(|g| analysis::locally_stratified(&g).locally_stratified);
+        let mut useless_names: Vec<String> = useless
+            .useless
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        useless_names.sort();
+        Ok(AnalysisReport {
+            stratified: strat.stratified,
+            structurally_total: st.total,
+            odd_cycle: st.witness,
+            structurally_nonuniform_total: non.total,
+            useless_predicates: useless_names,
+            locally_stratified: locally,
+            safe: self.program.is_safe(),
+        })
+    }
+
+    fn decode(&self, graph: &GroundGraph, run: InterpreterRun) -> EvalOutcome {
+        let mut true_facts = run.model.true_atoms(graph.atoms());
+        true_facts.sort_by(|a, b| {
+            (a.pred.as_str(), &a.args).cmp(&(b.pred.as_str(), &b.args))
+        });
+        let mut undefined: Vec<GroundAtom> = run
+            .model
+            .undefined_atoms()
+            .map(|id| graph.atoms().decode(id))
+            .collect();
+        undefined.sort_by(|a, b| {
+            (a.pred.as_str(), &a.args).cmp(&(b.pred.as_str(), &b.args))
+        });
+        EvalOutcome {
+            true_facts,
+            undefined,
+            total: run.total,
+            stats: run.stats,
+        }
+    }
+
+    /// Runs the well-founded interpreter.
+    ///
+    /// # Errors
+    ///
+    /// Grounding failures.
+    pub fn well_founded(&self) -> Result<EvalOutcome, SemanticsError> {
+        let graph = self.ground()?;
+        let run = well_founded(&graph, &self.program, &self.database)?;
+        Ok(self.decode(&graph, run))
+    }
+
+    /// Runs the pure tie-breaking interpreter with `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Grounding failures.
+    pub fn pure_tie_breaking<P: TiePolicy>(
+        &self,
+        policy: &mut P,
+    ) -> Result<EvalOutcome, SemanticsError> {
+        let graph = self.ground()?;
+        let run = pure_tie_breaking(&graph, &self.program, &self.database, policy)?;
+        Ok(self.decode(&graph, run))
+    }
+
+    /// Runs the well-founded tie-breaking interpreter with `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Grounding failures.
+    pub fn well_founded_tie_breaking<P: TiePolicy>(
+        &self,
+        policy: &mut P,
+    ) -> Result<EvalOutcome, SemanticsError> {
+        let graph = self.ground()?;
+        let run = well_founded_tie_breaking(&graph, &self.program, &self.database, policy)?;
+        Ok(self.decode(&graph, run))
+    }
+
+    /// Runs stratified evaluation (errors on unstratified programs).
+    ///
+    /// # Errors
+    ///
+    /// [`SemanticsError::NotApplicable`] when not stratified.
+    pub fn stratified(&self) -> Result<StratifiedRun, SemanticsError> {
+        stratified(&self.program, &self.database)
+    }
+
+    /// Enumerates fixpoints (bounded; see [`EnumerateConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// Grounding failures or enumeration budget.
+    pub fn fixpoints(&self) -> Result<Vec<Vec<GroundAtom>>, SemanticsError> {
+        let graph = self.ground()?;
+        let models =
+            enumerate_fixpoints(&graph, &self.program, &self.database, &self.config.enumerate)?;
+        Ok(models
+            .iter()
+            .map(|m| sorted_true(m, &graph))
+            .collect())
+    }
+
+    /// Enumerates stable models (bounded).
+    ///
+    /// # Errors
+    ///
+    /// Grounding failures or enumeration budget.
+    pub fn stable_models(&self) -> Result<Vec<Vec<GroundAtom>>, SemanticsError> {
+        let graph = self.ground()?;
+        let models =
+            enumerate_stable(&graph, &self.program, &self.database, &self.config.enumerate)?;
+        Ok(models
+            .iter()
+            .map(|m| sorted_true(m, &graph))
+            .collect())
+    }
+}
+
+fn sorted_true(model: &PartialModel, graph: &GroundGraph) -> Vec<GroundAtom> {
+    let mut v: Vec<GroundAtom> = model
+        .defined()
+        .filter(|&(_, t)| t == TruthValue::True)
+        .map(|(id, _)| graph.atoms().decode(id))
+        .collect();
+    v.sort_by(|a, b| (a.pred.as_str(), &a.args).cmp(&(b.pred.as_str(), &b.args)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::tie_breaking::RootTruePolicy;
+
+    #[test]
+    fn facade_pipeline() {
+        let engine = Engine::from_sources(
+            "win(X) :- move(X, Y), not win(Y).",
+            "move(a, b).\nmove(b, c).",
+        )
+        .unwrap();
+        let report = engine.analyze().unwrap();
+        assert!(!report.stratified);
+        assert!(!report.structurally_total);
+        assert!(report.odd_cycle.is_some());
+        assert!(report.safe);
+
+        let wf = engine.well_founded().unwrap();
+        assert!(wf.total);
+        assert!(wf
+            .true_facts
+            .iter()
+            .any(|f| f.to_string() == "win(b)"));
+    }
+
+    #[test]
+    fn analysis_report_displays() {
+        let engine = Engine::from_sources("p :- not q.\nq :- not p.", "").unwrap();
+        let report = engine.analyze().unwrap();
+        let text = report.to_string();
+        assert!(text.contains("structurally total (Thm 2):     true"));
+        assert!(text.contains("stratified:                     false"));
+    }
+
+    #[test]
+    fn fixpoint_and_stable_enumeration_via_facade() {
+        let engine = Engine::from_sources("p :- not q.\nq :- not p.", "").unwrap();
+        assert_eq!(engine.fixpoints().unwrap().len(), 2);
+        assert_eq!(engine.stable_models().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn tie_breaking_via_facade() {
+        let engine = Engine::from_sources("p :- not q.\nq :- not p.", "").unwrap();
+        let out = engine.well_founded_tie_breaking(&mut RootTruePolicy).unwrap();
+        assert!(out.total);
+        assert_eq!(out.true_facts.len(), 1);
+        assert_eq!(out.stats.ties_broken, 1);
+    }
+
+    #[test]
+    fn stratified_via_facade() {
+        let engine = Engine::from_sources(
+            "t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).",
+            "e(a, b).\ne(b, c).",
+        )
+        .unwrap();
+        let run = engine.stratified().unwrap();
+        assert_eq!(run.facts.relation("t".into()).unwrap().len(), 3);
+    }
+}

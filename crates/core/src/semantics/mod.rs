@@ -1,0 +1,92 @@
+//! The interpreters and model-theoretic checkers.
+
+pub mod alternating;
+pub mod enumerate;
+pub mod fixpoint;
+pub mod outcomes;
+pub mod perfect;
+pub mod reduct;
+pub mod seminaive;
+pub mod stable;
+pub mod stratified;
+pub mod tie_breaking;
+pub mod well_founded;
+
+use std::fmt;
+
+use datalog_ground::{AtomId, CloseConflict, GroundError, PartialModel};
+
+pub use tie_breaking::{
+    pure_tie_breaking, well_founded_tie_breaking, RandomPolicy, RootFalsePolicy, RootTruePolicy,
+    ScriptedPolicy, TiePolicy, TieView,
+};
+pub use well_founded::well_founded;
+
+/// Statistics collected by an interpreter run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of `close` fixpoint rounds (external-assignment batches).
+    pub close_rounds: usize,
+    /// Number of nonempty unfounded sets falsified.
+    pub unfounded_rounds: usize,
+    /// Number of ties broken.
+    pub ties_broken: usize,
+    /// Per broken tie: `(|K|, |L|, root_side_true)` where K is the side
+    /// containing the spanning-tree root.
+    pub tie_log: Vec<(usize, usize, bool)>,
+}
+
+/// The outcome of an interpreter.
+#[derive(Clone, Debug)]
+pub struct InterpreterRun {
+    /// The computed (possibly partial) model.
+    pub model: PartialModel,
+    /// `true` iff the model is total (every ground atom valued).
+    pub total: bool,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+impl InterpreterRun {
+    /// The atoms left undefined (empty iff total).
+    pub fn residue(&self) -> Vec<AtomId> {
+        self.model.undefined_atoms().collect()
+    }
+}
+
+/// Errors from the high-level evaluation paths.
+#[derive(Clone, Debug)]
+pub enum SemanticsError {
+    /// Grounding failed (budget or signature).
+    Ground(GroundError),
+    /// Propagation derived a contradiction — indicates misuse of the
+    /// low-level API (the paper's algorithms never conflict).
+    Conflict(CloseConflict),
+    /// The requested semantics does not apply to this program (e.g.
+    /// stratified evaluation of an unstratifiable program).
+    NotApplicable(String),
+}
+
+impl fmt::Display for SemanticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticsError::Ground(e) => e.fmt(f),
+            SemanticsError::Conflict(e) => e.fmt(f),
+            SemanticsError::NotApplicable(msg) => write!(f, "semantics not applicable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SemanticsError {}
+
+impl From<GroundError> for SemanticsError {
+    fn from(e: GroundError) -> Self {
+        SemanticsError::Ground(e)
+    }
+}
+
+impl From<CloseConflict> for SemanticsError {
+    fn from(e: CloseConflict) -> Self {
+        SemanticsError::Conflict(e)
+    }
+}

@@ -1,0 +1,250 @@
+//! Strongly connected components via iterative Tarjan.
+//!
+//! The recursion is replaced by an explicit stack so that ground graphs
+//! with hundreds of thousands of nodes cannot overflow the call stack.
+
+use crate::graph::{NodeId, SignedDigraph};
+
+/// The SCC decomposition of a [`SignedDigraph`].
+#[derive(Clone, Debug)]
+pub struct Sccs {
+    /// `comp_of[v]` is the component index of node `v`.
+    comp_of: Vec<u32>,
+    /// `components[c]` lists the member nodes of component `c`.
+    components: Vec<Vec<NodeId>>,
+}
+
+impl Sccs {
+    /// Computes the SCCs of `graph`.
+    ///
+    /// Components are emitted in **reverse topological order** of the
+    /// condensation: if there is an edge from component `a` to component
+    /// `b` (a ≠ b), then `b`'s index is smaller than `a`'s. In particular,
+    /// component 0 has no outgoing inter-component edges.
+    pub fn compute(graph: &SignedDigraph) -> Self {
+        let n = graph.node_count();
+        const UNVISITED: u32 = u32::MAX;
+
+        let mut index: Vec<u32> = vec![UNVISITED; n];
+        let mut lowlink: Vec<u32> = vec![0; n];
+        let mut on_stack: Vec<bool> = vec![false; n];
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut comp_of: Vec<u32> = vec![0; n];
+        let mut components: Vec<Vec<NodeId>> = Vec::new();
+        let mut next_index: u32 = 0;
+
+        // Explicit DFS frames: (node, next out-edge position).
+        let mut frames: Vec<(NodeId, usize)> = Vec::new();
+
+        for root in 0..n as NodeId {
+            if index[root as usize] != UNVISITED {
+                continue;
+            }
+            frames.push((root, 0));
+            index[root as usize] = next_index;
+            lowlink[root as usize] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root as usize] = true;
+
+            while let Some(&mut (v, ref mut edge_pos)) = frames.last_mut() {
+                let out = graph.out_edges(v);
+                if *edge_pos < out.len() {
+                    let (w, _) = out[*edge_pos];
+                    *edge_pos += 1;
+                    if index[w as usize] == UNVISITED {
+                        index[w as usize] = next_index;
+                        lowlink[w as usize] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w as usize] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&mut (parent, _)) = frames.last_mut() {
+                        lowlink[parent as usize] =
+                            lowlink[parent as usize].min(lowlink[v as usize]);
+                    }
+                    if lowlink[v as usize] == index[v as usize] {
+                        let comp_id = components.len() as u32;
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("Tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp_of[w as usize] = comp_id;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(comp);
+                    }
+                }
+            }
+        }
+
+        Sccs {
+            comp_of,
+            components,
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` iff the graph had no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The component index of `node`.
+    pub fn component_of(&self, node: NodeId) -> u32 {
+        self.comp_of[node as usize]
+    }
+
+    /// The member nodes of component `c`.
+    pub fn members(&self, c: u32) -> &[NodeId] {
+        &self.components[c as usize]
+    }
+
+    /// Iterates over components (reverse topological order; see
+    /// [`Sccs::compute`]).
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<NodeId>> {
+        self.components.iter()
+    }
+
+    /// Component indices in **topological order** of the condensation
+    /// (sources first).
+    pub fn topological_order(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.components.len() as u32).rev()
+    }
+
+    /// `true` iff node `v` is in a *trivial* component: a singleton with no
+    /// self-loop in `graph`.
+    pub fn is_trivial(&self, graph: &SignedDigraph, c: u32) -> bool {
+        let m = self.members(c);
+        m.len() == 1 && !graph.out_edges(m[0]).iter().any(|&(w, _)| w == m[0])
+    }
+
+    /// The component indices with **no incoming edges from other
+    /// components** — the "bottom" components in the paper's phrasing
+    /// ("a tie T in G with no incoming edges").
+    pub fn bottom_components(&self, graph: &SignedDigraph) -> Vec<u32> {
+        let mut has_incoming = vec![false; self.components.len()];
+        for (u, v, _) in graph.edges() {
+            let cu = self.comp_of[u as usize];
+            let cv = self.comp_of[v as usize];
+            if cu != cv {
+                has_incoming[cv as usize] = true;
+            }
+        }
+        (0..self.components.len() as u32)
+            .filter(|&c| !has_incoming[c as usize])
+            .collect()
+    }
+
+    /// The edges of `graph` internal to component `c`.
+    pub fn internal_edges<'g>(
+        &'g self,
+        graph: &'g SignedDigraph,
+        c: u32,
+    ) -> impl Iterator<Item = (NodeId, NodeId, crate::graph::EdgeSign)> + 'g {
+        self.members(c).iter().flat_map(move |&u| {
+            graph
+                .out_edges(u)
+                .iter()
+                .filter(move |&&(v, _)| self.comp_of[v as usize] == c)
+                .map(move |&(v, s)| (u, v, s))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeSign::{Neg, Pos};
+
+    fn graph(n: usize, edges: &[(NodeId, NodeId)]) -> SignedDigraph {
+        let mut g = SignedDigraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v, Pos);
+        }
+        g
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let sccs = Sccs::compute(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs.members(0).len(), 3);
+    }
+
+    #[test]
+    fn dag_has_singleton_components_in_reverse_topo_order() {
+        // 0 → 1 → 2
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        let sccs = Sccs::compute(&g);
+        assert_eq!(sccs.len(), 3);
+        // Reverse topological: sinks first.
+        assert!(sccs.component_of(2) < sccs.component_of(1));
+        assert!(sccs.component_of(1) < sccs.component_of(0));
+        let topo: Vec<u32> = sccs.topological_order().collect();
+        assert_eq!(topo.first().copied(), Some(sccs.component_of(0)));
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        // {0,1} → {2,3}
+        let g = graph(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let sccs = Sccs::compute(&g);
+        assert_eq!(sccs.len(), 2);
+        assert_ne!(sccs.component_of(0), sccs.component_of(2));
+        let bottoms = sccs.bottom_components(&g);
+        assert_eq!(bottoms, vec![sccs.component_of(0)]);
+    }
+
+    #[test]
+    fn trivial_vs_self_loop() {
+        let mut g = graph(2, &[]);
+        g.add_edge(1, 1, Neg);
+        let sccs = Sccs::compute(&g);
+        assert_eq!(sccs.len(), 2);
+        assert!(sccs.is_trivial(&g, sccs.component_of(0)));
+        assert!(!sccs.is_trivial(&g, sccs.component_of(1)));
+    }
+
+    #[test]
+    fn internal_edges_exclude_bridges() {
+        let g = graph(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let sccs = Sccs::compute(&g);
+        let c01 = sccs.component_of(0);
+        let internal: Vec<_> = sccs.internal_edges(&g, c01).collect();
+        assert_eq!(internal.len(), 2); // 0→1 and 1→0, not 1→2
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SignedDigraph::new(0);
+        let sccs = Sccs::compute(&g);
+        assert!(sccs.is_empty());
+        assert!(sccs.bottom_components(&g).is_empty());
+    }
+
+    #[test]
+    fn large_path_does_not_overflow_stack() {
+        // 100k-node path; recursive Tarjan would explode.
+        let n = 100_000;
+        let mut g = SignedDigraph::new(n);
+        for i in 0..(n - 1) as NodeId {
+            g.add_edge(i, i + 1, Pos);
+        }
+        let sccs = Sccs::compute(&g);
+        assert_eq!(sccs.len(), n);
+    }
+}

@@ -1,0 +1,271 @@
+//! The atom table: a dense bijection between ground atoms and integers.
+//!
+//! The paper's set V_P of predicate nodes is, for each m-ary predicate Q
+//! and each m-tuple over the universe *U*, the ground atom Q(a₁, …, a_m).
+//! We lay these out densely: predicates get consecutive blocks, and within
+//! a block a tuple is its mixed-radix number in base |U|. Encoding and
+//! decoding are arithmetic — the hot paths of grounding and model
+//! manipulation never hash an atom.
+
+use datalog_ast::{ConstSym, Database, FxHashMap, GroundAtom, PredSym, Program};
+
+/// Identifier of a ground atom: an index into the [`AtomTable`] layout.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AtomId(pub u32);
+
+impl AtomId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Layout information for one predicate's block of atom ids.
+#[derive(Clone, Debug)]
+struct PredBlock {
+    pred: PredSym,
+    arity: usize,
+    /// First [`AtomId`] of this predicate's block.
+    offset: u32,
+    /// Number of atoms in the block: |U|^arity (or 1 when arity = 0).
+    size: u32,
+}
+
+/// The dense universe of ground atoms for one (program, database) pair.
+#[derive(Clone, Debug)]
+pub struct AtomTable {
+    universe: Vec<ConstSym>,
+    const_index: FxHashMap<ConstSym, u32>,
+    blocks: Vec<PredBlock>,
+    pred_index: FxHashMap<PredSym, u32>,
+    total: u32,
+}
+
+impl AtomTable {
+    /// Builds the atom table for `program` over the universe of
+    /// (program, database): every predicate of the program (in its
+    /// deterministic order) gets a block of |U|^arity ids.
+    ///
+    /// Returns `None` if the total number of ground atoms would exceed
+    /// `max_atoms` (callers turn this into a typed grounding error).
+    pub fn build(program: &Program, database: &Database, max_atoms: u64) -> Option<AtomTable> {
+        let universe = Database::universe(program, database);
+        let const_index: FxHashMap<ConstSym, u32> = universe
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u32))
+            .collect();
+
+        let u = universe.len() as u64;
+        let mut blocks = Vec::new();
+        let mut pred_index = FxHashMap::default();
+        let mut total: u64 = 0;
+        for &pred in program.predicates() {
+            let arity = program
+                .arity(pred)
+                .expect("predicate listed by the program must have an arity");
+            let size = u.checked_pow(arity as u32)?;
+            if total + size > max_atoms {
+                return None;
+            }
+            pred_index.insert(pred, blocks.len() as u32);
+            blocks.push(PredBlock {
+                pred,
+                arity,
+                offset: total as u32,
+                size: size as u32,
+            });
+            total += size;
+        }
+        Some(AtomTable {
+            universe,
+            const_index,
+            blocks,
+            pred_index,
+            total: total as u32,
+        })
+    }
+
+    /// Number of ground atoms (the size of V_P).
+    pub fn len(&self) -> usize {
+        self.total as usize
+    }
+
+    /// `true` iff there are no ground atoms at all.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The universe *U*, sorted by constant text.
+    pub fn universe(&self) -> &[ConstSym] {
+        &self.universe
+    }
+
+    /// The index of `c` in the universe, if present.
+    pub fn const_index(&self, c: ConstSym) -> Option<u32> {
+        self.const_index.get(&c).copied()
+    }
+
+    /// The id of the ground atom `pred(args…)`, if the predicate is known
+    /// and all constants are in the universe.
+    pub fn atom_id(&self, pred: PredSym, args: &[ConstSym]) -> Option<AtomId> {
+        let &b = self.pred_index.get(&pred)?;
+        let block = &self.blocks[b as usize];
+        if args.len() != block.arity {
+            return None;
+        }
+        let mut code: u64 = 0;
+        let u = self.universe.len() as u64;
+        for &c in args {
+            let i = self.const_index(c)?;
+            code = code * u + u64::from(i);
+        }
+        debug_assert!(code < u64::from(block.size.max(1)));
+        Some(AtomId(block.offset + code as u32))
+    }
+
+    /// The id of a [`GroundAtom`].
+    pub fn id_of(&self, atom: &GroundAtom) -> Option<AtomId> {
+        self.atom_id(atom.pred, &atom.args)
+    }
+
+    /// Decodes an id back into its [`GroundAtom`].
+    ///
+    /// # Panics
+    ///
+    /// If `id` is out of range for this table.
+    pub fn decode(&self, id: AtomId) -> GroundAtom {
+        let block = self.block_of(id);
+        let mut code = id.0 - block.offset;
+        let u = self.universe.len() as u32;
+        let mut args = vec![ConstSym::new(""); block.arity];
+        for slot in args.iter_mut().rev() {
+            *slot = self.universe[(code % u.max(1)) as usize];
+            code /= u.max(1);
+        }
+        GroundAtom {
+            pred: block.pred,
+            args: args.into_boxed_slice(),
+        }
+    }
+
+    /// The predicate of atom `id`.
+    pub fn pred_of(&self, id: AtomId) -> PredSym {
+        self.block_of(id).pred
+    }
+
+    fn block_of(&self, id: AtomId) -> &PredBlock {
+        assert!(id.0 < self.total, "AtomId {} out of range", id.0);
+        // Binary search over block offsets.
+        let mut lo = 0usize;
+        let mut hi = self.blocks.len();
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.blocks[mid].offset <= id.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        &self.blocks[lo]
+    }
+
+    /// Iterates over all atom ids of predicate `pred`.
+    pub fn ids_of_pred(&self, pred: PredSym) -> impl Iterator<Item = AtomId> + '_ {
+        let block = self
+            .pred_index
+            .get(&pred)
+            .map(|&b| &self.blocks[b as usize]);
+        let (offset, size) = block.map_or((0, 0), |b| (b.offset, b.size));
+        (offset..offset + size).map(AtomId)
+    }
+
+    /// Iterates over all atom ids.
+    pub fn ids(&self) -> impl Iterator<Item = AtomId> {
+        (0..self.total).map(AtomId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{parse_database, parse_program};
+
+    fn setup() -> (Program, Database) {
+        let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let d = parse_database("move(a, b).\nmove(b, c).").unwrap();
+        (p, d)
+    }
+
+    #[test]
+    fn layout_counts() {
+        let (p, d) = setup();
+        let t = AtomTable::build(&p, &d, 1 << 20).unwrap();
+        // |U| = 3 (a, b, c); win/1 ⇒ 3 atoms; move/2 ⇒ 9 atoms.
+        assert_eq!(t.universe().len(), 3);
+        assert_eq!(t.len(), 12);
+    }
+
+    #[test]
+    fn round_trip_every_atom() {
+        let (p, d) = setup();
+        let t = AtomTable::build(&p, &d, 1 << 20).unwrap();
+        for id in t.ids() {
+            let atom = t.decode(id);
+            assert_eq!(t.id_of(&atom), Some(id), "atom {atom}");
+        }
+    }
+
+    #[test]
+    fn unknown_predicate_or_constant() {
+        let (p, d) = setup();
+        let t = AtomTable::build(&p, &d, 1 << 20).unwrap();
+        assert!(t.id_of(&GroundAtom::from_texts("nope", &["a"])).is_none());
+        assert!(t.id_of(&GroundAtom::from_texts("win", &["zz"])).is_none());
+        // Wrong arity.
+        assert!(t.id_of(&GroundAtom::from_texts("win", &["a", "b"])).is_none());
+    }
+
+    #[test]
+    fn zero_arity_predicates_get_one_atom() {
+        let p = parse_program("p :- not q.\nq :- not p.").unwrap();
+        let d = Database::new();
+        let t = AtomTable::build(&p, &d, 1 << 20).unwrap();
+        assert_eq!(t.len(), 2);
+        let pa = t.atom_id("p".into(), &[]).unwrap();
+        let qa = t.atom_id("q".into(), &[]).unwrap();
+        assert_ne!(pa, qa);
+        assert_eq!(t.decode(pa).to_string(), "p");
+    }
+
+    #[test]
+    fn empty_universe_positive_arity_gives_zero_atoms() {
+        let p = parse_program("p(X) :- not q(X).").unwrap();
+        let d = Database::new();
+        let t = AtomTable::build(&p, &d, 1 << 20).unwrap();
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn budget_enforced() {
+        // 3-ary over a universe of 3: 27 atoms; cap at 10.
+        let p = parse_program("t(X, Y, Z) :- e(X), e(Y), e(Z).").unwrap();
+        let d = parse_database("e(a).\ne(b).\ne(c).").unwrap();
+        assert!(AtomTable::build(&p, &d, 10).is_none());
+        assert!(AtomTable::build(&p, &d, 100).is_some());
+    }
+
+    #[test]
+    fn pred_of_and_block_lookup() {
+        let (p, d) = setup();
+        let t = AtomTable::build(&p, &d, 1 << 20).unwrap();
+        let id = t
+            .atom_id("move".into(), &[ConstSym::new("c"), ConstSym::new("a")])
+            .unwrap();
+        assert_eq!(t.pred_of(id).as_str(), "move");
+        assert_eq!(t.ids_of_pred("win".into()).count(), 3);
+        assert_eq!(t.ids_of_pred("move".into()).count(), 9);
+        assert_eq!(t.ids_of_pred("nope".into()).count(), 0);
+    }
+}

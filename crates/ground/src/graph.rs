@@ -1,0 +1,148 @@
+//! The ground graph *G(Π, Δ)*.
+//!
+//! Paper, Section 2: a bipartite directed graph with predicate nodes (all
+//! ground atoms over *U*, see [`AtomTable`]) and rule nodes (one per rule
+//! per substitution of its variables by constants of *U*), a positive edge
+//! from each rule node to its instantiated head, and a signed edge from
+//! each instantiated body atom to the rule node.
+//!
+//! Rule nodes carry provenance (source rule index and substitution) so
+//! interpreters can explain derivations.
+
+use datalog_ast::{ConstSym, Program, Sign};
+
+use crate::atoms::{AtomId, AtomTable};
+
+/// Identifier of a rule node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RuleId(pub u32);
+
+impl RuleId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One rule node: an instantiation `r(a₁, …, a_k)` of a source rule.
+#[derive(Clone, Debug)]
+pub struct GroundRule {
+    /// The instantiated head atom.
+    pub head: AtomId,
+    /// The instantiated body: `(atom, sign)` per literal, in source order.
+    /// The same atom may occur several times (even with both signs).
+    pub body: Box<[(AtomId, Sign)]>,
+    /// Index of the source rule in the program.
+    pub rule_index: u32,
+    /// The substitution: constants assigned to the rule's variables in
+    /// [`datalog_ast::Rule::variables`] order. Empty for variable-free
+    /// rules.
+    pub subst: Box<[ConstSym]>,
+}
+
+/// The ground graph: atoms (via the table) plus rule nodes and their
+/// incidence lists.
+#[derive(Clone, Debug)]
+pub struct GroundGraph {
+    atoms: AtomTable,
+    rules: Vec<GroundRule>,
+    /// For each atom: the rule nodes in whose body it occurs, with sign.
+    atom_uses: Vec<Vec<(RuleId, Sign)>>,
+    /// For each atom: the rule nodes whose head it is.
+    atom_heads: Vec<Vec<RuleId>>,
+}
+
+impl GroundGraph {
+    /// Assembles a ground graph from its parts. `rules` must reference
+    /// only atoms of `atoms`. (Normally called via [`crate::ground`].)
+    pub fn from_parts(atoms: AtomTable, rules: Vec<GroundRule>) -> Self {
+        let mut atom_uses: Vec<Vec<(RuleId, Sign)>> = vec![Vec::new(); atoms.len()];
+        let mut atom_heads: Vec<Vec<RuleId>> = vec![Vec::new(); atoms.len()];
+        for (i, rule) in rules.iter().enumerate() {
+            let id = RuleId(i as u32);
+            atom_heads[rule.head.index()].push(id);
+            for &(a, s) in rule.body.iter() {
+                atom_uses[a.index()].push((id, s));
+            }
+        }
+        GroundGraph {
+            atoms,
+            rules,
+            atom_uses,
+            atom_heads,
+        }
+    }
+
+    /// The atom table (predicate nodes).
+    pub fn atoms(&self) -> &AtomTable {
+        &self.atoms
+    }
+
+    /// Number of atom nodes.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// The rule nodes.
+    pub fn rules(&self) -> &[GroundRule] {
+        &self.rules
+    }
+
+    /// Number of rule nodes.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The rule node with id `r`.
+    pub fn rule(&self, r: RuleId) -> &GroundRule {
+        &self.rules[r.index()]
+    }
+
+    /// The body occurrences of `atom` across all rule nodes.
+    pub fn uses_of(&self, atom: AtomId) -> &[(RuleId, Sign)] {
+        &self.atom_uses[atom.index()]
+    }
+
+    /// The rule nodes whose head is `atom`.
+    pub fn heads_of(&self, atom: AtomId) -> &[RuleId] {
+        &self.atom_heads[atom.index()]
+    }
+
+    /// Total number of edges (head edges + body edges).
+    pub fn edge_count(&self) -> usize {
+        self.rules.len() + self.rules.iter().map(|r| r.body.len()).sum::<usize>()
+    }
+
+    /// Pretty-prints a rule node as `rule#i[subst]: head :- body`.
+    pub fn describe_rule(&self, program: &Program, r: RuleId) -> String {
+        use std::fmt::Write as _;
+        let rule = self.rule(r);
+        let src = &program.rules()[rule.rule_index as usize];
+        let vars = src.variables();
+        let mut s = format!("r{}", rule.rule_index);
+        if !rule.subst.is_empty() {
+            s.push('[');
+            for (i, (v, c)) in vars.iter().zip(rule.subst.iter()).enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{v}={c}");
+            }
+            s.push(']');
+        }
+        let _ = write!(s, ": {}", self.atoms.decode(rule.head));
+        if !rule.body.is_empty() {
+            s.push_str(" :- ");
+            for (i, &(a, sign)) in rule.body.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                if sign.is_neg() {
+                    s.push_str("not ");
+                }
+                let _ = write!(s, "{}", self.atoms.decode(a));
+            }
+        }
+        s
+    }
+}

@@ -1,0 +1,37 @@
+//! Grounding of Datalog¬ programs: ground graphs, partial models, and the
+//! `close(M, G)` operator.
+//!
+//! Implements Section 2 of Papadimitriou & Yannakakis, *"Tie-Breaking
+//! Semantics and Structural Totality"*:
+//!
+//! * [`AtomTable`] — a dense bijection between the ground atoms over the
+//!   universe *U* and integer [`AtomId`]s (mixed-radix encoding, no
+//!   hashing on the hot path);
+//! * [`PartialModel`] — three-valued models over the atom table, with the
+//!   initial model M₀(Δ);
+//! * [`GroundGraph`] — the bipartite graph *G(Π, Δ)* with predicate nodes,
+//!   rule nodes, and signed body edges, built by full instantiation of
+//!   every rule over *U* exactly as the paper defines (with an explicit
+//!   budget so pathological arities fail fast instead of exhausting
+//!   memory);
+//! * [`Closer`] — an incremental, confluent implementation of the paper's
+//!   `close(M, G)` procedure, reusable across the iterations of the
+//!   well-founded and tie-breaking interpreters, plus the largest
+//!   unfounded set `Atoms[close(M, G⁺)]`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod atoms;
+pub mod close;
+pub mod graph;
+pub mod grounder;
+pub mod model;
+pub mod reference;
+
+pub use atoms::{AtomId, AtomTable};
+pub use close::{CloseConflict, Closer, NodeKind, RemainingGraph};
+pub use graph::{GroundGraph, GroundRule, RuleId};
+pub use grounder::{ground, GroundConfig, GroundError};
+pub use model::{PartialModel, TruthValue};
+pub use reference::{naive_close, naive_largest_unfounded, ResidualGraph};

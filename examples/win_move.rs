@@ -1,0 +1,61 @@
+//! Solving the win–move game: the canonical Datalog¬ workload.
+//!
+//! `win(X) ← move(X, Y), ¬win(Y)` — a position wins iff it has a move to
+//! a losing position. On graphs with cycles the well-founded semantics
+//! leaves *drawn* positions undefined; the tie-breaking interpreter
+//! commits each drawn cluster to one of its two consistent orientations.
+//!
+//! ```sh
+//! cargo run --example win_move
+//! ```
+
+use tie_breaking_datalog::constructions::generators;
+use tie_breaking_datalog::prelude::*;
+
+fn main() {
+    let program = generators::win_move_program();
+
+    // A board with a decided region (a chain) and a drawn region (a
+    // 2-cycle plus a tail).
+    let database = parse_database(
+        "move(a, b). move(b, c).            % chain: c loses, b wins, a loses
+         move(p, q). move(q, p).            % 2-cycle: drawn
+         move(t, p).                        % tail into the cycle",
+    )
+    .expect("parses");
+
+    let engine = Engine::new(program, database);
+
+    let wf = engine.well_founded().expect("runs");
+    println!("well-founded model (total = {}):", wf.total);
+    for fact in &wf.true_facts {
+        println!("  {fact}");
+    }
+    println!("  undefined: {:?}", wf.undefined.iter().map(|a| a.to_string()).collect::<Vec<_>>());
+
+    // Tie-breaking decides the drawn cluster; both orientations are
+    // legitimate fixpoints.
+    for seed in [1u64, 2, 3] {
+        let mut policy = RandomPolicy::seeded(seed);
+        let out = engine
+            .well_founded_tie_breaking(&mut policy)
+            .expect("runs");
+        let wins: Vec<String> = out
+            .true_facts
+            .iter()
+            .filter(|f| f.pred.as_str() == "win")
+            .map(|f| f.to_string())
+            .collect();
+        println!(
+            "tie-breaking (seed {seed}): total = {}, wins = {{{}}}",
+            out.total,
+            wins.join(", ")
+        );
+    }
+
+    // Fixpoint census of the drawn cluster.
+    let fixpoints = engine.fixpoints().expect("enumerates");
+    println!("fixpoints: {}", fixpoints.len());
+    let stable = engine.stable_models().expect("enumerates");
+    println!("stable models: {}", stable.len());
+}
