@@ -40,6 +40,8 @@ fn reaches(g: &SignedDigraph, from: u32, to: u32) -> bool {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
     /// Tarjan agrees with the mutual-reachability definition of SCCs.
     #[test]
     fn sccs_match_mutual_reachability(g in arb_graph(8, 20)) {

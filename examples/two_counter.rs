@@ -13,9 +13,10 @@ use tie_breaking_datalog::core::semantics::well_founded;
 use tie_breaking_datalog::prelude::*;
 
 fn main() {
-    // A machine that pumps counter 1 to 2, drains it into counter 2, then
-    // halts.
-    let machine = CounterMachine::pump_and_drain(2);
+    // A machine that pumps counter 1 to 1, drains it into counter 2, then
+    // halts. (Larger pumps ground fine in principle but the paper's full
+    // |U|^k instantiation blows past the default rule-instance budget.)
+    let machine = CounterMachine::pump_and_drain(1);
     println!("{machine}");
 
     let MachineOutcome::Halted(steps) = machine.simulate(1000) else {

@@ -1,0 +1,244 @@
+//! Minimal vendored stand-in for the `criterion` crate.
+//!
+//! The build image has no registry access, so this workspace vendors the
+//! slice of the criterion 0.5 API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], `Bencher::iter`,
+//! [`black_box`], and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it runs a short
+//! fixed-budget timing loop per benchmark and prints one line with the
+//! mean wall-clock time per iteration — enough to compare hot paths
+//! between commits while keeping `cargo bench` fast and dependency-free.
+//! Honors the `--bench` flag cargo passes and treats any other non-flag
+//! CLI argument as a substring filter on benchmark names, like criterion.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Wall-clock budget per benchmark. Criterion defaults to seconds per
+/// benchmark; the stand-in keeps whole suites cheap.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+const MAX_ITERS: u64 = 1_000;
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Accepted wherever criterion takes "a benchmark id": a pre-built
+/// [`BenchmarkId`] or anything displayable (e.g. `&str`).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl<T: fmt::Display> IntoBenchmarkId for T {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self.to_string() }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call outside the timed region.
+        black_box(f());
+        let budget_start = Instant::now();
+        while self.iters < MAX_ITERS && budget_start.elapsed() < MEASURE_BUDGET {
+            let t = Instant::now();
+            black_box(f());
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench invokes the harness with `--bench`; skip flags and
+        // take the first free argument as a name filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), pending_throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        self.run_one(&id.name, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &self,
+        full_name: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { iters: 0, total: Duration::ZERO };
+        f(&mut b);
+        let mean = if b.iters > 0 { b.total / b.iters as u32 } else { Duration::ZERO };
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if !mean.is_zero() => {
+                format!("  thrpt: {:.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+                format!("  thrpt: {:.0} B/s", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{full_name:<60} time: {mean:>12.3?}  ({} iters){rate}", b.iters);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    pending_throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the fixed time budget makes the
+    /// criterion sample count irrelevant here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.pending_throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let full = format!("{}/{}", self.name, id.name);
+        let throughput = self.pending_throughput;
+        self.criterion.run_one(&full, throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.name);
+        let throughput = self.pending_throughput;
+        self.criterion.run_one(&full, throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion { filter: None };
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("smoke");
+            g.throughput(Throughput::Elements(4));
+            g.bench_with_input(BenchmarkId::new("double", 4), &4u64, |b, &n| {
+                b.iter(|| black_box(n) * 2);
+            });
+            g.bench_function("count", |b| {
+                b.iter(|| {
+                    ran += 1;
+                });
+            });
+            g.finish();
+        }
+        assert!(ran > 0, "bencher closure never ran");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran);
+    }
+}
