@@ -11,13 +11,18 @@
 //! datalog totality <program.dl> [--nonuniform]          (propositional only)
 //! ```
 //!
+//! Every command that grounds accepts `--ground-mode full|relevant`:
+//! `full` (default) builds the paper-literal *G(Π, Δ)*; `relevant` builds
+//! the join-based relevant grounding — same post-`close` semantics, far
+//! smaller graphs on large databases.
+//!
 //! Programs use `head(X) :- body(X), not other(X).` syntax; database files
 //! contain ground facts only.
 
 use std::process::ExitCode;
 
 use tiebreak_core::semantics::{RandomPolicy, RootFalsePolicy, RootTruePolicy, TiePolicy};
-use tiebreak_core::Engine;
+use tiebreak_core::{Engine, EngineConfig, GroundMode};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,7 +36,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  datalog analyze <program.dl>\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N]\n  datalog totality <program.dl> [--nonuniform]"
+    "usage:\n  datalog analyze <program.dl>\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N]\n  datalog totality <program.dl> [--nonuniform]\n\nGrounding commands also accept --ground-mode full|relevant (default: full)."
         .to_owned()
 }
 
@@ -44,6 +49,7 @@ struct Options {
     limit: usize,
     atom: Option<String>,
     nonuniform: bool,
+    ground_mode: GroundMode,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -56,6 +62,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         limit: 0,
         atom: None,
         nonuniform: false,
+        ground_mode: GroundMode::Full,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -85,6 +92,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--atom" => {
                 opts.atom = Some(it.next().ok_or("--atom needs a value")?.clone());
             }
+            "--ground-mode" => {
+                opts.ground_mode = match it.next().ok_or("--ground-mode needs a value")?.as_str() {
+                    "full" => GroundMode::Full,
+                    "relevant" => GroundMode::Relevant,
+                    other => return Err(format!("unknown ground mode {other} (full|relevant)")),
+                };
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -94,17 +108,19 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn load_engine(files: &[String]) -> Result<Engine, String> {
-    let program_path = files.first().ok_or_else(usage)?;
+fn load_engine(opts: &Options) -> Result<Engine, String> {
+    let program_path = opts.files.first().ok_or_else(usage)?;
     let program_src = std::fs::read_to_string(program_path)
         .map_err(|e| format!("cannot read {program_path}: {e}"))?;
-    let db_src = match files.get(1) {
+    let db_src = match opts.files.get(1) {
         Some(path) => {
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
         }
         None => String::new(),
     };
-    Engine::from_sources(&program_src, &db_src).map_err(|e| e.to_string())
+    Engine::from_sources(&program_src, &db_src)
+        .map(|e| e.with_config(EngineConfig::default().with_ground_mode(opts.ground_mode)))
+        .map_err(|e| e.to_string())
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -115,13 +131,13 @@ fn run(args: &[String]) -> Result<(), String> {
 
     match command.as_str() {
         "analyze" => {
-            let engine = load_engine(&opts.files)?;
+            let engine = load_engine(&opts)?;
             let report = engine.analyze().map_err(|e| e.to_string())?;
             print!("{report}");
             Ok(())
         }
         "run" => {
-            let engine = load_engine(&opts.files)?;
+            let engine = load_engine(&opts)?;
             let outcome = match opts.semantics.as_str() {
                 "wf" => engine.well_founded().map_err(|e| e.to_string())?,
                 "tb" | "pure-tb" => {
@@ -165,7 +181,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "models" => {
-            let engine = load_engine(&opts.files)?;
+            let engine = load_engine(&opts)?;
             let models = if opts.stable {
                 engine.stable_models().map_err(|e| e.to_string())?
             } else {
@@ -191,7 +207,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "ground" => {
-            let engine = load_engine(&opts.files)?;
+            let engine = load_engine(&opts)?;
             let graph = engine.ground().map_err(|e| e.to_string())?;
             println!(
                 "% {} ground atoms, {} rule nodes, {} edges",
@@ -208,7 +224,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "explain" => {
-            let engine = load_engine(&opts.files)?;
+            let engine = load_engine(&opts)?;
             let atom_src = opts.atom.ok_or("explain needs --atom \"pred(c1, ...)\"")?;
             let parsed = datalog_ast::parse_program(&format!("{atom_src}."))
                 .map_err(|e| format!("bad --atom: {e}"))?;
@@ -257,7 +273,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "outcomes" => {
-            let engine = load_engine(&opts.files)?;
+            let engine = load_engine(&opts)?;
             let graph = engine.ground().map_err(|e| e.to_string())?;
             let max_runs = if opts.limit == 0 { 256 } else { opts.limit };
             let set = tiebreak_core::semantics::outcomes::all_outcomes(
@@ -290,7 +306,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "totality" => {
-            let engine = load_engine(&opts.files)?;
+            let engine = load_engine(&opts)?;
             let report = tiebreak_core::analysis::propositional_totality(
                 engine.program(),
                 opts.nonuniform,

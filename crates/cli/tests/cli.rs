@@ -192,3 +192,55 @@ fn totality_sweep_with_counterexample() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("total (uniform): true"), "{text}");
 }
+
+#[test]
+fn ground_mode_flag_switches_grounders() {
+    let prog = write_temp("gm.dl", "win(X) :- move(X, Y), not win(Y).");
+    let db = write_temp("gm_db.dl", "move(a, b).\nmove(b, c).");
+
+    // Full (default): |U|² = 9 instances, 12 atoms.
+    let out = datalog(&["ground", prog.to_str().unwrap(), db.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("% 12 ground atoms, 9 rule nodes"), "{text}");
+
+    // Relevant: one instance per move fact, 5 atoms.
+    let out = datalog(&[
+        "ground",
+        prog.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--ground-mode",
+        "relevant",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("% 5 ground atoms, 2 rule nodes"), "{text}");
+
+    // Both modes answer `run` identically.
+    for mode in ["full", "relevant"] {
+        let out = datalog(&[
+            "run",
+            prog.to_str().unwrap(),
+            db.to_str().unwrap(),
+            "--semantics",
+            "wf",
+            "--ground-mode",
+            mode,
+        ]);
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("win(b)."), "{mode}: {text}");
+        assert!(!text.contains("win(a)."), "{mode}: {text}");
+    }
+
+    let out = datalog(&[
+        "ground",
+        prog.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--ground-mode",
+        "bogus",
+    ]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("unknown ground mode"), "{text}");
+}

@@ -25,7 +25,7 @@
 use std::fmt;
 
 use datalog_ast::{AstError, Database, GroundAtom, Program};
-use datalog_ground::{ground, GroundConfig, GroundGraph, PartialModel, TruthValue};
+use datalog_ground::{ground, GroundConfig, GroundGraph, GroundMode, PartialModel, TruthValue};
 
 use crate::analysis::{
     self, structural_nonuniform_totality, structural_totality, stratify, useless_predicates,
@@ -36,13 +36,24 @@ use crate::semantics::tie_breaking::{pure_tie_breaking, well_founded_tie_breakin
 use crate::semantics::well_founded::well_founded;
 use crate::semantics::{InterpreterRun, RunStats, SemanticsError};
 
-/// Engine-wide budgets.
+/// Engine-wide budgets and grounding mode.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineConfig {
-    /// Grounding budgets.
+    /// Grounding budgets and [`GroundMode`].
     pub ground: GroundConfig,
     /// Enumeration budgets.
     pub enumerate: EnumerateConfig,
+}
+
+impl EngineConfig {
+    /// Selects the grounding mode (`Full` is the paper-literal default;
+    /// `Relevant` grounds only supportable instances — identical
+    /// post-`close` semantics, far smaller graphs on large databases).
+    #[must_use]
+    pub fn with_ground_mode(mut self, mode: GroundMode) -> Self {
+        self.ground.mode = mode;
+        self
+    }
 }
 
 /// The static analysis report for a program (and, where noted, database).
@@ -353,6 +364,26 @@ mod tests {
         assert!(out.total);
         assert_eq!(out.true_facts.len(), 1);
         assert_eq!(out.stats.ties_broken, 1);
+    }
+
+    #[test]
+    fn relevant_mode_agrees_through_the_facade() {
+        let sources = (
+            "win(X) :- move(X, Y), not win(Y).",
+            "move(a, b).\nmove(b, c).\nmove(d, d).",
+        );
+        let full = Engine::from_sources(sources.0, sources.1).unwrap();
+        let relevant = Engine::from_sources(sources.0, sources.1)
+            .unwrap()
+            .with_config(EngineConfig::default().with_ground_mode(GroundMode::Relevant));
+
+        let a = full.well_founded().unwrap();
+        let b = relevant.well_founded().unwrap();
+        assert_eq!(a.true_facts, b.true_facts);
+        assert_eq!(a.undefined, b.undefined);
+        assert_eq!(a.total, b.total);
+        // The relevant graph is strictly smaller pre-close.
+        assert!(relevant.ground().unwrap().rule_count() < full.ground().unwrap().rule_count());
     }
 
     #[test]

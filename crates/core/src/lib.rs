@@ -38,6 +38,7 @@ pub mod analysis;
 pub mod engine;
 pub mod semantics;
 
+pub use datalog_ground::{GroundConfig, GroundMode};
 pub use engine::{Engine, EngineConfig};
 pub use semantics::{
     InterpreterRun, RandomPolicy, RootFalsePolicy, RootTruePolicy, RunStats, ScriptedPolicy,

@@ -6,309 +6,16 @@
 //! tuples. Negative literals are checked against relations completed by
 //! lower strata (negation as failure on completed data).
 //!
-//! Variables not bound by positive body literals (unsafe rules, or
-//! variables occurring only under negation) range over the universe *U*,
-//! matching the ground-graph semantics exactly.
+//! The join engine itself lives in [`datalog_ground::seminaive`] so the
+//! relevant grounder (`GroundMode::Relevant`) can share it; this module
+//! re-exports it under its historical path.
 
-use datalog_ast::{
-    Atom, ConstSym, Database, FxHashMap, GroundAtom, Program, Rule, Sign, Term, VarSym,
-};
-
-/// Where a positive literal reads its tuples during a semi-naive round.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Source {
-    /// The full current relation.
-    Total,
-    /// Only the last round's new tuples.
-    Delta,
-}
-
-/// A compiled rule evaluator: variable indexing plus the body split.
-pub struct RuleEvaluator<'r> {
-    rule: &'r Rule,
-    vars: Vec<VarSym>,
-    var_index: FxHashMap<VarSym, usize>,
-    positive: Vec<&'r Atom>,
-    negative: Vec<&'r Atom>,
-}
-
-impl<'r> RuleEvaluator<'r> {
-    /// Compiles `rule`.
-    pub fn new(rule: &'r Rule) -> Self {
-        let vars = rule.variables();
-        let var_index: FxHashMap<VarSym, usize> = vars
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i))
-            .collect();
-        let positive: Vec<&Atom> = rule
-            .body
-            .iter()
-            .filter(|l| l.sign == Sign::Pos)
-            .map(|l| &l.atom)
-            .collect();
-        let negative: Vec<&Atom> = rule
-            .body
-            .iter()
-            .filter(|l| l.sign == Sign::Neg)
-            .map(|l| &l.atom)
-            .collect();
-        RuleEvaluator {
-            rule,
-            vars,
-            var_index,
-            positive,
-            negative,
-        }
-    }
-
-    /// Number of positive body literals.
-    pub fn positive_len(&self) -> usize {
-        self.positive.len()
-    }
-
-    /// The predicate of the i-th positive literal.
-    pub fn positive_pred(&self, i: usize) -> datalog_ast::PredSym {
-        self.positive[i].pred
-    }
-
-    /// Evaluates the rule, emitting every head instance derivable with the
-    /// given sources:
-    ///
-    /// * `total` — the current state of all relations,
-    /// * `delta_occurrence` — if `Some(i)`, the i-th positive literal reads
-    ///   from `delta` instead of `total` (the semi-naive restriction),
-    /// * `universe` — range of variables not bound by positive literals.
-    ///
-    /// Negative literals are tested against `total` (complete for their
-    /// strata by the stratification invariant).
-    pub fn emit(
-        &self,
-        total: &Database,
-        delta: &Database,
-        delta_occurrence: Option<usize>,
-        universe: &[ConstSym],
-        out: &mut Vec<GroundAtom>,
-    ) {
-        let mut subst: Vec<Option<ConstSym>> = vec![None; self.vars.len()];
-        self.join(0, total, delta, delta_occurrence, universe, &mut subst, out);
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn join(
-        &self,
-        depth: usize,
-        total: &Database,
-        delta: &Database,
-        delta_occurrence: Option<usize>,
-        universe: &[ConstSym],
-        subst: &mut Vec<Option<ConstSym>>,
-        out: &mut Vec<GroundAtom>,
-    ) {
-        if depth == self.positive.len() {
-            self.finish(total, universe, subst, out);
-            return;
-        }
-        let atom = self.positive[depth];
-        let source = if delta_occurrence == Some(depth) {
-            Source::Delta
-        } else {
-            Source::Total
-        };
-        let db = match source {
-            Source::Total => total,
-            Source::Delta => delta,
-        };
-        let Some(rel) = db.relation(atom.pred) else {
-            return; // empty relation: no matches
-        };
-        for tuple in rel.iter() {
-            let mut trail: Vec<usize> = Vec::new();
-            if self.try_match(atom, tuple, subst, &mut trail) {
-                self.join(
-                    depth + 1,
-                    total,
-                    delta,
-                    delta_occurrence,
-                    universe,
-                    subst,
-                    out,
-                );
-            }
-            for pos in trail {
-                subst[pos] = None;
-            }
-        }
-    }
-
-    fn try_match(
-        &self,
-        atom: &Atom,
-        tuple: &[ConstSym],
-        subst: &mut [Option<ConstSym>],
-        trail: &mut Vec<usize>,
-    ) -> bool {
-        debug_assert_eq!(atom.args.len(), tuple.len());
-        for (term, &c) in atom.args.iter().zip(tuple.iter()) {
-            match term {
-                Term::Const(k) => {
-                    if *k != c {
-                        return false;
-                    }
-                }
-                Term::Var(v) => {
-                    let pos = self.var_index[v];
-                    match subst[pos] {
-                        Some(bound) if bound != c => return false,
-                        Some(_) => {}
-                        None => {
-                            subst[pos] = Some(c);
-                            trail.push(pos);
-                        }
-                    }
-                }
-            }
-        }
-        true
-    }
-
-    /// All positive literals matched: bind leftover variables over the
-    /// universe, test negatives, emit the head.
-    fn finish(
-        &self,
-        total: &Database,
-        universe: &[ConstSym],
-        subst: &mut [Option<ConstSym>],
-        out: &mut Vec<GroundAtom>,
-    ) {
-        let unbound: Vec<usize> = (0..self.vars.len())
-            .filter(|&i| subst[i].is_none())
-            .collect();
-        if unbound.is_empty() {
-            self.check_and_emit(total, subst, out);
-            return;
-        }
-        if universe.is_empty() {
-            return; // variables with an empty range: no instances
-        }
-        // Mixed-radix enumeration of the unbound positions.
-        let mut counter = vec![0usize; unbound.len()];
-        loop {
-            for (slot, &pos) in counter.iter().zip(&unbound) {
-                subst[pos] = Some(universe[*slot]);
-            }
-            self.check_and_emit(total, subst, out);
-            // Advance.
-            let mut i = 0;
-            loop {
-                if i == counter.len() {
-                    for &pos in &unbound {
-                        subst[pos] = None;
-                    }
-                    return;
-                }
-                counter[i] += 1;
-                if counter[i] < universe.len() {
-                    break;
-                }
-                counter[i] = 0;
-                i += 1;
-            }
-        }
-    }
-
-    fn check_and_emit(
-        &self,
-        total: &Database,
-        subst: &[Option<ConstSym>],
-        out: &mut Vec<GroundAtom>,
-    ) {
-        let ground = |atom: &Atom| -> GroundAtom {
-            GroundAtom {
-                pred: atom.pred,
-                args: atom
-                    .args
-                    .iter()
-                    .map(|t| match t {
-                        Term::Const(c) => *c,
-                        Term::Var(v) => {
-                            subst[self.var_index[v]].expect("all variables bound at emit")
-                        }
-                    })
-                    .collect(),
-            }
-        };
-        for neg in &self.negative {
-            if total.contains(&ground(neg)) {
-                return;
-            }
-        }
-        out.push(ground(&self.rule.head));
-    }
-}
-
-/// Runs one stratum's rules (`rule_indices` into `program`) to a least
-/// fixpoint over `total`, semi-naively. `stratum_preds` are the IDB
-/// predicates being computed (delta tracking applies to them).
-///
-/// `total` is updated in place; the function returns the number of new
-/// facts derived.
-pub fn evaluate_stratum(
-    program: &Program,
-    rule_indices: &[usize],
-    stratum_preds: &[datalog_ast::PredSym],
-    total: &mut Database,
-    universe: &[ConstSym],
-) -> usize {
-    let evaluators: Vec<RuleEvaluator<'_>> = rule_indices
-        .iter()
-        .map(|&i| RuleEvaluator::new(&program.rules()[i]))
-        .collect();
-    let in_stratum =
-        |p: datalog_ast::PredSym| -> bool { stratum_preds.contains(&p) };
-
-    let mut derived = 0usize;
-    let mut out: Vec<GroundAtom> = Vec::new();
-
-    // Round 0: full evaluation.
-    for ev in &evaluators {
-        ev.emit(total, &Database::new(), None, universe, &mut out);
-    }
-    let mut delta = Database::new();
-    for fact in out.drain(..) {
-        if !total.contains(&fact) {
-            total.insert(fact.clone()).expect("arity consistent");
-            delta.insert(fact).expect("arity consistent");
-            derived += 1;
-        }
-    }
-
-    // Semi-naive rounds.
-    while !delta.is_empty() {
-        for ev in &evaluators {
-            for occ in 0..ev.positive_len() {
-                if in_stratum(ev.positive_pred(occ)) {
-                    ev.emit(total, &delta, Some(occ), universe, &mut out);
-                }
-            }
-        }
-        let mut next = Database::new();
-        for fact in out.drain(..) {
-            if !total.contains(&fact) {
-                total.insert(fact.clone()).expect("arity consistent");
-                next.insert(fact).expect("arity consistent");
-                derived += 1;
-            }
-        }
-        delta = next;
-    }
-    derived
-}
+pub use datalog_ground::seminaive::{evaluate_stratum, RuleEvaluator};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use datalog_ast::{parse_database, parse_program, PredSym};
+    use datalog_ast::{parse_database, parse_program, Database, GroundAtom, PredSym};
 
     #[test]
     fn transitive_closure() {

@@ -1,12 +1,45 @@
-//! Rule instantiation: building *G(Π, Δ)* by full enumeration.
+//! Rule instantiation: building *G(Π, Δ)*, literally or relevantly.
 //!
 //! The paper's construction instantiates **every** rule with **every**
-//! k-tuple of universe constants (Section 2). We do exactly that — the
-//! semantics of `close`, unfounded sets, and ties quantify over all
-//! instantiations, so "relevance-only" grounding would change the object
-//! under study. The cost is |U|^k per rule with k variables; the
-//! [`GroundConfig`] budget turns runaway cases into a typed error rather
-//! than an OOM.
+//! k-tuple of universe constants (Section 2); the semantics of `close`,
+//! unfounded sets, and ties quantify over all instantiations. This module
+//! offers two ways to realize that object:
+//!
+//! * [`GroundMode::Full`] — the paper-literal enumerator: a dense
+//!   [`AtomTable`] of |U|^arity atoms per predicate and |U|^k rule
+//!   instances per rule with k variables. This is the executable
+//!   specification; everything else is measured against it.
+//! * [`GroundMode::Relevant`] — the join-based relevant grounder
+//!   (see [`crate::relevant`]): only rule instances whose positive body
+//!   is *supportable* are emitted, into a sparse interned atom table.
+//!
+//! **Why Relevant does not change the object under study.** `close(M₀, G)`
+//! deletes every rule instance with a positive body atom that the
+//! EDB-false/unsupported cascade falsifies (operations 2 and 4), and
+//! assigns **false** to every atom that cascade removes. The relevant
+//! grounder computes exactly the atoms that *survive* that cascade — the
+//! greatest set S with S = Δ ∪ {heads of instances whose positive body
+//! lies in S} — and emits exactly the instances whose positive body lies
+//! in S. Everything it omits is therefore deleted by the very first
+//! `close(M₀, G)` round, with the omitted atoms decided false; since
+//! `close` is confluent, the **post-close residual graph is identical in
+//! both modes**, the models agree on every shared atom, and every dropped
+//! atom is false. All downstream semantics (well-founded, pure and WF
+//! tie-breaking, fixpoint/stable enumeration) operate on the post-close
+//! residual, so their outcomes coincide — the workspace differential
+//! property suites check this on the paper programs and on random
+//! instances. The one observable difference is the *pre-close* graph
+//! (e.g. the strict local-stratification check sees the restricted
+//! graph), which is also why `Full` remains the default.
+//!
+//! Budgets: [`GroundConfig`] bounds the atom space and the rule-instance
+//! space so runaway cases become typed errors instead of OOM. Atom ids
+//! are `u32`, so `max_atoms` is clamped to `u32::MAX`
+//! ([`crate::atoms::MAX_ATOM_SPACE`]) rather than letting ids silently
+//! alias. With `prune_decided` (or in `Relevant` mode) the instance
+//! budget is checked against the instances actually emitted — not the
+//! unpruned |U|^k bound — and overflow aborts at the first instance past
+//! the budget, reporting the count reached.
 
 use std::fmt;
 
@@ -15,10 +48,33 @@ use datalog_ast::{ConstSym, Database, Program, Sign, Term, ValidationError};
 use crate::atoms::{AtomId, AtomTable};
 use crate::graph::{GroundGraph, GroundRule};
 
-/// Budgets for grounding.
+/// How `ground` realizes *G(Π, Δ)*.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GroundMode {
+    /// The paper-literal enumerator: dense atom table, |U|^k instances
+    /// per rule. The reference mode (default).
+    #[default]
+    Full,
+    /// The join-based relevant grounder: sparse interned atom table, only
+    /// supportable instances. Identical post-`close` residual graph and
+    /// semantics (see the module docs); the pre-close graph is smaller.
+    Relevant,
+}
+
+impl fmt::Display for GroundMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GroundMode::Full => "full",
+            GroundMode::Relevant => "relevant",
+        })
+    }
+}
+
+/// Budgets and mode for grounding.
 #[derive(Clone, Copy, Debug)]
 pub struct GroundConfig {
-    /// Maximum number of ground atoms (|V_P|).
+    /// Maximum number of ground atoms (|V_P|). Clamped to
+    /// [`crate::atoms::MAX_ATOM_SPACE`] (atom ids are `u32`).
     pub max_atoms: u64,
     /// Maximum number of rule nodes (|V_R|).
     pub max_rule_instances: u64,
@@ -34,7 +90,16 @@ pub struct GroundConfig {
     /// paper's literal G(Π, Δ) (e.g. the strict local-stratification
     /// check would see the pruned graph). See the grounding ablation
     /// bench.
+    ///
+    /// With pruning on, the instance budget applies to the instances that
+    /// *survive* pruning (counted by streaming the enumeration), so a
+    /// program whose pruned graph fits is accepted even when the unpruned
+    /// |U|^k bound does not. A successful pruned grounding still walks
+    /// the full |U|^k space; an over-budget one aborts at the first
+    /// surviving instance past the budget.
     pub prune_decided: bool,
+    /// Full (paper-literal) or relevant (join-based) grounding.
+    pub mode: GroundMode,
 }
 
 impl Default for GroundConfig {
@@ -43,6 +108,7 @@ impl Default for GroundConfig {
             max_atoms: 4_000_000,
             max_rule_instances: 4_000_000,
             prune_decided: false,
+            mode: GroundMode::Full,
         }
     }
 }
@@ -52,12 +118,20 @@ impl Default for GroundConfig {
 pub enum GroundError {
     /// The atom space |V_P| exceeds the configured budget.
     TooManyAtoms {
+        /// How many ground atoms the instance needs. Exact in `Full`
+        /// mode; in `Relevant` mode a lower bound (the count reached when
+        /// grounding aborted).
+        required: u64,
         /// The configured cap.
         budget: u64,
     },
     /// The rule-instance space |V_R| exceeds the configured budget.
     TooManyRuleInstances {
-        /// How many instances the program would need.
+        /// How many instances the program needs. Exact when the overflow
+        /// is detected arithmetically (`Full` mode without pruning);
+        /// when instances are counted by streaming (`prune_decided`, or
+        /// `Relevant` mode) the count reached when grounding aborted — a
+        /// lower bound on the true requirement.
         required: u64,
         /// The configured cap.
         budget: u64,
@@ -69,9 +143,10 @@ pub enum GroundError {
 impl fmt::Display for GroundError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GroundError::TooManyAtoms { budget } => {
-                write!(f, "ground atom space exceeds budget of {budget} atoms")
-            }
+            GroundError::TooManyAtoms { required, budget } => write!(
+                f,
+                "grounding needs {required} ground atoms, over budget {budget}"
+            ),
             GroundError::TooManyRuleInstances { required, budget } => write!(
                 f,
                 "grounding needs {required} rule instances, over budget {budget}"
@@ -111,13 +186,17 @@ impl AtomTemplate {
                 Slot::Const(i) => *i,
                 Slot::Var(p) => assignment[*p],
             };
+            // code < |U|^arity ≤ u32::MAX (the table was built within a
+            // u32 budget), so this cannot overflow u64.
             code = code * u + u64::from(idx);
         }
-        AtomId(self.offset + code as u32)
+        let id = u64::from(self.offset) + code;
+        AtomId(u32::try_from(id).expect("atom id fits u32: table built within a u32 budget"))
     }
 }
 
-/// Grounds `program` against `database`, producing the full ground graph.
+/// Grounds `program` against `database` in the configured
+/// [`GroundMode`].
 ///
 /// # Errors
 ///
@@ -131,39 +210,54 @@ pub fn ground(
     config: &GroundConfig,
 ) -> Result<GroundGraph, GroundError> {
     database.validate_against(program)?;
+    match config.mode {
+        GroundMode::Full => ground_full(program, database, config),
+        GroundMode::Relevant => crate::relevant::ground_relevant(program, database, config),
+    }
+}
 
-    let atoms = AtomTable::build(program, database, config.max_atoms).ok_or(
+fn ground_full(
+    program: &Program,
+    database: &Database,
+    config: &GroundConfig,
+) -> Result<GroundGraph, GroundError> {
+    let atoms = AtomTable::build(program, database, config.max_atoms).map_err(|overflow| {
         GroundError::TooManyAtoms {
+            required: overflow.required,
             budget: config.max_atoms,
-        },
-    )?;
+        }
+    })?;
     let u = atoms.universe().len() as u64;
 
-    // Pre-compute the rule-instance count and reject over-budget programs
-    // before allocating anything.
-    let mut required: u64 = 0;
+    // The unpruned instance count, exact via u128 so even extreme
+    // variable counts report a real number instead of a sentinel.
+    let mut unpruned: u128 = 0;
     for rule in program.rules() {
         let k = rule.variables().len() as u32;
         let instances = if k == 0 {
             1
         } else {
-            u.checked_pow(k)
-                .ok_or(GroundError::TooManyRuleInstances {
-                    required: u64::MAX,
-                    budget: config.max_rule_instances,
-                })?
+            u128::from(u).checked_pow(k).unwrap_or(u128::MAX)
         };
-        required = required.saturating_add(instances);
+        unpruned = unpruned.saturating_add(instances);
     }
-    if required > config.max_rule_instances {
-        return Err(GroundError::TooManyRuleInstances {
-            required,
-            budget: config.max_rule_instances,
-        });
+    let unpruned_u64 = u64::try_from(unpruned).unwrap_or(u64::MAX);
+    let budget = config.max_rule_instances;
+    if unpruned_u64 > budget {
+        // Without pruning the unpruned count is the real count: reject
+        // before allocating anything. With pruning we stream the
+        // enumeration and count survivors instead — but only when the
+        // unpruned space is walkable at all.
+        if !config.prune_decided || unpruned > u128::from(u64::MAX) {
+            return Err(GroundError::TooManyRuleInstances {
+                required: unpruned_u64,
+                budget,
+            });
+        }
     }
 
-    // For `prune_decided`: the atoms M₀(Δ) decides. `decided_false` marks
-    // EDB atoms outside Δ; `decided_true` marks Δ facts (EDB or IDB).
+    // For `prune_decided`: the atoms M₀(Δ) decides. `decided_true` marks
+    // Δ facts (EDB or IDB); `edb_mask` marks EDB atoms.
     let (decided_true, edb_mask) = if config.prune_decided {
         let mut in_delta = vec![false; atoms.len()];
         for fact in database.facts() {
@@ -193,7 +287,14 @@ pub fn ground(
         }
     };
 
-    let mut rules: Vec<GroundRule> = Vec::with_capacity(required as usize);
+    let mut rules: Vec<GroundRule> = if unpruned_u64 <= budget {
+        Vec::with_capacity(unpruned_u64 as usize)
+    } else {
+        Vec::new() // pruned streaming: grow as survivors appear
+    };
+    // Instances that survive pruning (equals the unpruned count when
+    // pruning is off).
+    let mut emitted: u64 = 0;
 
     for (rule_index, rule) in program.rules().iter().enumerate() {
         let vars = rule.variables();
@@ -247,6 +348,16 @@ pub fn ground(
             let pruned = config.prune_decided
                 && body.iter().any(|&(a, s)| literal_false_in_m0(a, s));
             if !pruned {
+                emitted += 1;
+                if emitted > budget {
+                    // Abort rather than walking the rest of the |U|^k
+                    // space; the error reports the pruned count reached
+                    // (a lower bound on the true requirement).
+                    return Err(GroundError::TooManyRuleInstances {
+                        required: emitted,
+                        budget,
+                    });
+                }
                 let subst: Box<[ConstSym]> = assignment
                     .iter()
                     .map(|&i| atoms.universe()[i as usize])
@@ -366,7 +477,11 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, GroundError::TooManyAtoms { .. }));
+        // 3 win + 9 move atoms needed; the error says so.
+        assert!(
+            matches!(err, GroundError::TooManyAtoms { required: 12, budget: 4 }),
+            "{err:?}"
+        );
 
         let err = ground(
             &p,
@@ -379,6 +494,41 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, GroundError::TooManyRuleInstances { required: 9, .. }));
+    }
+
+    #[test]
+    fn pruned_budget_counts_surviving_instances() {
+        // Unpruned: 9 instances (over a budget of 4); pruned: 2 — the
+        // pruned graph must be accepted.
+        let (p, d) = win_move();
+        let g = ground(
+            &p,
+            &d,
+            &GroundConfig {
+                max_rule_instances: 4,
+                prune_decided: true,
+                ..GroundConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(g.rule_count(), 2);
+
+        // And when even the pruned count overflows, the error reports
+        // the pruned count reached, not the |U|^k bound.
+        let err = ground(
+            &p,
+            &d,
+            &GroundConfig {
+                max_rule_instances: 1,
+                prune_decided: true,
+                ..GroundConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, GroundError::TooManyRuleInstances { required: 2, budget: 1 }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -10,14 +10,19 @@
 //! * [`PartialModel`] — three-valued models over the atom table, with the
 //!   initial model M₀(Δ);
 //! * [`GroundGraph`] — the bipartite graph *G(Π, Δ)* with predicate nodes,
-//!   rule nodes, and signed body edges, built by full instantiation of
-//!   every rule over *U* exactly as the paper defines (with an explicit
-//!   budget so pathological arities fail fast instead of exhausting
-//!   memory);
+//!   rule nodes, and signed body edges, built either by full instantiation
+//!   of every rule over *U* exactly as the paper defines
+//!   ([`GroundMode::Full`], with an explicit budget so pathological
+//!   arities fail fast instead of exhausting memory) or by the join-based
+//!   **relevant** grounder ([`GroundMode::Relevant`]) that emits only
+//!   supportable rule instances into a sparse interned atom table while
+//!   preserving the post-`close` residual graph exactly;
 //! * [`Closer`] — an incremental, confluent implementation of the paper's
 //!   `close(M, G)` procedure, reusable across the iterations of the
 //!   well-founded and tie-breaking interpreters, plus the largest
-//!   unfounded set `Atoms[close(M, G⁺)]`.
+//!   unfounded set `Atoms[close(M, G⁺)]`;
+//! * [`seminaive`] — the semi-naive join engine shared by the relevant
+//!   grounder and `tiebreak-core`'s stratified interpreter.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,10 +33,12 @@ pub mod graph;
 pub mod grounder;
 pub mod model;
 pub mod reference;
+pub mod relevant;
+pub mod seminaive;
 
-pub use atoms::{AtomId, AtomTable};
+pub use atoms::{AtomId, AtomInterner, AtomSpaceOverflow, AtomTable};
 pub use close::{CloseConflict, Closer, NodeKind, RemainingGraph};
 pub use graph::{GroundGraph, GroundRule, RuleId};
-pub use grounder::{ground, GroundConfig, GroundError};
+pub use grounder::{ground, GroundConfig, GroundError, GroundMode};
 pub use model::{PartialModel, TruthValue};
 pub use reference::{naive_close, naive_largest_unfounded, ResidualGraph};

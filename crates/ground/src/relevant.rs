@@ -1,0 +1,367 @@
+//! The join-based relevant grounder ([`GroundMode::Relevant`]).
+//!
+//! Instead of enumerating all |U|^k substitutions per rule, this grounder
+//! computes the **supportable set** S — the greatest set of ground atoms
+//! with
+//!
+//! ```text
+//! S = Δ ∪ { head(rσ) : rule r, substitution σ, positive body of rσ ⊆ S }
+//! ```
+//!
+//! and emits exactly the rule instances whose positive body lies in S,
+//! into a sparse interned [`AtomTable`](crate::AtomTable). S is precisely
+//! the set of atoms that survive the EDB-false/unsupported cascade of
+//! `close(M₀, G)` (operations 2 and 4 on the full graph): everything the
+//! relevant grounder omits is deleted and decided **false** by the very
+//! first close round, so the post-close residual graph — and with it
+//! every semantics in this workspace — is identical to Full mode's (see
+//! the [`crate::grounder`] module docs for the argument, and the
+//! differential property suites for the evidence). Note S is a
+//! *greatest* fixpoint: a positive loop like `p ← p` survives `close`
+//! (its rule node keeps its incoming edge), so it must be grounded even
+//! though no least-model computation ever derives `p`.
+//!
+//! The computation is three join passes over [`RuleEvaluator`]s:
+//!
+//! 1. **Candidates** — each rule joined on its positive *EDB* literals
+//!    only ([`RuleEvaluator::edb_skeleton`]), other variables ranging
+//!    over U: a pre-fixpoint T̂ ⊇ S, never larger than the dense atom
+//!    space.
+//! 2. **Downward iteration** — the positive-envelope operator
+//!    ([`RuleEvaluator::envelope`]) applied repeatedly from T̂ until it
+//!    stabilizes; by Knaster–Tarski the limit is S.
+//! 3. **Emission** — each rule's positive body joined against S
+//!    ([`RuleEvaluator::for_each_substitution`]), each satisfying
+//!    substitution emitted exactly once; head and body atoms (including
+//!    negative literals, so the instance is the paper's untruncated rule
+//!    node) are interned on first touch. Δ's facts are interned first so
+//!    the initial model M₀(Δ) is fully representable.
+
+use datalog_ast::{Database, GroundAtom, Program, Sign};
+
+use crate::atoms::{AtomId, AtomInterner, MAX_ATOM_SPACE};
+use crate::graph::{GroundGraph, GroundRule};
+use crate::grounder::{GroundConfig, GroundError, GroundMode};
+use crate::seminaive::RuleEvaluator;
+
+/// Grounds `program` against `database` relevantly. See the module docs.
+pub(crate) fn ground_relevant(
+    program: &Program,
+    database: &Database,
+    config: &GroundConfig,
+) -> Result<GroundGraph, GroundError> {
+    debug_assert_eq!(config.mode, GroundMode::Relevant);
+    let universe = Database::universe(program, database);
+    let atom_budget = config.max_atoms.min(MAX_ATOM_SPACE);
+
+    // Facts about predicates the program never mentions sit in the
+    // databases we join against but never become atoms; keep the budget
+    // arithmetic honest about them.
+    let ignored_facts = database
+        .facts()
+        .filter(|f| program.arity(f.pred).is_none())
+        .count() as u64;
+    let fact_cap = atom_budget.saturating_add(ignored_facts);
+    let too_many = |count: u64| GroundError::TooManyAtoms {
+        required: count.saturating_sub(ignored_facts),
+        budget: config.max_atoms,
+    };
+
+    // Pass 1: candidate heads T̂ — join each rule on its positive EDB
+    // literals only, streaming each head straight into the candidate
+    // database so memory stays bounded by the atom budget (T̂ never
+    // exceeds the dense atom space Σ |U|^arity, so an instance Full mode
+    // accepts is never rejected here).
+    let skeletons: Vec<RuleEvaluator<'_>> = program
+        .rules()
+        .iter()
+        .map(|r| RuleEvaluator::edb_skeleton(r, program))
+        .collect();
+    let mut candidates = database.clone();
+    for (rule, ev) in program.rules().iter().zip(&skeletons) {
+        ev.for_each_substitution::<GroundError>(database, &universe, &mut |assignment| {
+            candidates
+                .insert(ev.ground_atom(&rule.head, assignment))
+                .expect("arity consistent");
+            if candidates.len() as u64 > fact_cap {
+                return Err(too_many(candidates.len() as u64));
+            }
+            Ok(())
+        })?;
+    }
+
+    // Pass 2: downward iteration of the positive-envelope operator from
+    // T̂ to its greatest fixpoint S. Each round discards atoms whose
+    // every support needed an atom discarded earlier; Δ is re-seeded
+    // every round (M₀ makes its atoms true regardless of rules). The
+    // rounds only shrink (F(X) ⊆ X from a pre-fixpoint), so the cap
+    // check is purely defensive.
+    let envelopes: Vec<RuleEvaluator<'_>> = program
+        .rules()
+        .iter()
+        .map(RuleEvaluator::envelope)
+        .collect();
+    let mut supportable = candidates;
+    loop {
+        let mut next = database.clone();
+        for (rule, ev) in program.rules().iter().zip(&envelopes) {
+            ev.for_each_substitution::<GroundError>(&supportable, &universe, &mut |assignment| {
+                next.insert(ev.ground_atom(&rule.head, assignment))
+                    .expect("arity consistent");
+                if next.len() as u64 > fact_cap {
+                    return Err(too_many(next.len() as u64));
+                }
+                Ok(())
+            })?;
+        }
+        let stable = next == supportable;
+        supportable = next;
+        if stable {
+            break;
+        }
+    }
+
+    // Pass 3: emit every instance whose positive body lies in S.
+    let mut interner = AtomInterner::new(universe.clone(), config.max_atoms);
+    let mut delta_facts: Vec<GroundAtom> = database
+        .facts()
+        .filter(|f| program.arity(f.pred).is_some())
+        .collect();
+    delta_facts.sort_unstable(); // deterministic ids for Δ
+    for fact in &delta_facts {
+        interner.intern(fact).map_err(|ov| GroundError::TooManyAtoms {
+            required: ov.required,
+            budget: config.max_atoms,
+        })?;
+    }
+
+    let budget = config.max_rule_instances;
+    let mut rules_out: Vec<GroundRule> = Vec::new();
+    let mut emitted: u64 = 0;
+
+    for (rule_index, rule) in program.rules().iter().enumerate() {
+        let ev = RuleEvaluator::new(rule);
+        ev.for_each_substitution::<GroundError>(
+            &supportable,
+            &universe,
+            &mut |assignment| {
+                if config.prune_decided {
+                    // Positive literals are satisfied in S by
+                    // construction (EDB positives ∈ Δ); only a negative
+                    // literal on a Δ fact can be M₀-false here.
+                    for lit in &rule.body {
+                        if lit.sign == Sign::Neg
+                            && database.contains(&ev.ground_atom(&lit.atom, assignment))
+                        {
+                            return Ok(());
+                        }
+                    }
+                }
+                emitted += 1;
+                if emitted > budget {
+                    // Abort rather than walking the rest of the space;
+                    // the error reports the count reached (a lower
+                    // bound on the true requirement).
+                    return Err(GroundError::TooManyRuleInstances {
+                        required: emitted,
+                        budget,
+                    });
+                }
+                let mut intern = |atom: &GroundAtom| -> Result<AtomId, GroundError> {
+                    interner.intern(atom).map_err(|ov| GroundError::TooManyAtoms {
+                        required: ov.required,
+                        budget: config.max_atoms,
+                    })
+                };
+                let head = intern(&ev.ground_atom(&rule.head, assignment))?;
+                let body = rule
+                    .body
+                    .iter()
+                    .map(|lit| Ok((intern(&ev.ground_atom(&lit.atom, assignment))?, lit.sign)))
+                    .collect::<Result<Box<[(AtomId, Sign)]>, GroundError>>()?;
+                rules_out.push(GroundRule {
+                    head,
+                    body,
+                    rule_index: rule_index as u32,
+                    subst: assignment.into(),
+                });
+                Ok(())
+            },
+        )?;
+    }
+
+    Ok(GroundGraph::from_parts(interner.finish(), rules_out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grounder::ground;
+    use datalog_ast::{parse_database, parse_program};
+
+    fn relevant() -> GroundConfig {
+        GroundConfig {
+            mode: GroundMode::Relevant,
+            ..GroundConfig::default()
+        }
+    }
+
+    #[test]
+    fn win_move_grounds_to_supportable_instances_only() {
+        let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let d = parse_database("move(a, b).\nmove(b, c).").unwrap();
+        let g = ground(&p, &d, &relevant()).unwrap();
+        // One instance per move tuple (vs 9 in Full mode).
+        assert_eq!(g.rule_count(), 2);
+        // Atoms: 2 Δ move facts + win(a), win(b), win(c) (vs 12).
+        assert_eq!(g.atom_count(), 5);
+        assert!(g.atoms().is_sparse());
+        for rule in g.rules() {
+            let (mv, sign) = rule.body[0];
+            assert_eq!(sign, Sign::Pos);
+            assert!(d.contains(&g.atoms().decode(mv)));
+        }
+    }
+
+    #[test]
+    fn positive_loops_survive_relevance() {
+        // close(M₀) leaves p ← p, ¬q and q ← q, ¬p fully intact, so the
+        // relevant grounder must not discard them (gfp, not lfp).
+        let p = parse_program("p :- p, not q.\nq :- q, not p.").unwrap();
+        let g = ground(&p, &Database::new(), &relevant()).unwrap();
+        assert_eq!(g.rule_count(), 2);
+        assert_eq!(g.atom_count(), 2);
+    }
+
+    #[test]
+    fn unsupportable_chains_are_discarded() {
+        // a ← b, b ← c: no base case, both unfounded *and* unsupported —
+        // close falsifies both, so relevance drops everything.
+        let p = parse_program("a :- b.\nb :- c.\nc :- d.").unwrap();
+        let g = ground(&p, &Database::new(), &relevant()).unwrap();
+        assert_eq!(g.rule_count(), 0);
+        assert_eq!(g.atom_count(), 0);
+    }
+
+    #[test]
+    fn delta_facts_are_always_represented() {
+        // A Δ fact no rule touches must still be in the atom table (it is
+        // true in every model).
+        let p = parse_program("p(X) :- e(X).").unwrap();
+        let d = parse_database("e(a).\np(zz).").unwrap();
+        let g = ground(&p, &d, &relevant()).unwrap();
+        assert!(g
+            .atoms()
+            .id_of(&datalog_ast::GroundAtom::from_texts("p", &["zz"]))
+            .is_some());
+    }
+
+    #[test]
+    fn negative_literal_atoms_are_interned() {
+        // ¬q(a) occurs in a supportable instance: q(a) must be a node
+        // even though nothing derives it (close makes it false).
+        let p = parse_program("p(X) :- e(X), not q(X).").unwrap();
+        let d = parse_database("e(a).").unwrap();
+        let g = ground(&p, &d, &relevant()).unwrap();
+        let qa = g
+            .atoms()
+            .id_of(&datalog_ast::GroundAtom::from_texts("q", &["a"]))
+            .unwrap();
+        assert!(g.heads_of(qa).is_empty());
+        assert_eq!(g.uses_of(qa).len(), 1);
+    }
+
+    #[test]
+    fn relevant_instance_budget_reports_real_count() {
+        let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let d = parse_database("move(a, b).\nmove(b, c).").unwrap();
+        let err = ground(
+            &p,
+            &d,
+            &GroundConfig {
+                max_rule_instances: 1,
+                mode: GroundMode::Relevant,
+                ..GroundConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, GroundError::TooManyRuleInstances { required: 2, budget: 1 }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn relevant_mode_composes_with_prune_decided() {
+        let p = parse_program("p(X) :- e(X), not q(X).").unwrap();
+        let d = parse_database("e(a).\ne(b).\nq(a).").unwrap();
+        let plain = ground(&p, &d, &relevant()).unwrap();
+        let pruned = ground(
+            &p,
+            &d,
+            &GroundConfig {
+                prune_decided: true,
+                mode: GroundMode::Relevant,
+                ..GroundConfig::default()
+            },
+        )
+        .unwrap();
+        // ¬q(a) is false under M₀ (q(a) ∈ Δ): pruning drops that instance.
+        assert_eq!(plain.rule_count(), 2);
+        assert_eq!(pruned.rule_count(), 1);
+    }
+
+    #[test]
+    fn candidate_pass_respects_the_atom_budget() {
+        // All-IDB body: the EDB skeleton binds nothing, so the candidate
+        // space for big/3 is |U|³ = 125000 — the streaming cap must turn
+        // that into a prompt TooManyAtoms, not an OOM.
+        let p = parse_program(
+            "big(X, Y, Z) :- p(X), q(Y), r(Z).\np(X) :- e(X).\nq(X) :- e(X).\nr(X) :- e(X).",
+        )
+        .unwrap();
+        let mut d = datalog_ast::Database::new();
+        for i in 0..50 {
+            d.insert(datalog_ast::GroundAtom::from_texts("e", &[&format!("c{i}")]))
+                .expect("facts");
+        }
+        let err = ground(
+            &p,
+            &d,
+            &GroundConfig {
+                max_atoms: 1000,
+                mode: GroundMode::Relevant,
+                ..GroundConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, GroundError::TooManyAtoms { required, budget: 1000 } if required > 1000),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn dont_care_variables_do_not_blow_up_candidate_generation() {
+        // X1..X4 appear only under negation: the head-projection gives
+        // them one witness each during candidate/envelope passes, while
+        // instance emission still enumerates them (|U|⁴ = 16 instances).
+        let p = parse_program("p :- not q(X1), not q(X2), not q(X3), not q(X4).").unwrap();
+        // e is not a program predicate: its facts only contribute the
+        // constants a, b to the universe.
+        let d = parse_database("e(a).\ne(b).").unwrap();
+        let g = ground(&p, &d, &relevant()).unwrap();
+        assert_eq!(g.rule_count(), 16);
+        // Atoms: p, q(a), q(b).
+        assert_eq!(g.atom_count(), 3);
+    }
+
+    #[test]
+    fn propositional_facts_fire() {
+        let p = parse_program("p(a).\nq(X) :- p(X).").unwrap();
+        let g = ground(&p, &Database::new(), &relevant()).unwrap();
+        // p(a) is a bodiless instance; q(a) :- p(a) is supportable.
+        assert_eq!(g.rule_count(), 2);
+        assert_eq!(g.atom_count(), 2);
+    }
+}

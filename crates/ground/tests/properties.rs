@@ -1,11 +1,14 @@
 //! Property tests: the incremental `Closer` against the naive reference,
-//! and confluence of `close` under assignment order.
+//! confluence of `close` under assignment order, and the differential
+//! Full ≡ Relevant grounding equivalence (identical post-`close`
+//! residual graphs, models, and unfounded sets).
 
 use proptest::prelude::*;
 
 use datalog_ast::{Atom, Database, GroundAtom, Literal, Program, Rule, Sign, Term};
 use datalog_ground::{
-    ground, naive_close, naive_largest_unfounded, Closer, GroundConfig, PartialModel, TruthValue,
+    ground, naive_close, naive_largest_unfounded, Closer, GroundConfig, GroundMode, PartialModel,
+    TruthValue,
 };
 
 /// A random propositional program over `preds` proposition names.
@@ -49,6 +52,96 @@ fn db_from_mask(program: &Program, mask: u32) -> Database {
         }
     }
     db
+}
+
+/// Decoded, order-independent summary of `close(M₀, G)`: the residual
+/// graph (alive atoms + alive rule instances), the model partition, and
+/// the largest unfounded set. Two `GroundMode`s are equivalent iff their
+/// summaries agree (dropped atoms excepted: they must be false in Full).
+#[derive(Debug, PartialEq, Eq)]
+struct CloseSummary {
+    true_atoms: Vec<String>,
+    undefined_atoms: Vec<String>,
+    alive_rules: Vec<(u32, Vec<String>)>,
+    unfounded: Vec<String>,
+}
+
+fn close_summary(
+    program: &Program,
+    database: &Database,
+    config: &GroundConfig,
+) -> (CloseSummary, Vec<String>) {
+    let graph = ground(program, database, config).expect("grounds within budget");
+    let mut model = PartialModel::initial(program, database, graph.atoms());
+    let mut closer = Closer::new(&graph);
+    closer.bootstrap(&model);
+    closer.run(&mut model).expect("close from M0 cannot conflict");
+
+    let decode = |id: datalog_ground::AtomId| graph.atoms().decode(id).to_string();
+    let mut true_atoms: Vec<String> = model
+        .defined()
+        .filter(|&(_, v)| v == TruthValue::True)
+        .map(|(id, _)| decode(id))
+        .collect();
+    true_atoms.sort();
+    let mut false_atoms: Vec<String> = model
+        .defined()
+        .filter(|&(_, v)| v == TruthValue::False)
+        .map(|(id, _)| decode(id))
+        .collect();
+    false_atoms.sort();
+    let mut undefined_atoms: Vec<String> = model.undefined_atoms().map(decode).collect();
+    undefined_atoms.sort();
+    let mut alive_rules: Vec<(u32, Vec<String>)> = (0..graph.rule_count())
+        .map(|r| datalog_ground::RuleId(r as u32))
+        .filter(|&r| closer.rule_alive(r))
+        .map(|r| {
+            let rule = graph.rule(r);
+            (
+                rule.rule_index,
+                rule.subst.iter().map(|c| c.as_str().to_owned()).collect(),
+            )
+        })
+        .collect();
+    alive_rules.sort();
+    let mut unfounded: Vec<String> = closer
+        .largest_unfounded_set()
+        .into_iter()
+        .map(decode)
+        .collect();
+    unfounded.sort();
+    (
+        CloseSummary {
+            true_atoms,
+            undefined_atoms,
+            alive_rules,
+            unfounded,
+        },
+        false_atoms,
+    )
+}
+
+/// Asserts Full ≡ Relevant for one instance; returns the summaries for
+/// extra checks. Panics with a readable diff on mismatch.
+fn assert_modes_equivalent(program: &Program, database: &Database) {
+    let (full, full_false) = close_summary(program, database, &GroundConfig::default());
+    let relevant_config = GroundConfig {
+        mode: GroundMode::Relevant,
+        ..GroundConfig::default()
+    };
+    let (relevant, relevant_false) = close_summary(program, database, &relevant_config);
+    assert_eq!(
+        full, relevant,
+        "Full and Relevant disagree post-close on\n{program}\nover\n{database}"
+    );
+    // Every atom the relevant table knows and decides false is false in
+    // Full too; atoms Full decides false may be absent from Relevant.
+    for atom in &relevant_false {
+        assert!(
+            full_false.contains(atom),
+            "relevant-false atom {atom} not false in Full mode"
+        );
+    }
 }
 
 proptest! {
@@ -150,6 +243,115 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+}
+
+/// A random first-order program over a fixed signature: e/2 (EDB),
+/// p/1, q/1, r/2 (IDB heads). Terms range over variables X, Y and
+/// constants a, b, so arities stay consistent by construction.
+fn arb_fo_program(max_rules: usize) -> impl Strategy<Value = Program> {
+    let term = 0..4usize; // X, Y, a, b
+    let atom = (0..4usize, proptest::collection::vec(term, 0..2));
+    let literal = (atom, prop::bool::ANY);
+    let rule = (0..3usize, proptest::collection::vec(literal, 0..3));
+    proptest::collection::vec(rule, 1..=max_rules).prop_map(|rules| {
+        let mk_term = |t: usize| match t {
+            0 => Term::var("X"),
+            1 => Term::var("Y"),
+            2 => Term::constant("a"),
+            _ => Term::constant("b"),
+        };
+        let mk_atom = |(pred, args): (usize, Vec<usize>)| -> Atom {
+            // Fixed arities: e/2, r/2, p/1, q/1.
+            let (name, arity) = match pred {
+                0 => ("e", 2),
+                1 => ("r", 2),
+                2 => ("p", 1),
+                _ => ("q", 1),
+            };
+            let terms: Vec<Term> = (0..arity)
+                .map(|i| mk_term(args.get(i).copied().unwrap_or(i)))
+                .collect();
+            Atom::new(name, terms)
+        };
+        let rules: Vec<Rule> = rules
+            .into_iter()
+            .map(|(head, body)| {
+                // Heads are IDB: p, q, or r.
+                let head_atom = mk_atom((head + 1, vec![0, 1]));
+                Rule::new(
+                    head_atom,
+                    body.into_iter().map(|(atom, neg)| Literal {
+                        sign: if neg { Sign::Neg } else { Sign::Pos },
+                        atom: mk_atom(atom),
+                    }),
+                )
+            })
+            .collect();
+        Program::new(rules).expect("fixed-arity signature is consistent")
+    })
+}
+
+/// A random database over e/2 and p/1 with constants a, b, c.
+fn fo_db_from_mask(mask: u32) -> Database {
+    let consts = ["a", "b", "c"];
+    let mut db = Database::new();
+    let mut bit = 0;
+    for x in consts {
+        for y in consts {
+            if mask & (1 << bit) != 0 {
+                db.insert(GroundAtom::from_texts("e", &[x, y])).expect("facts");
+            }
+            bit += 1;
+        }
+    }
+    for x in consts {
+        if mask & (1 << bit) != 0 {
+            db.insert(GroundAtom::from_texts("p", &[x])).expect("facts");
+        }
+        bit += 1;
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential grounding, propositional: Full and Relevant produce
+    /// identical post-close residual graphs, models, and unfounded sets
+    /// on random propositional programs and databases.
+    #[test]
+    fn relevant_equals_full_propositional(program in arb_program(5, 8), mask in arb_db_mask()) {
+        let db = db_from_mask(&program, mask);
+        assert_modes_equivalent(&program, &db);
+    }
+
+    /// Differential grounding, first-order: same equivalence over random
+    /// programs with variables, unsafe rules, and repeated constants.
+    #[test]
+    fn relevant_equals_full_first_order(program in arb_fo_program(6), mask in any::<u32>()) {
+        let db = fo_db_from_mask(mask);
+        assert_modes_equivalent(&program, &db);
+    }
+
+    /// The relevant graph never has more nodes than the full graph.
+    #[test]
+    fn relevant_graph_is_no_larger(program in arb_fo_program(6), mask in any::<u32>()) {
+        let db = fo_db_from_mask(mask);
+        let full = ground(&program, &db, &GroundConfig::default()).unwrap();
+        let relevant = ground(
+            &program,
+            &db,
+            &GroundConfig { mode: GroundMode::Relevant, ..GroundConfig::default() },
+        )
+        .unwrap();
+        prop_assert!(relevant.atom_count() <= full.atom_count());
+        prop_assert!(relevant.rule_count() <= full.rule_count());
+        // Every relevant atom exists in the full table.
+        for id in relevant.atoms().ids() {
+            let decoded = relevant.atoms().decode(id);
+            prop_assert!(full.atoms().id_of(&decoded).is_some(), "unknown atom {decoded}");
         }
     }
 }

@@ -1,6 +1,12 @@
 //! Theorem 6 live: a 2-counter machine simulated by Datalog¬ rules, and
 //! halting surfacing as the *absence of fixpoints*.
 //!
+//! This example also shows why the relevant grounder exists: the paper's
+//! literal |U|^k instantiation of the size-2 pump-and-drain machine needs
+//! hundreds of millions of rule instances — far past the default 4M
+//! budget — while `GroundMode::Relevant` grounds the same instance in a
+//! few thousand nodes with an identical post-`close` residual graph.
+//!
 //! ```sh
 //! cargo run --example two_counter
 //! ```
@@ -10,13 +16,14 @@ use tie_breaking_datalog::constructions::undecidability::{machine_to_program, na
 use tie_breaking_datalog::constructions::MachineOutcome;
 use tie_breaking_datalog::core::semantics::enumerate::{enumerate_fixpoints, EnumerateConfig};
 use tie_breaking_datalog::core::semantics::well_founded;
+use tie_breaking_datalog::ground::{GroundError, GroundMode};
 use tie_breaking_datalog::prelude::*;
 
 fn main() {
-    // A machine that pumps counter 1 to 1, drains it into counter 2, then
-    // halts. (Larger pumps ground fine in principle but the paper's full
-    // |U|^k instantiation blows past the default rule-instance budget.)
-    let machine = CounterMachine::pump_and_drain(1);
+    // A machine that pumps counter 1 to 2, drains it into counter 2, then
+    // halts. PR 1 had to shrink this to pump_and_drain(1): the full
+    // |U|^k grounding of the size-2 machine blows the default budget.
+    let machine = CounterMachine::pump_and_drain(2);
     println!("{machine}");
 
     let MachineOutcome::Halted(steps) = machine.simulate(1000) else {
@@ -36,9 +43,22 @@ fn main() {
         database.len()
     );
 
-    let graph = ground(&program, &database, &GroundConfig::default()).expect("grounds");
+    // The paper-literal grounder rejects this instance on budget…
+    let full_err = ground(&program, &database, &GroundConfig::default())
+        .expect_err("the full |U|^k instantiation must blow the default budget");
+    let GroundError::TooManyRuleInstances { required, budget } = full_err else {
+        panic!("expected a rule-instance overflow, got {full_err}");
+    };
+    println!("full grounding rejected: needs {required} rule instances (budget {budget})");
+
+    // …while the relevant grounder handles it comfortably.
+    let config = GroundConfig {
+        mode: GroundMode::Relevant,
+        ..GroundConfig::default()
+    };
+    let graph = ground(&program, &database, &config).expect("relevant grounding fits");
     println!(
-        "ground graph: {} atoms, {} rule nodes",
+        "relevant grounding: {} atoms, {} rule nodes",
         graph.atom_count(),
         graph.rule_count()
     );
@@ -48,7 +68,8 @@ fn main() {
     println!("\nwell-founded model reproduces the trace:");
     for (t, cfg) in machine.trace(steps).iter().enumerate() {
         let atom = GroundAtom::from_texts("state", &[&t.to_string(), &cfg.state.to_string()]);
-        let id = graph.atoms().id_of(&atom).expect("atom in V_P");
+        let id = graph.atoms().id_of(&atom).expect("atom in the relevant table");
+        assert_eq!(run.model.get(id), TruthValue::True, "missing {atom}");
         println!("  {atom} = {}", run.model.get(id));
     }
 
@@ -71,11 +92,11 @@ fn main() {
     assert!(fixpoints.is_empty(), "halting ⇒ no fixpoint (Theorem 6)");
 
     // A non-halting machine, by contrast, admits a fixpoint on every such
-    // database.
+    // database — in either grounding mode.
     let forever = CounterMachine::run_forever();
     let program2 = machine_to_program(&forever);
     let database2 = natural_database(3);
-    let graph2 = ground(&program2, &database2, &GroundConfig::default()).expect("grounds");
+    let graph2 = ground(&program2, &database2, &config).expect("grounds");
     let run2 = well_founded::well_founded(&graph2, &program2, &database2).expect("runs");
     println!(
         "non-halting machine: well-founded total = {} (a fixpoint exists)",

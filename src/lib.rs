@@ -51,7 +51,7 @@ pub mod prelude {
         parse_database, parse_program, Atom, Database, GroundAtom, Literal, Program,
         ProgramBuilder, Rule, Term,
     };
-    pub use datalog_ground::{ground, GroundConfig, PartialModel, TruthValue};
+    pub use datalog_ground::{ground, GroundConfig, GroundMode, PartialModel, TruthValue};
     pub use tiebreak_core::analysis::{
         structural_nonuniform_totality, structural_totality, stratify, useless_predicates,
     };
