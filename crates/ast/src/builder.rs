@@ -35,13 +35,15 @@ pub struct BodyBuilder {
 impl BodyBuilder {
     /// Appends a positive literal `pred(args…)`.
     pub fn pos(&mut self, pred: &str, args: &[&str]) -> &mut Self {
-        self.literals.push(Literal::pos(Atom::from_texts(pred, args)));
+        self.literals
+            .push(Literal::pos(Atom::from_texts(pred, args)));
         self
     }
 
     /// Appends a negative literal `not pred(args…)`.
     pub fn neg(&mut self, pred: &str, args: &[&str]) -> &mut Self {
-        self.literals.push(Literal::neg(Atom::from_texts(pred, args)));
+        self.literals
+            .push(Literal::neg(Atom::from_texts(pred, args)));
         self
     }
 
@@ -67,7 +69,12 @@ impl ProgramBuilder {
     /// Adds a rule with head `head(head_args…)`; the closure populates the
     /// body.
     #[must_use]
-    pub fn rule(mut self, head: &str, head_args: &[&str], f: impl FnOnce(&mut BodyBuilder)) -> Self {
+    pub fn rule(
+        mut self,
+        head: &str,
+        head_args: &[&str],
+        f: impl FnOnce(&mut BodyBuilder),
+    ) -> Self {
         let mut body = BodyBuilder::default();
         f(&mut body);
         self.rules

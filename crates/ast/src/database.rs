@@ -196,11 +196,9 @@ impl Database {
     /// `true` iff every IDB predicate of `program` has an empty relation —
     /// the paper's **nonuniform** initialization (IDBs empty, cf. \[Sa\]).
     pub fn idb_is_empty(&self, program: &Program) -> bool {
-        program.idb_predicates().all(|p| {
-            self.relations
-                .get(&p)
-                .is_none_or(|rel| rel.is_empty())
-        })
+        program
+            .idb_predicates()
+            .all(|p| self.relations.get(&p).is_none_or(|rel| rel.is_empty()))
     }
 
     /// Validates the database against a program's signature: every fact's
@@ -243,11 +241,7 @@ impl Database {
     pub fn universe(program: &Program, database: &Database) -> Vec<ConstSym> {
         let mut seen: FxHashSet<ConstSym> = FxHashSet::default();
         let mut out = Vec::new();
-        for c in program
-            .constants()
-            .into_iter()
-            .chain(database.constants())
-        {
+        for c in program.constants().into_iter().chain(database.constants()) {
             if seen.insert(c) {
                 out.push(c);
             }

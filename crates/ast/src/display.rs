@@ -37,7 +37,10 @@ pub fn program_with_signature(program: &Program) -> String {
 pub fn fact_lines(facts: &[GroundAtom]) -> String {
     let mut sorted: Vec<&GroundAtom> = facts.iter().collect();
     sorted.sort_by(|a, b| {
-        (a.pred.as_str(), a.args.iter().map(|c| c.as_str()).collect::<Vec<_>>())
+        (
+            a.pred.as_str(),
+            a.args.iter().map(|c| c.as_str()).collect::<Vec<_>>(),
+        )
             .cmp(&(b.pred.as_str(), b.args.iter().map(|c| c.as_str()).collect()))
     });
     let mut out = String::new();

@@ -62,7 +62,11 @@ pub enum ValidationError {
 impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ValidationError::ArityMismatch { pred, first, second } => write!(
+            ValidationError::ArityMismatch {
+                pred,
+                first,
+                second,
+            } => write!(
                 f,
                 "predicate `{pred}` used with conflicting arities {first} and {second}"
             ),

@@ -230,7 +230,13 @@ mod tests {
 
     #[test]
     fn negation_spellings() {
-        assert_eq!(kinds("not !  ~ ¬"), vec![Token::Not; 4].into_iter().chain([Token::Eof]).collect::<Vec<_>>());
+        assert_eq!(
+            kinds("not !  ~ ¬"),
+            vec![Token::Not; 4]
+                .into_iter()
+                .chain([Token::Eof])
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

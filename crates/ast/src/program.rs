@@ -52,11 +52,11 @@ impl Program {
         let mut pred_order: Vec<PredSym> = Vec::new();
 
         let note = |pred: PredSym,
-                        arity: usize,
-                        is_head: bool,
-                        neg: bool,
-                        preds: &mut FxHashMap<PredSym, PredInfo>,
-                        pred_order: &mut Vec<PredSym>|
+                    arity: usize,
+                    is_head: bool,
+                    neg: bool,
+                    preds: &mut FxHashMap<PredSym, PredInfo>,
+                    pred_order: &mut Vec<PredSym>|
          -> Result<(), ValidationError> {
             match preds.get_mut(&pred) {
                 Some(info) => {
@@ -226,7 +226,9 @@ impl Program {
     pub fn dependency_edges(&self) -> impl Iterator<Item = (PredSym, Sign, PredSym)> + '_ {
         self.rules.iter().flat_map(|r| {
             let head = r.head.pred;
-            r.body.iter().map(move |lit| (lit.atom.pred, lit.sign, head))
+            r.body
+                .iter()
+                .map(move |lit| (lit.atom.pred, lit.sign, head))
         })
     }
 }
@@ -274,7 +276,11 @@ mod tests {
         let r2 = Rule::fact(Atom::from_texts("p", &["a", "b"]));
         let err = Program::new(vec![r1, r2]).unwrap_err();
         match err {
-            ValidationError::ArityMismatch { pred, first, second } => {
+            ValidationError::ArityMismatch {
+                pred,
+                first,
+                second,
+            } => {
                 assert_eq!(pred.as_str(), "p");
                 assert_eq!((first, second), (1, 2));
             }

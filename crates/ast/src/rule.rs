@@ -112,7 +112,10 @@ impl Rule {
         let needs: Vec<VarSym> = self
             .head
             .variables()
-            .chain(self.body_with_sign(Sign::Neg).flat_map(|l| l.atom.variables()))
+            .chain(
+                self.body_with_sign(Sign::Neg)
+                    .flat_map(|l| l.atom.variables()),
+            )
             .collect();
         needs.into_iter().all(|v| positive.contains(&v))
     }
@@ -155,7 +158,10 @@ mod tests {
     #[test]
     fn variables_in_first_occurrence_order() {
         // win(X) :- move(X, Y), not win(Y).
-        let r = rule(("win", &["X"]), &[(true, "move", &["X", "Y"]), (false, "win", &["Y"])]);
+        let r = rule(
+            ("win", &["X"]),
+            &[(true, "move", &["X", "Y"]), (false, "win", &["Y"])],
+        );
         let vars: Vec<&str> = r.variables().iter().map(|v| v.as_str()).collect();
         assert_eq!(vars, vec!["X", "Y"]);
     }
@@ -185,7 +191,10 @@ mod tests {
 
     #[test]
     fn display_full_rule() {
-        let r = rule(("win", &["X"]), &[(true, "move", &["X", "Y"]), (false, "win", &["Y"])]);
+        let r = rule(
+            ("win", &["X"]),
+            &[(true, "move", &["X", "Y"]), (false, "win", &["Y"])],
+        );
         assert_eq!(r.to_string(), "win(X) :- move(X, Y), not win(Y).");
     }
 

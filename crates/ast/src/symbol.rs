@@ -182,7 +182,9 @@ mod tests {
 
     #[test]
     fn many_symbols_survive() {
-        let syms: Vec<Symbol> = (0..1000).map(|i| Symbol::intern(&format!("s{i}"))).collect();
+        let syms: Vec<Symbol> = (0..1000)
+            .map(|i| Symbol::intern(&format!("s{i}")))
+            .collect();
         for (i, s) in syms.iter().enumerate() {
             assert_eq!(s.as_str(), format!("s{i}"));
         }

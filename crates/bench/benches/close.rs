@@ -36,7 +36,9 @@ fn bench_unfounded_set(c: &mut Criterion) {
     for &k in &[64usize, 256, 1024] {
         let mut src = String::new();
         for i in 0..k {
-            src.push_str(&format!("p{i} :- p{i}, not q{i}.\nq{i} :- q{i}, not p{i}.\n"));
+            src.push_str(&format!(
+                "p{i} :- p{i}, not q{i}.\nq{i} :- q{i}, not p{i}.\n"
+            ));
         }
         let program = datalog_ast::parse_program(&src).expect("parses");
         let db = datalog_ast::Database::new();

@@ -54,5 +54,9 @@ fn bench_planted_call_consistent(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_negation_cycles, bench_planted_call_consistent);
+criterion_group!(
+    benches,
+    bench_negation_cycles,
+    bench_planted_call_consistent
+);
 criterion_main!(benches);

@@ -79,5 +79,10 @@ fn bench_pure_vs_wf(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_independent_ties, bench_even_ring, bench_pure_vs_wf);
+criterion_group!(
+    benches,
+    bench_independent_ties,
+    bench_even_ring,
+    bench_pure_vs_wf
+);
 criterion_main!(benches);

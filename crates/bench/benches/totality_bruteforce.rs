@@ -9,9 +9,7 @@ use paper_constructions::generators;
 use paper_constructions::CnfFormula;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use tiebreak_core::analysis::{
-    propositional_totality, structural_totality, TotalityConfig,
-};
+use tiebreak_core::analysis::{propositional_totality, structural_totality, TotalityConfig};
 
 fn bench_sweep_vs_structural(c: &mut Criterion) {
     let mut group = c.benchmark_group("totality_bruteforce_vs_structural");

@@ -54,7 +54,9 @@ fn bench_unfounded_sets(c: &mut Criterion) {
     for &k in &[16usize, 64, 256] {
         let mut src = String::new();
         for i in 0..k {
-            src.push_str(&format!("p{i} :- p{i}, not q{i}.\nq{i} :- q{i}, not p{i}.\n"));
+            src.push_str(&format!(
+                "p{i} :- p{i}, not q{i}.\nq{i} :- q{i}, not p{i}.\n"
+            ));
         }
         let program = datalog_ast::parse_program(&src).expect("parses");
         let db = datalog_ast::Database::new();

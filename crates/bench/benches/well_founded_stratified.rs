@@ -1,0 +1,98 @@
+//! E-WF-SCC — SCC-stratified vs. global evaluation.
+//!
+//! Two alternation-heavy workloads where the global interpreters pay
+//! Θ(n²) (every tie break / unfounded round re-scans or re-clones the
+//! whole remaining graph) while [`EvalMode::Stratified`] walks the
+//! condensation once:
+//!
+//! * the **win–move tie chain** — `n` draw pockets `a_i ↔ b_i` linked by
+//!   `a_i → a_{i+1}`: one tie component per pocket, resolvable only
+//!   source-first (grounded in `Relevant` mode so grounding cost does not
+//!   mask evaluation cost);
+//! * the **unfounded chain** — guard loops `a_i ← a_i` whose support
+//!   alternates with closure, forcing Θ(n) unfounded rounds.
+//!
+//! The CI `bench-trajectory` job runs the same instances through
+//! `bench_trajectory` and gates on Stratified ≥ Global at n ≥ 1024 (and
+//! ≥ 5× at n = 4096).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datalog_ast::Database;
+use datalog_ground::{ground, GroundConfig, GroundMode};
+use paper_constructions::generators;
+use tiebreak_core::semantics::well_founded::{well_founded, well_founded_with};
+use tiebreak_core::semantics::{well_founded_tie_breaking_with, RootTruePolicy};
+use tiebreak_core::{EvalMode, EvalOptions};
+
+fn options(mode: EvalMode) -> EvalOptions {
+    EvalOptions::with_mode(mode)
+}
+
+fn bench_tie_chain(c: &mut Criterion) {
+    let program = generators::win_move_program();
+    let mut group = c.benchmark_group("wf_tb_eval_mode_tie_chain");
+    group.sample_size(10);
+    for &n in &[256usize, 1024, 4096] {
+        let db = generators::tie_chain_move_db(n);
+        let graph = ground(
+            &program,
+            &db,
+            &GroundConfig {
+                mode: GroundMode::Relevant,
+                ..GroundConfig::default()
+            },
+        )
+        .expect("grounds");
+        group.throughput(Throughput::Elements(n as u64));
+        for mode in [EvalMode::Global, EvalMode::Stratified] {
+            let id = BenchmarkId::new(format!("{mode:?}").to_lowercase(), n);
+            group.bench_with_input(id, &n, |b, _| {
+                b.iter(|| {
+                    let mut policy = RootTruePolicy;
+                    let run = well_founded_tie_breaking_with(
+                        &graph,
+                        &program,
+                        &db,
+                        &mut policy,
+                        &options(mode),
+                    )
+                    .expect("runs");
+                    assert!(run.total, "every pocket is decided");
+                    std::hint::black_box(run.stats.ties_broken)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_unfounded_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wf_eval_mode_unfounded_chain");
+    group.sample_size(10);
+    for &n in &[256usize, 1024, 4096] {
+        let program = generators::unfounded_chain_program(n);
+        let db = Database::new();
+        let graph = ground(&program, &db, &GroundConfig::default()).expect("grounds");
+        group.throughput(Throughput::Elements(n as u64));
+        for mode in [EvalMode::Global, EvalMode::Stratified] {
+            let id = BenchmarkId::new(format!("{mode:?}").to_lowercase(), n);
+            group.bench_with_input(id, &n, |b, _| {
+                b.iter(|| {
+                    let run = match mode {
+                        EvalMode::Global => well_founded(&graph, &program, &db),
+                        EvalMode::Stratified => {
+                            well_founded_with(&graph, &program, &db, &options(mode))
+                        }
+                    }
+                    .expect("runs");
+                    assert!(run.total);
+                    std::hint::black_box(run.stats.unfounded_rounds)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tie_chain, bench_unfounded_chain);
+criterion_main!(benches);

@@ -1,0 +1,309 @@
+//! `bench_trajectory` — the CI perf-trajectory harness.
+//!
+//! Runs the well-founded + grounding trajectory workloads with wall-clock
+//! timing, writes a machine-readable `BENCH_<sha>.json` summary (instance
+//! sizes, mode, wall time, close/unfounded/tie round counts), and fails
+//! (exit code 1) when a perf gate regresses:
+//!
+//! * `Stratified` must not be slower than `Global` on the win–move tie
+//!   chain at n ≥ 1024;
+//! * `Stratified` must be ≥ 5× faster than `Global` on the win–move tie
+//!   chain at n = 4096.
+//!
+//! Gates compare the two modes on the same machine in the same process,
+//! so they are ratios — robust to runner speed. Usage:
+//!
+//! ```text
+//! bench_trajectory [--out FILE] [--sha SHA]
+//! ```
+//!
+//! `SHA` defaults to `$GITHUB_SHA`, then `local`; `FILE` defaults to
+//! `BENCH_<sha>.json`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use datalog_ast::Database;
+use datalog_ground::{ground, GroundConfig, GroundMode};
+use paper_constructions::generators;
+use tiebreak_core::semantics::well_founded::well_founded_with;
+use tiebreak_core::semantics::{well_founded_tie_breaking_with, RootTruePolicy};
+use tiebreak_core::{EvalMode, EvalOptions, RunStats};
+
+/// Timed runs per configuration; the minimum is reported.
+const RUNS: usize = 3;
+
+struct Entry {
+    bench: &'static str,
+    n: usize,
+    mode: String,
+    wall_ms: f64,
+    atoms: usize,
+    rules: usize,
+    stats: RunStats,
+}
+
+fn best_of<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    (best, last.expect("RUNS > 0"))
+}
+
+fn mode_name(mode: EvalMode) -> String {
+    format!("{mode:?}").to_lowercase()
+}
+
+/// The win–move chain of draw pockets, evaluated with WF tie-breaking in
+/// both modes (relevant grounding keeps the graph linear in n).
+fn tie_chain_entries(entries: &mut Vec<Entry>, sizes: &[usize]) {
+    let program = generators::win_move_program();
+    for &n in sizes {
+        let db = generators::tie_chain_move_db(n);
+        let graph = ground(
+            &program,
+            &db,
+            &GroundConfig {
+                mode: GroundMode::Relevant,
+                ..GroundConfig::default()
+            },
+        )
+        .expect("grounds");
+        for mode in [EvalMode::Global, EvalMode::Stratified] {
+            let options = EvalOptions::with_mode(mode);
+            let (wall_ms, stats) = best_of(|| {
+                let mut policy = RootTruePolicy;
+                let run =
+                    well_founded_tie_breaking_with(&graph, &program, &db, &mut policy, &options)
+                        .expect("runs");
+                assert!(run.total, "every pocket is decided");
+                run.stats
+            });
+            entries.push(Entry {
+                bench: "win_move_tie_chain",
+                n,
+                mode: mode_name(mode),
+                wall_ms,
+                atoms: graph.atom_count(),
+                rules: graph.rule_count(),
+                stats,
+            });
+        }
+    }
+}
+
+/// The unfounded chain, evaluated with plain well-founded in both modes.
+fn unfounded_chain_entries(entries: &mut Vec<Entry>, sizes: &[usize]) {
+    for &n in sizes {
+        let program = generators::unfounded_chain_program(n);
+        let db = Database::new();
+        let graph = ground(&program, &db, &GroundConfig::default()).expect("grounds");
+        for mode in [EvalMode::Global, EvalMode::Stratified] {
+            let options = EvalOptions::with_mode(mode);
+            let (wall_ms, stats) = best_of(|| {
+                let run = well_founded_with(&graph, &program, &db, &options).expect("runs");
+                assert!(run.total);
+                run.stats
+            });
+            entries.push(Entry {
+                bench: "unfounded_chain",
+                n,
+                mode: mode_name(mode),
+                wall_ms,
+                atoms: graph.atom_count(),
+                rules: graph.rule_count(),
+                stats,
+            });
+        }
+    }
+}
+
+/// Grounding trajectory: paper-literal full instantiation vs. the
+/// join-based relevant grounder on the win–move chain.
+fn grounding_entries(entries: &mut Vec<Entry>, n: usize) {
+    let program = generators::win_move_program();
+    // A move-chain of n edges over n + 1 constants: full grounding is
+    // Θ(|U|²), relevant is Θ(n) with the same post-close residual.
+    let mut db = Database::new();
+    for i in 0..n {
+        db.insert(datalog_ast::GroundAtom::from_texts(
+            "move",
+            &[&format!("c{i}"), &format!("c{}", i + 1)],
+        ))
+        .expect("binary facts");
+    }
+    for (mode, name) in [
+        (GroundMode::Full, "full"),
+        (GroundMode::Relevant, "relevant"),
+    ] {
+        let config = GroundConfig {
+            mode,
+            ..GroundConfig::default()
+        };
+        let (wall_ms, (atoms, rules)) = best_of(|| {
+            let g = ground(&program, &db, &config).expect("grounds");
+            (g.atom_count(), g.rule_count())
+        });
+        entries.push(Entry {
+            bench: "grounding_win_move_chain",
+            n,
+            mode: name.to_owned(),
+            wall_ms,
+            atoms,
+            rules,
+            stats: RunStats::default(),
+        });
+    }
+}
+
+struct Gate {
+    name: String,
+    pass: bool,
+    detail: String,
+}
+
+fn wall_of(entries: &[Entry], bench: &str, n: usize, mode: &str) -> f64 {
+    entries
+        .iter()
+        .find(|e| e.bench == bench && e.n == n && e.mode == mode)
+        .map(|e| e.wall_ms)
+        .expect("entry recorded")
+}
+
+fn gates(entries: &[Entry], sizes: &[usize]) -> Vec<Gate> {
+    let mut gates = Vec::new();
+    for &n in sizes.iter().filter(|&&n| n >= 1024) {
+        let global = wall_of(entries, "win_move_tie_chain", n, "global");
+        let strat = wall_of(entries, "win_move_tie_chain", n, "stratified");
+        gates.push(Gate {
+            name: format!("tie_chain_stratified_not_slower_n{n}"),
+            pass: strat <= global,
+            detail: format!("stratified {strat:.3}ms vs global {global:.3}ms"),
+        });
+        if n == 4096 {
+            gates.push(Gate {
+                name: "tie_chain_stratified_5x_n4096".to_owned(),
+                pass: strat * 5.0 <= global,
+                detail: format!(
+                    "speedup {:.1}x (stratified {strat:.3}ms, global {global:.3}ms)",
+                    global / strat.max(f64::MIN_POSITIVE)
+                ),
+            });
+        }
+    }
+    gates
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn to_json(sha: &str, entries: &[Entry], gates: &[Gate]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"sha\": \"{}\",", json_escape(sha));
+    let _ = writeln!(out, "  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"bench\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"wall_ms\": {:.3}, \
+             \"atoms\": {}, \"rules\": {}, \"close_rounds\": {}, \"unfounded_rounds\": {}, \
+             \"ties_broken\": {}, \"components_processed\": {}, \"max_component_rounds\": {}}}",
+            e.bench,
+            e.n,
+            e.mode,
+            e.wall_ms,
+            e.atoms,
+            e.rules,
+            e.stats.close_rounds,
+            e.stats.unfounded_rounds,
+            e.stats.ties_broken,
+            e.stats.components_processed,
+            e.stats.max_component_rounds,
+        );
+        let _ = writeln!(out, "{}", if i + 1 < entries.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"gates\": [");
+    for (i, g) in gates.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"pass\": {}, \"detail\": \"{}\"}}",
+            json_escape(&g.name),
+            g.pass,
+            json_escape(&g.detail)
+        );
+        let _ = writeln!(out, "{}", if i + 1 < gates.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = None;
+    let mut sha: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().cloned(),
+            "--sha" => sha = it.next().cloned(),
+            other => {
+                eprintln!(
+                    "unknown argument {other} (usage: bench_trajectory [--out FILE] [--sha SHA])"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let sha = sha
+        .or_else(|| std::env::var("GITHUB_SHA").ok())
+        .unwrap_or_else(|| "local".to_owned());
+    let out_path = out_path.unwrap_or_else(|| format!("BENCH_{sha}.json"));
+
+    let tie_sizes = [256usize, 1024, 4096];
+    let mut entries = Vec::new();
+    tie_chain_entries(&mut entries, &tie_sizes);
+    unfounded_chain_entries(&mut entries, &tie_sizes);
+    grounding_entries(&mut entries, 256);
+
+    let gates = gates(&entries, &tie_sizes);
+    let json = to_json(&sha, &entries, &gates);
+    std::fs::write(&out_path, &json).expect("write summary");
+
+    for e in &entries {
+        println!(
+            "{:<26} n={:<5} {:<10} {:>10.3} ms  (atoms {}, rules {}, ties {}, unfounded {})",
+            e.bench,
+            e.n,
+            e.mode,
+            e.wall_ms,
+            e.atoms,
+            e.rules,
+            e.stats.ties_broken,
+            e.stats.unfounded_rounds
+        );
+    }
+    let mut failed = false;
+    for g in &gates {
+        println!(
+            "gate {:<40} {}  ({})",
+            g.name,
+            if g.pass { "PASS" } else { "FAIL" },
+            g.detail
+        );
+        failed |= !g.pass;
+    }
+    println!("wrote {out_path}");
+    if failed {
+        eprintln!("perf trajectory gate failed");
+        std::process::exit(1);
+    }
+}

@@ -27,7 +27,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use signed_graph::{tie, EdgeSign, SignedDigraph};
 use tiebreak_core::analysis::{
-    propositional_totality, structural_nonuniform_totality, structural_totality, stratify,
+    propositional_totality, stratify, structural_nonuniform_totality, structural_totality,
     useless_predicates, TotalityConfig,
 };
 use tiebreak_core::semantics::enumerate::{enumerate_fixpoints, enumerate_stable, EnumerateConfig};
@@ -203,24 +203,16 @@ fn exp_programs_1_2(report: &mut Report) {
         .collect();
 
     // (1) is nonuniformly total: a fixpoint for every EDB database.
-    let r1 = tiebreak_core::analysis::bounded_totality(
-        &p1,
-        &pool,
-        true,
-        &TotalityConfig::default(),
-    )
-    .expect("in budget");
+    let r1 =
+        tiebreak_core::analysis::bounded_totality(&p1, &pool, true, &TotalityConfig::default())
+            .expect("in budget");
     ok &= r1.total;
 
     // ... but NOT uniformly total: the sweep finds the Δ = {p(b), e(b)}
     // counterexample.
-    let r1_uniform = tiebreak_core::analysis::bounded_totality(
-        &p1,
-        &pool,
-        false,
-        &TotalityConfig::default(),
-    )
-    .expect("in budget");
+    let r1_uniform =
+        tiebreak_core::analysis::bounded_totality(&p1, &pool, false, &TotalityConfig::default())
+            .expect("in budget");
     ok &= !r1_uniform.total;
     let cex = r1_uniform
         .counterexample
@@ -317,10 +309,9 @@ fn exp_pq_example(report: &mut Report) {
 /// E-EX3 — the three-rule example of §3: no tie, no unfounded set, three
 /// stable models.
 fn exp_three_rules(report: &mut Report) {
-    let program = parse_program(
-        "p1 :- not p2, not p3.\np2 :- not p1, not p3.\np3 :- not p1, not p2.",
-    )
-    .expect("parses");
+    let program =
+        parse_program("p1 :- not p2, not p3.\np2 :- not p1, not p3.\np3 :- not p1, not p2.")
+            .expect("parses");
     let db = Database::new();
     let graph = ground_or_die(&program, &db);
 
@@ -386,7 +377,10 @@ fn exp_theorem2(report: &mut Report) {
     }
     // Variant constructions: unary and ternary, from two witness programs.
     let mut killed = 0;
-    for src in ["p(a) :- not p(X), e(b).", "win(X) :- move(X, Y), not win(Y)."] {
+    for src in [
+        "p(a) :- not p(X), e(b).",
+        "win(X) :- move(X, Y), not win(Y).",
+    ] {
         let p = parse_program(src).expect("parses");
         let st = structural_totality(&p);
         ok &= !st.total;
@@ -541,8 +535,9 @@ fn exp_proposition(report: &mut Report) {
             };
             let program = f.to_program();
             for nonuniform in [false, true] {
-                let verdict = propositional_totality(&program, nonuniform, &TotalityConfig::default())
-                    .expect("in budget");
+                let verdict =
+                    propositional_totality(&program, nonuniform, &TotalityConfig::default())
+                        .expect("in budget");
                 ok &= verdict.total == f.forall_exists();
                 checked += 1;
             }
@@ -666,7 +661,8 @@ fn exp_corollary2(report: &mut Report) {
     report.record(
         "E-C2",
         "structurally total ⇔ every same-skeleton program has a stable model for every Δ",
-        "C(n,k) n ≤ 4: stable-model sweep agrees with the structural verdict in every case".to_owned(),
+        "C(n,k) n ≤ 4: stable-model sweep agrees with the structural verdict in every case"
+            .to_owned(),
         ok,
     );
 }

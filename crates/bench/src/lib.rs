@@ -28,6 +28,5 @@ pub fn ring_move_db(n: usize) -> Database {
 /// The transitive-closure program used by grounding/close/seminaive
 /// benches.
 pub fn tc_program() -> Program {
-    datalog_ast::parse_program("t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).")
-        .expect("parses")
+    datalog_ast::parse_program("t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).").expect("parses")
 }

@@ -16,13 +16,18 @@
 //! the join-based relevant grounding — same post-`close` semantics, far
 //! smaller graphs on large databases.
 //!
+//! Every command that evaluates accepts `--eval-mode global|stratified`:
+//! `global` (default) is the paper-literal loop; `stratified` drives the
+//! interpreters over the SCC condensation of the residual graph — same
+//! models and outcome sets, far faster on alternation-heavy instances.
+//!
 //! Programs use `head(X) :- body(X), not other(X).` syntax; database files
 //! contain ground facts only.
 
 use std::process::ExitCode;
 
 use tiebreak_core::semantics::{RandomPolicy, RootFalsePolicy, RootTruePolicy, TiePolicy};
-use tiebreak_core::{Engine, EngineConfig, GroundMode};
+use tiebreak_core::{Engine, EngineConfig, EvalMode, GroundMode};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,7 +41,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  datalog analyze <program.dl>\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N]\n  datalog totality <program.dl> [--nonuniform]\n\nGrounding commands also accept --ground-mode full|relevant (default: full)."
+    "usage:\n  datalog analyze <program.dl>\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N]\n  datalog totality <program.dl> [--nonuniform]\n\nGrounding commands also accept --ground-mode full|relevant (default: full).\nEvaluating commands also accept --eval-mode global|stratified (default: global)."
         .to_owned()
 }
 
@@ -50,6 +55,7 @@ struct Options {
     atom: Option<String>,
     nonuniform: bool,
     ground_mode: GroundMode,
+    eval_mode: EvalMode,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -63,6 +69,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         atom: None,
         nonuniform: false,
         ground_mode: GroundMode::Full,
+        eval_mode: EvalMode::Global,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -99,6 +106,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown ground mode {other} (full|relevant)")),
                 };
             }
+            "--eval-mode" => {
+                opts.eval_mode = match it.next().ok_or("--eval-mode needs a value")?.as_str() {
+                    "global" => EvalMode::Global,
+                    "stratified" => EvalMode::Stratified,
+                    other => return Err(format!("unknown eval mode {other} (global|stratified)")),
+                };
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -119,7 +133,13 @@ fn load_engine(opts: &Options) -> Result<Engine, String> {
         None => String::new(),
     };
     Engine::from_sources(&program_src, &db_src)
-        .map(|e| e.with_config(EngineConfig::default().with_ground_mode(opts.ground_mode)))
+        .map(|e| {
+            e.with_config(
+                EngineConfig::default()
+                    .with_ground_mode(opts.ground_mode)
+                    .with_eval_mode(opts.eval_mode),
+            )
+        })
         .map_err(|e| e.to_string())
 }
 
@@ -201,7 +221,11 @@ fn run(args: &[String]) -> Result<(), String> {
             if models.is_empty() {
                 println!(
                     "% no {} exist",
-                    if opts.stable { "stable models" } else { "fixpoints" }
+                    if opts.stable {
+                        "stable models"
+                    } else {
+                        "fixpoints"
+                    }
                 );
             }
             Ok(())
@@ -237,18 +261,21 @@ fn run(args: &[String]) -> Result<(), String> {
             let graph = engine.ground().map_err(|e| e.to_string())?;
             let program = engine.program();
             let database = engine.database();
+            let eval = tiebreak_core::EvalOptions::with_mode(opts.eval_mode);
             let model = match opts.semantics.as_str() {
                 "wf" => {
-                    tiebreak_core::semantics::well_founded::well_founded(
-                        &graph, program, database,
-                    )
-                    .map_err(|e| e.to_string())?
-                    .model
+                    tiebreak_core::semantics::well_founded_with(&graph, program, database, &eval)
+                        .map_err(|e| e.to_string())?
+                        .model
                 }
                 "tb" => {
                     let mut policy = RootTruePolicy;
-                    tiebreak_core::semantics::well_founded_tie_breaking(
-                        &graph, program, database, &mut policy,
+                    tiebreak_core::semantics::well_founded_tie_breaking_with(
+                        &graph,
+                        program,
+                        database,
+                        &mut policy,
+                        &eval,
                     )
                     .map_err(|e| e.to_string())?
                     .model
@@ -276,12 +303,13 @@ fn run(args: &[String]) -> Result<(), String> {
             let engine = load_engine(&opts)?;
             let graph = engine.ground().map_err(|e| e.to_string())?;
             let max_runs = if opts.limit == 0 { 256 } else { opts.limit };
-            let set = tiebreak_core::semantics::outcomes::all_outcomes(
+            let set = tiebreak_core::semantics::outcomes::all_outcomes_with(
                 &graph,
                 engine.program(),
                 engine.database(),
                 opts.semantics == "pure-tb",
                 max_runs,
+                &tiebreak_core::EvalOptions::with_mode(opts.eval_mode),
             )
             .map_err(|e| e.to_string())?;
             println!(
@@ -315,7 +343,11 @@ fn run(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
             println!(
                 "total ({}): {} ({} databases checked)",
-                if opts.nonuniform { "nonuniform" } else { "uniform" },
+                if opts.nonuniform {
+                    "nonuniform"
+                } else {
+                    "uniform"
+                },
                 report.total,
                 report.databases_checked
             );
@@ -344,10 +376,18 @@ mod tests {
 
     #[test]
     fn option_parsing() {
-        let args: Vec<String> = ["prog.dl", "db.dl", "--semantics", "wf", "--seed", "7", "--stable"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "prog.dl",
+            "db.dl",
+            "--semantics",
+            "wf",
+            "--seed",
+            "7",
+            "--stable",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let opts = parse_options(&args).unwrap();
         assert_eq!(opts.files, vec!["prog.dl", "db.dl"]);
         assert_eq!(opts.semantics, "wf");

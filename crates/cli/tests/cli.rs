@@ -24,8 +24,14 @@ fn analyze_reports_structure() {
     let out = datalog(&["analyze", prog.to_str().unwrap()]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("stratified:                     false"), "{text}");
-    assert!(text.contains("structurally total (Thm 2):     true"), "{text}");
+    assert!(
+        text.contains("stratified:                     false"),
+        "{text}"
+    );
+    assert!(
+        text.contains("structurally total (Thm 2):     true"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -151,7 +157,11 @@ fn explain_justifies_values() {
         "--semantics",
         "wf",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("win(a) is true"), "{text}");
 
@@ -172,7 +182,11 @@ fn explain_justifies_values() {
 fn outcomes_lists_all_orientations() {
     let prog = write_temp("outc.dl", "p :- not q.\nq :- not p.");
     let out = datalog(&["outcomes", prog.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("2 distinct outcome(s)"), "{text}");
     assert!(text.contains("{p}") && text.contains("{q}"), "{text}");
@@ -182,7 +196,11 @@ fn outcomes_lists_all_orientations() {
 fn totality_sweep_with_counterexample() {
     let prog = write_temp("tot.dl", "p :- not p, e.");
     let out = datalog(&["totality", prog.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("total (uniform): false"), "{text}");
     assert!(text.contains("e."), "{text}");
@@ -200,7 +218,11 @@ fn ground_mode_flag_switches_grounders() {
 
     // Full (default): |U|² = 9 instances, 12 atoms.
     let out = datalog(&["ground", prog.to_str().unwrap(), db.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("% 12 ground atoms, 9 rule nodes"), "{text}");
 
@@ -212,7 +234,11 @@ fn ground_mode_flag_switches_grounders() {
         "--ground-mode",
         "relevant",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("% 5 ground atoms, 2 rule nodes"), "{text}");
 
@@ -243,4 +269,63 @@ fn ground_mode_flag_switches_grounders() {
     assert!(!out.status.success());
     let text = String::from_utf8_lossy(&out.stderr);
     assert!(text.contains("unknown ground mode"), "{text}");
+}
+
+#[test]
+fn eval_mode_flag_switches_interpreters() {
+    let prog = write_temp("em.dl", "win(X) :- move(X, Y), not win(Y).");
+    let db = write_temp(
+        "em_db.dl",
+        "move(a, b).\nmove(b, c).\nmove(d, e).\nmove(e, d).",
+    );
+
+    // Both modes resolve the DAG part identically and decide the d ↔ e
+    // draw pocket by breaking a tie.
+    let mut outputs = Vec::new();
+    for mode in ["global", "stratified"] {
+        let out = datalog(&[
+            "run",
+            prog.to_str().unwrap(),
+            db.to_str().unwrap(),
+            "--semantics",
+            "tb",
+            "--eval-mode",
+            mode,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(text.contains("win(b)."), "{mode}: {text}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("ties broken: 1"), "{mode}: {stderr}");
+        outputs.push(text);
+    }
+
+    // The outcomes command honors the flag too: same outcome set.
+    for mode in ["global", "stratified"] {
+        let out = datalog(&[
+            "outcomes",
+            prog.to_str().unwrap(),
+            db.to_str().unwrap(),
+            "--eval-mode",
+            mode,
+        ]);
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("% 2 distinct outcome(s)"), "{mode}: {text}");
+    }
+
+    let out = datalog(&[
+        "run",
+        prog.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--eval-mode",
+        "bogus",
+    ]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("unknown eval mode"), "{text}");
 }

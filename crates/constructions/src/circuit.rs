@@ -153,9 +153,7 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    use tiebreak_core::analysis::{
-        structural_nonuniform_totality, useless_predicates,
-    };
+    use tiebreak_core::analysis::{structural_nonuniform_totality, useless_predicates};
 
     /// x0 ∧ (x1 ∨ x2)
     fn sample() -> Circuit {

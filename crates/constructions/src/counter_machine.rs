@@ -111,12 +111,17 @@ impl CounterMachine {
         if config.state == self.halt {
             return None;
         }
-        let t = self.rules[config.state][usize::from(config.c1 == 0)]
-            [usize::from(config.c2 == 0)]?;
+        let t = self.rules[config.state][usize::from(config.c1 == 0)][usize::from(config.c2 == 0)]?;
         Some(Config {
             state: t.next,
-            c1: config.c1.checked_add_signed(t.d1 as i64).expect("counter underflow"),
-            c2: config.c2.checked_add_signed(t.d2 as i64).expect("counter underflow"),
+            c1: config
+                .c1
+                .checked_add_signed(t.d1 as i64)
+                .expect("counter underflow"),
+            c2: config
+                .c2
+                .checked_add_signed(t.d2 as i64)
+                .expect("counter underflow"),
         })
     }
 
@@ -151,16 +156,7 @@ impl CounterMachine {
             // Same move regardless of counter status.
             for z1 in [false, true] {
                 for z2 in [false, true] {
-                    m = m.on(
-                        s,
-                        z1,
-                        z2,
-                        Transition {
-                            next,
-                            d1: 1,
-                            d2: 0,
-                        },
-                    );
+                    m = m.on(s, z1, z2, Transition { next, d1: 1, d2: 0 });
                 }
             }
         }
@@ -201,16 +197,7 @@ impl CounterMachine {
             let next = if s + 1 == pump_states { drain } else { s + 1 };
             for z1 in [false, true] {
                 for z2 in [false, true] {
-                    m = m.on(
-                        s,
-                        z1,
-                        z2,
-                        Transition {
-                            next,
-                            d1: 1,
-                            d2: 0,
-                        },
-                    );
+                    m = m.on(s, z1, z2, Transition { next, d1: 1, d2: 0 });
                 }
             }
         }
@@ -243,7 +230,11 @@ impl CounterMachine {
 
 impl fmt::Display for CounterMachine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "2-counter machine: {} states, halt = {}", self.states, self.halt)?;
+        writeln!(
+            f,
+            "2-counter machine: {} states, halt = {}",
+            self.states, self.halt
+        )?;
         for (s, by_z1) in self.rules.iter().enumerate() {
             for (z1, by_z2) in by_z1.iter().enumerate() {
                 for (z2, t) in by_z2.iter().enumerate() {
@@ -303,7 +294,14 @@ mod tests {
         let m = CounterMachine::count_up_and_halt(2);
         let t = m.trace(10);
         assert_eq!(t.len(), 4); // start + 3 steps (then halt, no move)
-        assert_eq!(t[0], Config { state: 0, c1: 0, c2: 0 });
+        assert_eq!(
+            t[0],
+            Config {
+                state: 0,
+                c1: 0,
+                c2: 0
+            }
+        );
         assert_eq!(t[3].state, m.halt);
         assert_eq!(t[3].c1, 3);
     }

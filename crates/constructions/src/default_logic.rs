@@ -113,10 +113,7 @@ impl DefaultTheory {
                     continue;
                 }
                 let prereqs_ok = d.prerequisites.iter().all(|p| derived.contains(p));
-                let justs_ok = d
-                    .justifications_not
-                    .iter()
-                    .all(|j| !candidate.contains(j));
+                let justs_ok = d.justifications_not.iter().all(|j| !candidate.contains(j));
                 if prereqs_ok && justs_ok {
                     derived.insert(d.conclusion);
                     changed = true;

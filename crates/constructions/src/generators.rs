@@ -84,6 +84,58 @@ pub fn independent_ties(pairs: usize) -> Program {
     b.build().expect("valid")
 }
 
+/// A `move` relation forming a **chain of `n` draw pockets** for the
+/// win–move game: positions `a_i` and `b_i` move to each other (an even
+/// cycle the well-founded semantics leaves drawn) and `a_i` can also
+/// advance to `a_{i+1}`. The residual graph is a chain of `n` tie
+/// components, each resolvable only after its successor — the canonical
+/// alternation-heavy workload: the global tie-breaking loop re-scans the
+/// whole graph per tie (Θ(n²) end-to-end) while the SCC-stratified mode
+/// walks the condensation once (Θ(n)).
+pub fn tie_chain_move_db(n: usize) -> Database {
+    let mut db = Database::new();
+    let mut insert = |from: &str, to: &str| {
+        db.insert(GroundAtom::from_texts("move", &[from, to]))
+            .expect("binary facts");
+    };
+    for i in 0..n {
+        insert(&format!("a{i}"), &format!("b{i}"));
+        insert(&format!("b{i}"), &format!("a{i}"));
+        if i + 1 < n {
+            insert(&format!("a{i}"), &format!("a{}", i + 1));
+        }
+    }
+    db
+}
+
+/// The **unfounded chain** U(n): `a_i ← a_i` (guard loops),
+/// `a_i ← b_{i-1}` (chain support), `b_i ← ¬a_i`. Algorithm Well-Founded
+/// resolves it one loop at a time — falsifying `a_i` closes `b_i` true
+/// and `a_{i+1}` true, exposing `a_{i+2}` as the next unfounded set — so
+/// the global interpreter pays Θ(n) unfounded rounds of Θ(n) state
+/// cloning each. The stratified mode handles each loop inside its own
+/// component in one topological pass.
+pub fn unfounded_chain_program(n: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    for i in 0..n {
+        let a = format!("a{i}");
+        let bb = format!("b{i}");
+        b = b.rule(&a, &[], |body| {
+            body.pos(&a, &[]);
+        });
+        if i > 0 {
+            let prev = format!("b{}", i - 1);
+            b = b.rule(&a, &[], |body| {
+                body.pos(&prev, &[]);
+            });
+        }
+        b = b.rule(&bb, &[], |body| {
+            body.neg(&a, &[]);
+        });
+    }
+    b.build().expect("valid")
+}
+
 /// A random **call-consistent** (structurally total) program with a
 /// planted tie partition: each predicate gets a side bit; positive
 /// dependencies stay within a side, negative ones cross — so every cycle
@@ -234,8 +286,7 @@ pub fn layered_stratified(layers: usize, preds_per_layer: usize) -> Program {
                 });
             } else {
                 let below_pos = format!("l{}_{}", layer - 1, i % preds_per_layer);
-                let below_neg =
-                    format!("l{}_{}", layer - 1, (i + 1) % preds_per_layer);
+                let below_neg = format!("l{}_{}", layer - 1, (i + 1) % preds_per_layer);
                 b = b.rule(&head, &["X"], |body| {
                     body.pos(&below_pos, &["X"]).neg(&below_neg, &["X"]);
                 });
@@ -274,7 +325,7 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    use tiebreak_core::analysis::{structural_totality, stratify};
+    use tiebreak_core::analysis::{stratify, structural_totality};
 
     #[test]
     fn negation_cycle_parity_matches_theorem2() {

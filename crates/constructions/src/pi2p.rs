@@ -250,10 +250,7 @@ mod tests {
         let p = f.to_program();
         // 1 clause rule + 2 rules per y-variable.
         assert_eq!(p.len(), 5);
-        assert_eq!(
-            p.rules()[0].to_string(),
-            "p :- not p, not q, not x0, y1."
-        );
+        assert_eq!(p.rules()[0].to_string(), "p :- not p, not q, not x0, y1.");
         // X variables are EDB.
         assert!(p.edb_predicates().any(|q| q.as_str() == "x0"));
         assert!(p.is_idb("y1".into()));

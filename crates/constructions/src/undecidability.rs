@@ -257,10 +257,7 @@ pub fn uniformize(program: &Program) -> Program {
             .collect();
         rules.push(Rule::new(
             q.clone(),
-            vec![
-                Literal::pos(Atom::new(pred, args)),
-                Literal::pos(q.clone()),
-            ],
+            vec![Literal::pos(Atom::new(pred, args)), Literal::pos(q.clone())],
         ));
     }
     Program::new(rules).expect("uniformization is arity-consistent")
@@ -304,16 +301,11 @@ mod tests {
         // reduces to p ← ¬p and the WF model cannot be total — but all
         // state/count atoms are decided. Check the trace is reproduced.
         for (time, cfg) in m.trace(steps).iter().enumerate() {
-            let atom = GroundAtom::from_texts(
-                "state",
-                &[&time.to_string(), &cfg.state.to_string()],
-            );
+            let atom =
+                GroundAtom::from_texts("state", &[&time.to_string(), &cfg.state.to_string()]);
             let id = g.atoms().id_of(&atom).unwrap();
             assert_eq!(run.model.get(id), TruthValue::True, "missing {atom}");
-            let c1 = GroundAtom::from_texts(
-                "count1",
-                &[&time.to_string(), &cfg.c1.to_string()],
-            );
+            let c1 = GroundAtom::from_texts("count1", &[&time.to_string(), &cfg.c1.to_string()]);
             assert_eq!(
                 run.model.get(g.atoms().id_of(&c1).unwrap()),
                 TruthValue::True,

@@ -369,9 +369,7 @@ mod tests {
     use super::*;
     use datalog_ast::parse_program;
     use datalog_ground::{ground, GroundConfig};
-    use tiebreak_core::analysis::{
-        structural_totality, stratify, useless_predicates,
-    };
+    use tiebreak_core::analysis::{stratify, structural_totality, useless_predicates};
     use tiebreak_core::semantics::enumerate::{enumerate_fixpoints, EnumerateConfig};
     use tiebreak_core::semantics::well_founded::well_founded;
 

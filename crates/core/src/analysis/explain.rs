@@ -135,10 +135,7 @@ mod tests {
     use datalog_ast::{parse_database, parse_program, GroundAtom};
     use datalog_ground::{ground, GroundConfig};
 
-    fn setup(
-        src: &str,
-        db_src: &str,
-    ) -> (GroundGraph, Program, Database, PartialModel) {
+    fn setup(src: &str, db_src: &str) -> (GroundGraph, Program, Database, PartialModel) {
         let p = parse_program(src).unwrap();
         let d = parse_database(db_src).unwrap();
         let g = ground(&p, &d, &GroundConfig::default()).unwrap();
@@ -147,7 +144,9 @@ mod tests {
     }
 
     fn id(g: &GroundGraph, pred: &str, args: &[&str]) -> AtomId {
-        g.atoms().id_of(&GroundAtom::from_texts(pred, args)).unwrap()
+        g.atoms()
+            .id_of(&GroundAtom::from_texts(pred, args))
+            .unwrap()
     }
 
     #[test]
@@ -164,7 +163,13 @@ mod tests {
         let Justification::Derived { rule } = j else {
             panic!("expected Derived, got {j:?}")
         };
-        let text = render(&g, &p, &m, id(&g, "p", &["a"]), &Justification::Derived { rule });
+        let text = render(
+            &g,
+            &p,
+            &m,
+            id(&g, "p", &["a"]),
+            &Justification::Derived { rule },
+        );
         assert!(text.contains("derived by r0[X=a]"), "{text}");
     }
 

@@ -11,9 +11,7 @@ pub mod useless;
 
 pub use explain::{justify, Justification};
 
-pub use local_strat::{
-    locally_stratified, locally_stratified_after_close, LocalStratification,
-};
+pub use local_strat::{locally_stratified, locally_stratified_after_close, LocalStratification};
 pub use program_graph::ProgramGraph;
 pub use stratification::{stratify, Stratification};
 pub use structural::{structural_totality, PredCycle, StructuralTotality};

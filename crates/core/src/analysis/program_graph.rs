@@ -86,14 +86,8 @@ mod tests {
         let mv = pg.node_of("move".into()).unwrap();
         // move -+-> win ; win ---> win.
         assert_eq!(pg.graph.edge_count(), 2);
-        assert!(pg
-            .graph
-            .out_edges(mv)
-            .contains(&(win, EdgeSign::Pos)));
-        assert!(pg
-            .graph
-            .out_edges(win)
-            .contains(&(win, EdgeSign::Neg)));
+        assert!(pg.graph.out_edges(mv).contains(&(win, EdgeSign::Pos)));
+        assert!(pg.graph.out_edges(win).contains(&(win, EdgeSign::Neg)));
     }
 
     #[test]

@@ -47,9 +47,10 @@ pub fn stratify(program: &Program) -> Stratification {
     let sccs = Sccs::compute(&pg.graph);
 
     // Unstratified iff some negative edge is internal to an SCC.
-    let offending = pg.graph.edges().find(|&(u, v, s)| {
-        s.is_neg() && sccs.component_of(u) == sccs.component_of(v)
-    });
+    let offending = pg
+        .graph
+        .edges()
+        .find(|&(u, v, s)| s.is_neg() && sccs.component_of(u) == sccs.component_of(v));
 
     if let Some((u, v, _)) = offending {
         let witness = PredCycle::through_edge(&pg, &sccs, u, v);
@@ -73,7 +74,11 @@ pub fn stratify(program: &Program) -> Stratification {
     Stratification {
         stratified: true,
         strata,
-        stratum_count: if pg.preds.is_empty() { 0 } else { max_level + 1 },
+        stratum_count: if pg.preds.is_empty() {
+            0
+        } else {
+            max_level + 1
+        },
         witness: None,
     }
 }

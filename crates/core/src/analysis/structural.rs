@@ -37,12 +37,7 @@ impl PredCycle {
     /// BFS path from `v` back to `u` inside the component. (Used by the
     /// stratification witness, where any cycle through a negative edge
     /// will do.)
-    pub(crate) fn through_edge(
-        pg: &ProgramGraph,
-        sccs: &Sccs,
-        u: NodeId,
-        v: NodeId,
-    ) -> PredCycle {
+    pub(crate) fn through_edge(pg: &ProgramGraph, sccs: &Sccs, u: NodeId, v: NodeId) -> PredCycle {
         let comp = sccs.component_of(u);
         debug_assert_eq!(comp, sccs.component_of(v));
         // BFS v → u within the component.
@@ -225,10 +220,7 @@ mod tests {
 
     #[test]
     fn witness_is_a_real_cycle() {
-        let p = parse_program(
-            "a :- not b.\nb :- c.\nc :- not d.\nd :- a.\nx :- not x.",
-        )
-        .unwrap();
+        let p = parse_program("a :- not b.\nb :- c.\nc :- not d.\nd :- a.\nx :- not x.").unwrap();
         let st = structural_totality(&p);
         assert!(!st.total);
         let w = st.witness.unwrap();

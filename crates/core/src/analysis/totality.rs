@@ -122,11 +122,7 @@ fn sweep(
     pool: &[ConstSym],
     nonuniform: bool,
     config: &TotalityConfig,
-    accept: impl Fn(
-        &datalog_ground::GroundGraph,
-        &Program,
-        &Database,
-    ) -> Result<bool, SemanticsError>,
+    accept: impl Fn(&datalog_ground::GroundGraph, &Program, &Database) -> Result<bool, SemanticsError>,
 ) -> Result<TotalityReport, SemanticsError> {
     let candidates = candidate_facts(program, pool, nonuniform);
     let n = candidates.len();
@@ -273,8 +269,7 @@ mod tests {
         let p = parse_program("p :- not q.\nq :- not p.").unwrap();
         let fix = propositional_totality(&p, false, &TotalityConfig::default()).unwrap();
         assert!(fix.total);
-        let wf = bounded_well_founded_totality(&p, &[], false, &TotalityConfig::default())
-            .unwrap();
+        let wf = bounded_well_founded_totality(&p, &[], false, &TotalityConfig::default()).unwrap();
         assert!(!wf.total);
         assert_eq!(wf.counterexample.unwrap().len(), 0); // empty Δ already
     }
@@ -283,8 +278,7 @@ mod tests {
     fn stratified_programs_are_well_founded_total() {
         // Theorem 5's "if" direction on the bounded sweep.
         let p = parse_program("b :- e, not a.\na :- e.").unwrap();
-        let wf = bounded_well_founded_totality(&p, &[], false, &TotalityConfig::default())
-            .unwrap();
+        let wf = bounded_well_founded_totality(&p, &[], false, &TotalityConfig::default()).unwrap();
         assert!(wf.total);
         assert_eq!(wf.databases_checked, 8);
     }

@@ -214,8 +214,12 @@ mod tests {
     fn useful_order_respects_dependencies() {
         let p = parse_program("a :- e.\nb :- a.\nc :- b.").unwrap();
         let an = useless_predicates(&p);
-        let pos =
-            |name: &str| an.useful_order.iter().position(|p| p.as_str() == name).unwrap();
+        let pos = |name: &str| {
+            an.useful_order
+                .iter()
+                .position(|p| p.as_str() == name)
+                .unwrap()
+        };
         assert!(pos("a") < pos("b"));
         assert!(pos("b") < pos("c"));
     }

@@ -28,21 +28,25 @@ use datalog_ast::{AstError, Database, GroundAtom, Program};
 use datalog_ground::{ground, GroundConfig, GroundGraph, GroundMode, PartialModel, TruthValue};
 
 use crate::analysis::{
-    self, structural_nonuniform_totality, structural_totality, stratify, useless_predicates,
+    self, stratify, structural_nonuniform_totality, structural_totality, useless_predicates,
 };
 use crate::semantics::enumerate::{enumerate_fixpoints, enumerate_stable, EnumerateConfig};
 use crate::semantics::stratified::{stratified, StratifiedRun};
-use crate::semantics::tie_breaking::{pure_tie_breaking, well_founded_tie_breaking, TiePolicy};
-use crate::semantics::well_founded::well_founded;
-use crate::semantics::{InterpreterRun, RunStats, SemanticsError};
+use crate::semantics::tie_breaking::{
+    pure_tie_breaking_with, well_founded_tie_breaking_with, TiePolicy,
+};
+use crate::semantics::well_founded::well_founded_with;
+use crate::semantics::{EvalMode, EvalOptions, InterpreterRun, RunStats, SemanticsError};
 
-/// Engine-wide budgets and grounding mode.
+/// Engine-wide budgets, grounding mode, and evaluation mode.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineConfig {
     /// Grounding budgets and [`GroundMode`].
     pub ground: GroundConfig,
     /// Enumeration budgets.
     pub enumerate: EnumerateConfig,
+    /// Evaluation mode and stats detail for the interpreters.
+    pub eval: EvalOptions,
 }
 
 impl EngineConfig {
@@ -52,6 +56,25 @@ impl EngineConfig {
     #[must_use]
     pub fn with_ground_mode(mut self, mode: GroundMode) -> Self {
         self.ground.mode = mode;
+        self
+    }
+
+    /// Selects the evaluation mode (`Global` is the paper-literal
+    /// default; `Stratified` drives the interpreters over the SCC
+    /// condensation of the residual graph — identical models and outcome
+    /// sets, far faster on alternation-heavy instances).
+    #[must_use]
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.eval.mode = mode;
+        self
+    }
+
+    /// Opts into detailed per-event statistics (`RunStats::tie_log`,
+    /// `RunStats::component_rounds`). Off by default so long enumerations
+    /// keep constant-size stats.
+    #[must_use]
+    pub fn with_detailed_stats(mut self, detailed: bool) -> Self {
+        self.eval.detailed_stats = detailed;
         self
     }
 }
@@ -93,7 +116,11 @@ impl fmt::Display for AnalysisReport {
             self.structurally_nonuniform_total
         )?;
         if !self.useless_predicates.is_empty() {
-            writeln!(f, "  useless predicates: {}", self.useless_predicates.join(", "))?;
+            writeln!(
+                f,
+                "  useless predicates: {}",
+                self.useless_predicates.join(", ")
+            )?;
         }
         if let Some(ls) = self.locally_stratified {
             writeln!(f, "locally stratified (this Δ):    {ls}")?;
@@ -188,11 +215,8 @@ impl Engine {
             .ground()
             .ok()
             .map(|g| analysis::locally_stratified(&g).locally_stratified);
-        let mut useless_names: Vec<String> = useless
-            .useless
-            .iter()
-            .map(|p| p.to_string())
-            .collect();
+        let mut useless_names: Vec<String> =
+            useless.useless.iter().map(|p| p.to_string()).collect();
         useless_names.sort();
         Ok(AnalysisReport {
             stratified: strat.stratified,
@@ -207,17 +231,13 @@ impl Engine {
 
     fn decode(&self, graph: &GroundGraph, run: InterpreterRun) -> EvalOutcome {
         let mut true_facts = run.model.true_atoms(graph.atoms());
-        true_facts.sort_by(|a, b| {
-            (a.pred.as_str(), &a.args).cmp(&(b.pred.as_str(), &b.args))
-        });
+        true_facts.sort_by(|a, b| (a.pred.as_str(), &a.args).cmp(&(b.pred.as_str(), &b.args)));
         let mut undefined: Vec<GroundAtom> = run
             .model
             .undefined_atoms()
             .map(|id| graph.atoms().decode(id))
             .collect();
-        undefined.sort_by(|a, b| {
-            (a.pred.as_str(), &a.args).cmp(&(b.pred.as_str(), &b.args))
-        });
+        undefined.sort_by(|a, b| (a.pred.as_str(), &a.args).cmp(&(b.pred.as_str(), &b.args)));
         EvalOutcome {
             true_facts,
             undefined,
@@ -233,7 +253,7 @@ impl Engine {
     /// Grounding failures.
     pub fn well_founded(&self) -> Result<EvalOutcome, SemanticsError> {
         let graph = self.ground()?;
-        let run = well_founded(&graph, &self.program, &self.database)?;
+        let run = well_founded_with(&graph, &self.program, &self.database, &self.config.eval)?;
         Ok(self.decode(&graph, run))
     }
 
@@ -247,7 +267,13 @@ impl Engine {
         policy: &mut P,
     ) -> Result<EvalOutcome, SemanticsError> {
         let graph = self.ground()?;
-        let run = pure_tie_breaking(&graph, &self.program, &self.database, policy)?;
+        let run = pure_tie_breaking_with(
+            &graph,
+            &self.program,
+            &self.database,
+            policy,
+            &self.config.eval,
+        )?;
         Ok(self.decode(&graph, run))
     }
 
@@ -261,7 +287,13 @@ impl Engine {
         policy: &mut P,
     ) -> Result<EvalOutcome, SemanticsError> {
         let graph = self.ground()?;
-        let run = well_founded_tie_breaking(&graph, &self.program, &self.database, policy)?;
+        let run = well_founded_tie_breaking_with(
+            &graph,
+            &self.program,
+            &self.database,
+            policy,
+            &self.config.eval,
+        )?;
         Ok(self.decode(&graph, run))
     }
 
@@ -281,12 +313,13 @@ impl Engine {
     /// Grounding failures or enumeration budget.
     pub fn fixpoints(&self) -> Result<Vec<Vec<GroundAtom>>, SemanticsError> {
         let graph = self.ground()?;
-        let models =
-            enumerate_fixpoints(&graph, &self.program, &self.database, &self.config.enumerate)?;
-        Ok(models
-            .iter()
-            .map(|m| sorted_true(m, &graph))
-            .collect())
+        let models = enumerate_fixpoints(
+            &graph,
+            &self.program,
+            &self.database,
+            &self.config.enumerate,
+        )?;
+        Ok(models.iter().map(|m| sorted_true(m, &graph)).collect())
     }
 
     /// Enumerates stable models (bounded).
@@ -296,12 +329,13 @@ impl Engine {
     /// Grounding failures or enumeration budget.
     pub fn stable_models(&self) -> Result<Vec<Vec<GroundAtom>>, SemanticsError> {
         let graph = self.ground()?;
-        let models =
-            enumerate_stable(&graph, &self.program, &self.database, &self.config.enumerate)?;
-        Ok(models
-            .iter()
-            .map(|m| sorted_true(m, &graph))
-            .collect())
+        let models = enumerate_stable(
+            &graph,
+            &self.program,
+            &self.database,
+            &self.config.enumerate,
+        )?;
+        Ok(models.iter().map(|m| sorted_true(m, &graph)).collect())
     }
 }
 
@@ -335,10 +369,7 @@ mod tests {
 
         let wf = engine.well_founded().unwrap();
         assert!(wf.total);
-        assert!(wf
-            .true_facts
-            .iter()
-            .any(|f| f.to_string() == "win(b)"));
+        assert!(wf.true_facts.iter().any(|f| f.to_string() == "win(b)"));
     }
 
     #[test]
@@ -360,7 +391,9 @@ mod tests {
     #[test]
     fn tie_breaking_via_facade() {
         let engine = Engine::from_sources("p :- not q.\nq :- not p.", "").unwrap();
-        let out = engine.well_founded_tie_breaking(&mut RootTruePolicy).unwrap();
+        let out = engine
+            .well_founded_tie_breaking(&mut RootTruePolicy)
+            .unwrap();
         assert!(out.total);
         assert_eq!(out.true_facts.len(), 1);
         assert_eq!(out.stats.ties_broken, 1);
@@ -384,6 +417,44 @@ mod tests {
         assert_eq!(a.total, b.total);
         // The relevant graph is strictly smaller pre-close.
         assert!(relevant.ground().unwrap().rule_count() < full.ground().unwrap().rule_count());
+    }
+
+    #[test]
+    fn stratified_eval_mode_agrees_through_the_facade() {
+        let sources = (
+            "win(X) :- move(X, Y), not win(Y).",
+            "move(a, b).\nmove(b, a).\nmove(c, a).\nmove(d, e).\nmove(e, d).",
+        );
+        let global = Engine::from_sources(sources.0, sources.1).unwrap();
+        let strat = Engine::from_sources(sources.0, sources.1)
+            .unwrap()
+            .with_config(EngineConfig::default().with_eval_mode(EvalMode::Stratified));
+
+        let a = global.well_founded().unwrap();
+        let b = strat.well_founded().unwrap();
+        assert_eq!(a.true_facts, b.true_facts);
+        assert_eq!(a.undefined, b.undefined);
+        assert_eq!(a.total, b.total);
+
+        // The d ↔ e pocket is a tie both modes can break.
+        let ta = global
+            .well_founded_tie_breaking(&mut RootTruePolicy)
+            .unwrap();
+        let tb = strat
+            .well_founded_tie_breaking(&mut RootTruePolicy)
+            .unwrap();
+        assert_eq!(ta.total, tb.total);
+        assert_eq!(ta.stats.ties_broken, tb.stats.ties_broken);
+        // Detailed stats stay off by default (the tie_log bugfix).
+        assert!(ta.stats.tie_log.is_empty());
+        assert!(tb.stats.tie_log.is_empty());
+        let detailed = Engine::from_sources(sources.0, sources.1)
+            .unwrap()
+            .with_config(EngineConfig::default().with_detailed_stats(true));
+        let td = detailed
+            .well_founded_tie_breaking(&mut RootTruePolicy)
+            .unwrap();
+        assert_eq!(td.stats.tie_log.len(), td.stats.ties_broken);
     }
 
     #[test]

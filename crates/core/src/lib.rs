@@ -5,7 +5,7 @@
 //! `datalog-ground` substrates:
 //!
 //! **Interpreters** ([`semantics`]):
-//! * [`semantics::well_founded`] — Algorithm Well-Founded (paper §2),
+//! * [`semantics::well_founded()`] — Algorithm Well-Founded (paper §2),
 //! * [`semantics::pure_tie_breaking`] — Algorithm Pure Tie-Breaking (§3),
 //! * [`semantics::well_founded_tie_breaking`] — Algorithm Well-Founded
 //!   Tie-Breaking (§3), with pluggable [`semantics::TiePolicy`] choices,
@@ -41,6 +41,6 @@ pub mod semantics;
 pub use datalog_ground::{GroundConfig, GroundMode};
 pub use engine::{Engine, EngineConfig};
 pub use semantics::{
-    InterpreterRun, RandomPolicy, RootFalsePolicy, RootTruePolicy, RunStats, ScriptedPolicy,
-    SemanticsError, TiePolicy, TieView,
+    EvalMode, EvalOptions, InterpreterRun, RandomPolicy, RootFalsePolicy, RootTruePolicy, RunStats,
+    ScriptedPolicy, SemanticsError, TiePolicy, TieView,
 };

@@ -356,7 +356,7 @@ mod tests {
         let fp = fixpoints("p(a) :- not p(X), e(b).", "e(b).");
         assert_eq!(fp.len(), 1);
         assert_eq!(fp[0].true_count(), 2); // p(a) and e(b)
-        // Variant (2) with E = {a}: no fixpoint (Theorem 2's witness).
+                                           // Variant (2) with E = {a}: no fixpoint (Theorem 2's witness).
         let fp = fixpoints("p(X, Y) :- not p(Y, Y), e(X).", "e(a).");
         assert!(fp.is_empty());
     }

@@ -97,10 +97,7 @@ mod tests {
     use datalog_ast::{parse_database, parse_program, GroundAtom};
     use datalog_ground::{ground, GroundConfig};
 
-    fn instance(
-        src: &str,
-        db: &str,
-    ) -> (GroundGraph, Program, Database, PartialModel) {
+    fn instance(src: &str, db: &str) -> (GroundGraph, Program, Database, PartialModel) {
         let p = parse_program(src).unwrap();
         let d = parse_database(db).unwrap();
         let g = ground(&p, &d, &GroundConfig::default()).unwrap();
@@ -110,7 +107,9 @@ mod tests {
 
     fn set(g: &GroundGraph, m: &mut PartialModel, pred: &str, args: &[&str], v: TruthValue) {
         m.set(
-            g.atoms().id_of(&GroundAtom::from_texts(pred, args)).unwrap(),
+            g.atoms()
+                .id_of(&GroundAtom::from_texts(pred, args))
+                .unwrap(),
             v,
         );
     }
@@ -136,7 +135,10 @@ mod tests {
         set(&g, &mut m, "q", &[], TruthValue::False);
         let v = fixpoint_violations(&g, &d, &m);
         assert_eq!(v.len(), 2);
-        assert!(matches!(v[0], FixpointViolation::FalseButDerived(_, Some(_))));
+        assert!(matches!(
+            v[0],
+            FixpointViolation::FalseButDerived(_, Some(_))
+        ));
     }
 
     #[test]
@@ -173,7 +175,9 @@ mod tests {
     fn partial_models_are_never_fixpoints() {
         let (g, _, d, m0) = instance("p :- not q.\nq :- not p.", "");
         let v = fixpoint_violations(&g, &d, &m0);
-        assert!(v.iter().all(|x| matches!(x, FixpointViolation::Undefined(_))));
+        assert!(v
+            .iter()
+            .all(|x| matches!(x, FixpointViolation::Undefined(_))));
         assert_eq!(v.len(), 2);
     }
 

@@ -6,6 +6,7 @@ pub mod fixpoint;
 pub mod outcomes;
 pub mod perfect;
 pub mod reduct;
+pub mod scc_stratified;
 pub mod seminaive;
 pub mod stable;
 pub mod stratified;
@@ -16,11 +17,52 @@ use std::fmt;
 
 use datalog_ground::{AtomId, CloseConflict, GroundError, PartialModel};
 
-pub use tie_breaking::{
-    pure_tie_breaking, well_founded_tie_breaking, RandomPolicy, RootFalsePolicy, RootTruePolicy,
-    ScriptedPolicy, TiePolicy, TieView,
+pub use scc_stratified::{
+    pure_tie_breaking_stratified, well_founded_stratified, well_founded_tie_breaking_stratified,
 };
-pub use well_founded::well_founded;
+pub use tie_breaking::{
+    pure_tie_breaking, pure_tie_breaking_with, well_founded_tie_breaking,
+    well_founded_tie_breaking_with, RandomPolicy, RootFalsePolicy, RootTruePolicy, ScriptedPolicy,
+    TiePolicy, TieView,
+};
+pub use well_founded::{well_founded, well_founded_with};
+
+/// How an interpreter traverses the residual graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvalMode {
+    /// The paper-literal loop: every unfounded-set and tie query scans
+    /// (and clones) the whole remaining graph.
+    #[default]
+    Global,
+    /// SCC-stratified evaluation: condense the residual graph once and
+    /// process components in topological order with component-local
+    /// unfounded sets and tie breaks. Same models and outcome sets as
+    /// [`EvalMode::Global`] (see the differential suites), but linear
+    /// instead of quadratic on alternation-heavy instances.
+    Stratified,
+}
+
+/// Per-run evaluation knobs shared by the interpreters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Traversal strategy (default [`EvalMode::Global`]).
+    pub mode: EvalMode,
+    /// Record per-event details in [`RunStats`] (`tie_log`,
+    /// `component_rounds`). Off by default: large enumerations would
+    /// otherwise grow the logs without bound; the scalar counters
+    /// (`ties_broken`, `components_processed`, …) are always kept.
+    pub detailed_stats: bool,
+}
+
+impl EvalOptions {
+    /// Options selecting `mode` with default details.
+    pub fn with_mode(mode: EvalMode) -> Self {
+        EvalOptions {
+            mode,
+            ..EvalOptions::default()
+        }
+    }
+}
 
 /// Statistics collected by an interpreter run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -31,9 +73,40 @@ pub struct RunStats {
     pub unfounded_rounds: usize,
     /// Number of ties broken.
     pub ties_broken: usize,
+    /// Residual components visited ([`EvalMode::Stratified`] only; 0 for
+    /// global runs).
+    pub components_processed: usize,
+    /// Largest number of unfounded/tie rounds any single component needed
+    /// ([`EvalMode::Stratified`] only).
+    pub max_component_rounds: usize,
+    /// Per-component round counts in processing order. Recorded only when
+    /// [`EvalOptions::detailed_stats`] is set.
+    pub component_rounds: Vec<usize>,
     /// Per broken tie: `(|K|, |L|, root_side_true)` where K is the side
-    /// containing the spanning-tree root.
+    /// containing the spanning-tree root. Recorded only when
+    /// [`EvalOptions::detailed_stats`] is set; `ties_broken` always
+    /// carries the count.
     pub tie_log: Vec<(usize, usize, bool)>,
+}
+
+impl RunStats {
+    /// Records one broken tie (the log entry only when `detailed`).
+    pub(crate) fn record_tie(&mut self, k: usize, l: usize, root_true: bool, detailed: bool) {
+        if detailed {
+            self.tie_log.push((k, l, root_true));
+        }
+        self.ties_broken += 1;
+    }
+
+    /// Records one finished component (the round entry only when
+    /// `detailed`).
+    pub(crate) fn record_component(&mut self, rounds: usize, detailed: bool) {
+        self.components_processed += 1;
+        self.max_component_rounds = self.max_component_rounds.max(rounds);
+        if detailed {
+            self.component_rounds.push(rounds);
+        }
+    }
 }
 
 /// The outcome of an interpreter.

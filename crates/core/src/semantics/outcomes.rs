@@ -15,8 +15,8 @@
 use datalog_ast::{Database, Program};
 use datalog_ground::{GroundGraph, PartialModel};
 
-use super::tie_breaking::{pure_tie_breaking, well_founded_tie_breaking, ScriptedPolicy};
-use super::SemanticsError;
+use super::tie_breaking::{pure_tie_breaking_with, well_founded_tie_breaking_with, ScriptedPolicy};
+use super::{EvalOptions, SemanticsError};
 
 /// The set of distinct outcomes of one interpreter over all choice
 /// scripts.
@@ -51,6 +51,31 @@ pub fn all_outcomes(
     pure: bool,
     max_runs: usize,
 ) -> Result<OutcomeSet, SemanticsError> {
+    all_outcomes_with(
+        graph,
+        program,
+        database,
+        pure,
+        max_runs,
+        &EvalOptions::default(),
+    )
+}
+
+/// [`all_outcomes`] with explicit [`EvalOptions`] — used by the
+/// differential suites to compare the outcome sets of the global and
+/// SCC-stratified evaluation modes.
+///
+/// # Errors
+///
+/// As for [`all_outcomes`].
+pub fn all_outcomes_with(
+    graph: &GroundGraph,
+    program: &Program,
+    database: &Database,
+    pure: bool,
+    max_runs: usize,
+    options: &EvalOptions,
+) -> Result<OutcomeSet, SemanticsError> {
     let mut models: Vec<PartialModel> = Vec::new();
     let mut stack: Vec<Vec<bool>> = vec![Vec::new()];
     let mut runs = 0;
@@ -64,9 +89,9 @@ pub fn all_outcomes(
         runs += 1;
         let mut policy = ScriptedPolicy::new(prefix.clone(), false);
         let run = if pure {
-            pure_tie_breaking(graph, program, database, &mut policy)?
+            pure_tie_breaking_with(graph, program, database, &mut policy, options)?
         } else {
-            well_founded_tie_breaking(graph, program, database, &mut policy)?
+            well_founded_tie_breaking_with(graph, program, database, &mut policy, options)?
         };
         let consumed = policy.consumed();
 
@@ -99,7 +124,11 @@ mod tests {
     use datalog_ast::{parse_database, parse_program};
     use datalog_ground::{ground, GroundConfig};
 
-    fn outcomes(src: &str, db_src: &str, pure: bool) -> (GroundGraph, Program, Database, OutcomeSet) {
+    fn outcomes(
+        src: &str,
+        db_src: &str,
+        pure: bool,
+    ) -> (GroundGraph, Program, Database, OutcomeSet) {
         let p = parse_program(src).unwrap();
         let d = parse_database(db_src).unwrap();
         let g = ground(&p, &d, &GroundConfig::default()).unwrap();

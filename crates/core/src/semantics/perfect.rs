@@ -34,8 +34,7 @@ pub fn perfect(
     let check = locally_stratified(graph);
     if !check.locally_stratified {
         return Err(SemanticsError::NotApplicable(
-            "instance is not locally stratified (a ground SCC contains a negative edge)"
-                .to_owned(),
+            "instance is not locally stratified (a ground SCC contains a negative edge)".to_owned(),
         ));
     }
     let run = well_founded(graph, program, database)?;
@@ -88,13 +87,15 @@ mod tests {
         assert!(run.total);
         // q(a) is in a positive loop with no base: false in the perfect
         // model (minimality).
-        let qa = g.atoms().id_of(&GroundAtom::from_texts("q", &["a"])).unwrap();
+        let qa = g
+            .atoms()
+            .id_of(&GroundAtom::from_texts("q", &["a"]))
+            .unwrap();
         assert_eq!(run.model.get(qa), TruthValue::False);
 
         let mut policy = super::super::tie_breaking::RootTruePolicy;
         let tb =
-            super::super::tie_breaking::well_founded_tie_breaking(&g, &p, &d, &mut policy)
-                .unwrap();
+            super::super::tie_breaking::well_founded_tie_breaking(&g, &p, &d, &mut policy).unwrap();
         assert!(tb.total);
         assert_eq!(tb.model, run.model);
     }

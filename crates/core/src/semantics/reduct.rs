@@ -35,12 +35,7 @@ pub fn reduct_least_model(
             .all(|&(a, _)| candidate.get(a) == TruthValue::False);
         alive.push(survives);
         // Count the positive literals still to satisfy.
-        pending.push(
-            rule.body
-                .iter()
-                .filter(|(_, s)| *s == Sign::Pos)
-                .count() as u32,
-        );
+        pending.push(rule.body.iter().filter(|(_, s)| *s == Sign::Pos).count() as u32);
     }
 
     // Least model: seed with Δ, fire surviving rules to a fixpoint.
@@ -155,7 +150,10 @@ mod tests {
     fn reduct_least_model_seeds_from_delta() {
         let (g, p, d, m0) = instance("p(X) :- e(X), not q(X).", "e(a).\nq(a).");
         let mut m = m0;
-        let pa = g.atoms().id_of(&GroundAtom::from_texts("p", &["a"])).unwrap();
+        let pa = g
+            .atoms()
+            .id_of(&GroundAtom::from_texts("p", &["a"]))
+            .unwrap();
         m.set(pa, TruthValue::False);
         assert!(m.is_total());
         assert!(is_stable_via_reduct(&g, &p, &d, &m));

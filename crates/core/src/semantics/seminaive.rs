@@ -22,13 +22,7 @@ mod tests {
         let p = parse_program("t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
         let mut db = parse_database("e(a, b).\ne(b, c).\ne(c, d).").unwrap();
         let u = Database::universe(&p, &db);
-        let n = evaluate_stratum(
-            &p,
-            &[0, 1],
-            &[PredSym::new("t")],
-            &mut db,
-            &u,
-        );
+        let n = evaluate_stratum(&p, &[0, 1], &[PredSym::new("t")], &mut db, &u);
         assert_eq!(n, 6); // ab bc cd ac bd ad
         assert!(db.contains(&GroundAtom::from_texts("t", &["a", "d"])));
         assert!(!db.contains(&GroundAtom::from_texts("t", &["d", "a"])));
@@ -38,8 +32,7 @@ mod tests {
     fn negation_against_completed_relation() {
         // unreach(X) :- node(X), not reach(X).  (reach complete in total)
         let p = parse_program("unreach(X) :- node(X), not reach(X).").unwrap();
-        let mut db =
-            parse_database("node(a).\nnode(b).\nreach(a).").unwrap();
+        let mut db = parse_database("node(a).\nnode(b).\nreach(a).").unwrap();
         let u = Database::universe(&p, &db);
         evaluate_stratum(&p, &[0], &[PredSym::new("unreach")], &mut db, &u);
         assert!(db.contains(&GroundAtom::from_texts("unreach", &["b"])));
@@ -54,7 +47,13 @@ mod tests {
         // Universe: {a} from the rule q(a).
         let u = Database::universe(&p, &db);
         assert_eq!(u.len(), 1);
-        evaluate_stratum(&p, &[0, 1], &[PredSym::new("p"), PredSym::new("q")], &mut db, &u);
+        evaluate_stratum(
+            &p,
+            &[0, 1],
+            &[PredSym::new("p"), PredSym::new("q")],
+            &mut db,
+            &u,
+        );
         assert!(db.contains(&GroundAtom::from_texts("p", &["a"])));
     }
 

@@ -127,7 +127,10 @@ mod tests {
         let (g, p, d, m0) = instance("p(X) :- e(X), not q(X).", "e(a).\nq(a).");
         // Unique stable model: q(a)=T (Δ), p(a)=F.
         let mut m = m0;
-        let pa = g.atoms().id_of(&GroundAtom::from_texts("p", &["a"])).unwrap();
+        let pa = g
+            .atoms()
+            .id_of(&GroundAtom::from_texts("p", &["a"]))
+            .unwrap();
         m.set(pa, TruthValue::False);
         assert!(m.is_total());
         assert!(is_stable(&g, &p, &d, &m));
@@ -141,10 +144,7 @@ mod tests {
 
     #[test]
     fn stable_models_are_fixpoints_exhaustively() {
-        let (g, p, d, m0) = instance(
-            "a :- not b.\nb :- not a.\nc :- a, not d.\nd :- not c.",
-            "",
-        );
+        let (g, p, d, m0) = instance("a :- not b.\nb :- not a.\nc :- a, not d.\nd :- not c.", "");
         let names = ["a", "b", "c", "d"];
         for bits in 0u8..16 {
             let mut m = m0.clone();

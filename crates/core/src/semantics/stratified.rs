@@ -26,9 +26,7 @@ impl StratifiedRun {
     /// The true atoms as a sorted list.
     pub fn true_atoms(&self) -> Vec<GroundAtom> {
         let mut v: Vec<GroundAtom> = self.facts.facts().collect();
-        v.sort_by(|a, b| {
-            (a.pred.as_str(), &a.args).cmp(&(b.pred.as_str(), &b.args))
-        });
+        v.sort_by(|a, b| (a.pred.as_str(), &a.args).cmp(&(b.pred.as_str(), &b.args)));
         v
     }
 }
@@ -91,8 +89,12 @@ mod tests {
         .unwrap();
         let run = stratified(&p, &d).unwrap();
         assert!(run.facts.contains(&GroundAtom::from_texts("reach", &["c"])));
-        assert!(run.facts.contains(&GroundAtom::from_texts("blocked", &["x"])));
-        assert!(!run.facts.contains(&GroundAtom::from_texts("blocked", &["b"])));
+        assert!(run
+            .facts
+            .contains(&GroundAtom::from_texts("blocked", &["x"])));
+        assert!(!run
+            .facts
+            .contains(&GroundAtom::from_texts("blocked", &["b"])));
         assert_eq!(run.derived_per_stratum.len(), 2);
     }
 
@@ -115,10 +117,7 @@ mod tests {
              ok(X) :- node(X), not blocked(X).",
         )
         .unwrap();
-        let d = parse_database(
-            "start(a).\nedge(a, b).\nnode(a).\nnode(b).\nnode(c).",
-        )
-        .unwrap();
+        let d = parse_database("start(a).\nedge(a, b).\nnode(a).\nnode(b).\nnode(c).").unwrap();
         let g = ground(&p, &d, &GroundConfig::default()).unwrap();
         let wf = super::super::well_founded::well_founded(&g, &p, &d).unwrap();
         assert!(wf.total);
@@ -137,7 +136,9 @@ mod tests {
         let p = parse_program("t(X, Z) :- t(X, Y), t(Y, Z).").unwrap();
         let d = parse_database("t(a, b).\nt(b, c).").unwrap();
         let run = stratified(&p, &d).unwrap();
-        assert!(run.facts.contains(&GroundAtom::from_texts("t", &["a", "c"])));
+        assert!(run
+            .facts
+            .contains(&GroundAtom::from_texts("t", &["a", "c"])));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use signed_graph::{tie, Sccs};
 
-use super::{InterpreterRun, RunStats, SemanticsError};
+use super::{EvalMode, EvalOptions, InterpreterRun, RunStats, SemanticsError};
 
 /// What the policy sees when a tie with two nonempty sides must be broken.
 ///
@@ -137,7 +137,40 @@ pub fn pure_tie_breaking<P: TiePolicy>(
     database: &Database,
     policy: &mut P,
 ) -> Result<InterpreterRun, SemanticsError> {
-    tie_breaking_loop(graph, program, database, policy, false)
+    pure_tie_breaking_with(graph, program, database, policy, &EvalOptions::default())
+}
+
+/// [`pure_tie_breaking`] with explicit [`EvalOptions`] (evaluation mode
+/// and stats detail).
+///
+/// # Errors
+///
+/// As for [`pure_tie_breaking`].
+pub fn pure_tie_breaking_with<P: TiePolicy>(
+    graph: &GroundGraph,
+    program: &Program,
+    database: &Database,
+    policy: &mut P,
+    options: &EvalOptions,
+) -> Result<InterpreterRun, SemanticsError> {
+    match options.mode {
+        EvalMode::Global => tie_breaking_loop(
+            graph,
+            program,
+            database,
+            policy,
+            false,
+            options.detailed_stats,
+        ),
+        EvalMode::Stratified => super::scc_stratified::run_stratified(
+            graph,
+            program,
+            database,
+            Some(policy),
+            false,
+            options.detailed_stats,
+        ),
+    }
 }
 
 /// Runs **Algorithm Well-Founded Tie-Breaking** (unfounded sets take
@@ -152,7 +185,40 @@ pub fn well_founded_tie_breaking<P: TiePolicy>(
     database: &Database,
     policy: &mut P,
 ) -> Result<InterpreterRun, SemanticsError> {
-    tie_breaking_loop(graph, program, database, policy, true)
+    well_founded_tie_breaking_with(graph, program, database, policy, &EvalOptions::default())
+}
+
+/// [`well_founded_tie_breaking`] with explicit [`EvalOptions`]
+/// (evaluation mode and stats detail).
+///
+/// # Errors
+///
+/// As for [`well_founded_tie_breaking`].
+pub fn well_founded_tie_breaking_with<P: TiePolicy>(
+    graph: &GroundGraph,
+    program: &Program,
+    database: &Database,
+    policy: &mut P,
+    options: &EvalOptions,
+) -> Result<InterpreterRun, SemanticsError> {
+    match options.mode {
+        EvalMode::Global => tie_breaking_loop(
+            graph,
+            program,
+            database,
+            policy,
+            true,
+            options.detailed_stats,
+        ),
+        EvalMode::Stratified => super::scc_stratified::run_stratified(
+            graph,
+            program,
+            database,
+            Some(policy),
+            true,
+            options.detailed_stats,
+        ),
+    }
 }
 
 fn tie_breaking_loop<P: TiePolicy>(
@@ -161,6 +227,7 @@ fn tie_breaking_loop<P: TiePolicy>(
     database: &Database,
     policy: &mut P,
     use_unfounded: bool,
+    detailed: bool,
 ) -> Result<InterpreterRun, SemanticsError> {
     let mut model = PartialModel::initial(program, database, graph.atoms());
     let mut closer = Closer::new(graph);
@@ -195,47 +262,20 @@ fn tie_breaking_loop<P: TiePolicy>(
             let Ok(partition) = tie::check_tie(&rem.digraph, sccs.members(c)) else {
                 continue; // odd component: not a tie
             };
-            let root_side: Vec<AtomId> = partition
-                .k_side()
-                .filter_map(|n| rem.as_atom(n))
-                .collect();
-            let other_side: Vec<AtomId> = partition
-                .l_side()
-                .filter_map(|n| rem.as_atom(n))
-                .collect();
+            let root_side: Vec<AtomId> =
+                partition.k_side().filter_map(|n| rem.as_atom(n)).collect();
+            let other_side: Vec<AtomId> =
+                partition.l_side().filter_map(|n| rem.as_atom(n)).collect();
 
-            // The paper's convention: name the sides so L is nonempty and,
-            // when one side has no atoms, make everything false
-            // (minimalist choice). With both sides nonempty the policy
-            // decides.
-            let root_true = if root_side.is_empty() || other_side.is_empty() {
-                false // all atoms false, whichever side holds them
-            } else {
-                policy.choose_root_side_true(&TieView {
-                    index: stats.ties_broken,
-                    root_side: &root_side,
-                    other_side: &other_side,
-                })
-            };
-
-            for &a in &root_side {
-                closer.define(&mut model, a, TruthValue::from_bool(root_true));
-            }
-            let other_value = if root_side.is_empty() || other_side.is_empty() {
-                TruthValue::False
-            } else {
-                TruthValue::from_bool(!root_true)
-            };
-            for &a in &other_side {
-                closer.define(&mut model, a, other_value);
-            }
-
-            stats
-                .tie_log
-                .push((root_side.len(), other_side.len(), root_true));
-            stats.ties_broken += 1;
-            closer.run(&mut model)?;
-            stats.close_rounds += 1;
+            break_tie(
+                &mut closer,
+                &mut model,
+                policy,
+                &root_side,
+                &other_side,
+                &mut stats,
+                detailed,
+            )?;
             broke = true;
             break;
         }
@@ -250,6 +290,53 @@ fn tie_breaking_loop<P: TiePolicy>(
         total,
         stats,
     })
+}
+
+/// The shared tie-orientation convention of the global and stratified
+/// loops (paper, Section 3): name the sides so L is nonempty and, when
+/// one side has no atoms, make everything false (minimalist choice);
+/// with both sides nonempty the policy decides. Assignments are
+/// propagated through `closer` and the tie is recorded in `stats`.
+///
+/// Keeping this in one place is what the Global ≡ Stratified
+/// differential suites rely on: a convention change cannot reach one
+/// loop without the other.
+pub(crate) fn break_tie(
+    closer: &mut Closer<'_>,
+    model: &mut PartialModel,
+    policy: &mut dyn TiePolicy,
+    root_side: &[AtomId],
+    other_side: &[AtomId],
+    stats: &mut RunStats,
+    detailed: bool,
+) -> Result<(), SemanticsError> {
+    let one_sided = root_side.is_empty() || other_side.is_empty();
+    let root_true = if one_sided {
+        false // all atoms false, whichever side holds them
+    } else {
+        policy.choose_root_side_true(&TieView {
+            index: stats.ties_broken,
+            root_side,
+            other_side,
+        })
+    };
+
+    for &a in root_side {
+        closer.define(model, a, TruthValue::from_bool(root_true));
+    }
+    let other_value = if one_sided {
+        TruthValue::False
+    } else {
+        TruthValue::from_bool(!root_true)
+    };
+    for &a in other_side {
+        closer.define(model, a, other_value);
+    }
+
+    stats.record_tie(root_side.len(), other_side.len(), root_true, detailed);
+    closer.run(model)?;
+    stats.close_rounds += 1;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -358,10 +445,7 @@ mod tests {
 
     #[test]
     fn random_policy_is_reproducible() {
-        let (g, p, d) = setup(
-            "a :- not b.\nb :- not a.\nc :- not d.\nd :- not c.",
-            "",
-        );
+        let (g, p, d) = setup("a :- not b.\nb :- not a.\nc :- not d.\nd :- not c.", "");
         let run = |seed: u64| {
             let mut pol = RandomPolicy::seeded(seed);
             let r = well_founded_tie_breaking(&g, &p, &d, &mut pol).unwrap();
@@ -386,8 +470,11 @@ mod tests {
         let r = well_founded_tie_breaking(&g, &p, &d, &mut pol).unwrap();
         assert!(r.total);
         let gv = |pred: &str, c: &str| {
-            r.model
-                .get(g.atoms().id_of(&GroundAtom::from_texts(pred, &[c])).unwrap())
+            r.model.get(
+                g.atoms()
+                    .id_of(&GroundAtom::from_texts(pred, &[c]))
+                    .unwrap(),
+            )
         };
         assert_eq!(gv("even", "0"), TruthValue::True);
         assert_eq!(gv("odd", "1"), TruthValue::True);
@@ -407,12 +494,16 @@ mod tests {
         let mut pol = RootTruePolicy;
         let r = well_founded_tie_breaking(&g, &p, &d, &mut pol).unwrap();
         assert!(r.total);
-        let wa = r
-            .model
-            .get(g.atoms().id_of(&GroundAtom::from_texts("win", &["a"])).unwrap());
-        let wb = r
-            .model
-            .get(g.atoms().id_of(&GroundAtom::from_texts("win", &["b"])).unwrap());
+        let wa = r.model.get(
+            g.atoms()
+                .id_of(&GroundAtom::from_texts("win", &["a"]))
+                .unwrap(),
+        );
+        let wb = r.model.get(
+            g.atoms()
+                .id_of(&GroundAtom::from_texts("win", &["b"]))
+                .unwrap(),
+        );
         // Exactly one of the two positions wins.
         assert_ne!(wa, wb);
     }

@@ -13,7 +13,35 @@
 use datalog_ast::{Database, Program};
 use datalog_ground::{Closer, GroundGraph, PartialModel, TruthValue};
 
-use super::{InterpreterRun, RunStats, SemanticsError};
+use super::{EvalMode, EvalOptions, InterpreterRun, RunStats, SemanticsError};
+
+/// Runs the well-founded interpreter with explicit [`EvalOptions`]:
+/// [`EvalMode::Global`] is the paper-literal loop below,
+/// [`EvalMode::Stratified`] the condensation-driven variant of
+/// [`super::scc_stratified`] (identical model, linear in the number of
+/// unfounded rounds instead of quadratic).
+///
+/// # Errors
+///
+/// As for [`well_founded`].
+pub fn well_founded_with(
+    graph: &GroundGraph,
+    program: &Program,
+    database: &Database,
+    options: &EvalOptions,
+) -> Result<InterpreterRun, SemanticsError> {
+    match options.mode {
+        EvalMode::Global => well_founded(graph, program, database),
+        EvalMode::Stratified => super::scc_stratified::run_stratified(
+            graph,
+            program,
+            database,
+            None,
+            true,
+            options.detailed_stats,
+        ),
+    }
+}
 
 /// Runs the well-founded interpreter over a pre-built ground graph.
 ///
@@ -71,8 +99,11 @@ mod tests {
     }
 
     fn val(g: &GroundGraph, r: &InterpreterRun, pred: &str, args: &[&str]) -> TruthValue {
-        r.model
-            .get(g.atoms().id_of(&GroundAtom::from_texts(pred, args)).unwrap())
+        r.model.get(
+            g.atoms()
+                .id_of(&GroundAtom::from_texts(pred, args))
+                .unwrap(),
+        )
     }
 
     #[test]

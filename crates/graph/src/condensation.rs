@@ -59,9 +59,9 @@ impl Condensation {
     /// edge (i.e. the graph has a cycle through a negative edge —
     /// unstratifiability at whichever level `graph` models).
     pub fn has_negative_cycle_edge(graph: &SignedDigraph, sccs: &Sccs) -> bool {
-        graph.edges().any(|(u, v, s)| {
-            s.is_neg() && sccs.component_of(u) == sccs.component_of(v)
-        })
+        graph
+            .edges()
+            .any(|(u, v, s)| s.is_neg() && sccs.component_of(u) == sccs.component_of(v))
     }
 }
 

@@ -53,9 +53,8 @@ pub fn is_tie_double_cover(graph: &SignedDigraph, members: &[NodeId]) -> bool {
     }
 
     let sccs = Sccs::compute(&cover);
-    (0..members.len()).all(|i| {
-        sccs.component_of((2 * i) as NodeId) != sccs.component_of((2 * i + 1) as NodeId)
-    })
+    (0..members.len())
+        .all(|i| sccs.component_of((2 * i) as NodeId) != sccs.component_of((2 * i + 1) as NodeId))
 }
 
 #[cfg(test)]
@@ -83,11 +82,7 @@ mod tests {
             for k in 0..=n {
                 let g = cycle(n, k);
                 let members = whole(&g);
-                assert_eq!(
-                    is_tie_double_cover(&g, &members),
-                    k % 2 == 0,
-                    "C({n}, {k})"
-                );
+                assert_eq!(is_tie_double_cover(&g, &members), k % 2 == 0, "C({n}, {k})");
             }
         }
     }

@@ -108,9 +108,7 @@ impl SignedDigraph {
 
     /// `true` iff any edge is negative.
     pub fn has_negative_edge(&self) -> bool {
-        self.out
-            .iter()
-            .any(|vs| vs.iter().any(|(_, s)| s.is_neg()))
+        self.out.iter().any(|vs| vs.iter().any(|(_, s)| s.is_neg()))
     }
 
     /// The reverse graph (same signs, reversed edges).
@@ -155,11 +153,7 @@ impl fmt::Display for SignedDigraph {
             self.edge_count()
         )?;
         for (u, v, s) in self.edges() {
-            writeln!(
-                f,
-                "  {u} -{}-> {v}",
-                if s.is_pos() { "+" } else { "-" }
-            )?;
+            writeln!(f, "  {u} -{}-> {v}", if s.is_pos() { "+" } else { "-" })?;
         }
         Ok(())
     }

@@ -6,17 +6,14 @@ use signed_graph::{is_tie_double_cover, tie, EdgeSign, Sccs, SignedDigraph};
 /// Strategy: a random signed digraph with up to `n` nodes and `m` edges.
 fn arb_graph(n: usize, m: usize) -> impl Strategy<Value = SignedDigraph> {
     (1..=n).prop_flat_map(move |nodes| {
-        proptest::collection::vec(
-            (0..nodes as u32, 0..nodes as u32, prop::bool::ANY),
-            0..=m,
-        )
-        .prop_map(move |edges| {
-            let mut g = SignedDigraph::new(nodes);
-            for (u, v, neg) in edges {
-                g.add_edge(u, v, if neg { EdgeSign::Neg } else { EdgeSign::Pos });
-            }
-            g
-        })
+        proptest::collection::vec((0..nodes as u32, 0..nodes as u32, prop::bool::ANY), 0..=m)
+            .prop_map(move |edges| {
+                let mut g = SignedDigraph::new(nodes);
+                for (u, v, neg) in edges {
+                    g.add_edge(u, v, if neg { EdgeSign::Neg } else { EdgeSign::Pos });
+                }
+                g
+            })
     })
 }
 

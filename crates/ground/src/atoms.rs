@@ -124,9 +124,7 @@ impl AtomTable {
             let arity = program
                 .arity(pred)
                 .expect("predicate listed by the program must have an arity");
-            let size = u
-                .checked_pow(arity as u32)
-                .unwrap_or(u128::MAX);
+            let size = u.checked_pow(arity as u32).unwrap_or(u128::MAX);
             required = required.saturating_add(size);
         }
         if required > u128::from(max_atoms) {
@@ -274,12 +272,9 @@ impl AtomTable {
                 let (offset, size) = block.map_or((0, 0), |b| (b.offset, b.size));
                 PredIds::Range(offset..offset + size)
             }
-            Layout::Sparse { by_pred, .. } => PredIds::List(
-                by_pred
-                    .get(&pred)
-                    .map_or(&[][..], |v| v.as_slice())
-                    .iter(),
-            ),
+            Layout::Sparse { by_pred, .. } => {
+                PredIds::List(by_pred.get(&pred).map_or(&[][..], |v| v.as_slice()).iter())
+            }
         }
     }
 
@@ -443,7 +438,9 @@ mod tests {
         assert!(t.id_of(&GroundAtom::from_texts("nope", &["a"])).is_none());
         assert!(t.id_of(&GroundAtom::from_texts("win", &["zz"])).is_none());
         // Wrong arity.
-        assert!(t.id_of(&GroundAtom::from_texts("win", &["a", "b"])).is_none());
+        assert!(t
+            .id_of(&GroundAtom::from_texts("win", &["a", "b"]))
+            .is_none());
     }
 
     #[test]
@@ -521,7 +518,10 @@ mod tests {
         assert_eq!(t.decode(id0), wa);
         assert_eq!(t.decode(id1), mv);
         assert_eq!(t.id_of(&wa), Some(id0));
-        assert_eq!(t.atom_id("move".into(), &[ConstSym::new("a"), ConstSym::new("b")]), Some(id1));
+        assert_eq!(
+            t.atom_id("move".into(), &[ConstSym::new("a"), ConstSym::new("b")]),
+            Some(id1)
+        );
         assert_eq!(t.id_of(&GroundAtom::from_texts("win", &["b"])), None);
         assert_eq!(t.pred_of(id1).as_str(), "move");
         assert_eq!(t.ids_of_pred("win".into()).collect::<Vec<_>>(), vec![id0]);
@@ -531,13 +531,19 @@ mod tests {
     #[test]
     fn interner_budget_reports_lower_bound() {
         let mut interner = AtomInterner::new(Vec::new(), 2);
-        interner.intern(&GroundAtom::from_texts("p", &["a"])).unwrap();
-        interner.intern(&GroundAtom::from_texts("p", &["b"])).unwrap();
+        interner
+            .intern(&GroundAtom::from_texts("p", &["a"]))
+            .unwrap();
+        interner
+            .intern(&GroundAtom::from_texts("p", &["b"]))
+            .unwrap();
         let err = interner
             .intern(&GroundAtom::from_texts("p", &["c"]))
             .unwrap_err();
         assert_eq!(err.required, 3);
         // Re-interning an existing atom still succeeds.
-        assert!(interner.intern(&GroundAtom::from_texts("p", &["a"])).is_ok());
+        assert!(interner
+            .intern(&GroundAtom::from_texts("p", &["a"]))
+            .is_ok());
     }
 }

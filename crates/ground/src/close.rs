@@ -441,11 +441,7 @@ mod tests {
     fn closed(
         program_src: &str,
         db_src: &str,
-    ) -> (
-        crate::graph::GroundGraph,
-        datalog_ast::Program,
-        Database,
-    ) {
+    ) -> (crate::graph::GroundGraph, datalog_ast::Program, Database) {
         let p = parse_program(program_src).unwrap();
         let d = parse_database(db_src).unwrap();
         let g = ground(&p, &d, &GroundConfig::default()).unwrap();
@@ -465,7 +461,12 @@ mod tests {
         (closer, m)
     }
 
-    fn truth(g: &crate::graph::GroundGraph, m: &PartialModel, pred: &str, args: &[&str]) -> TruthValue {
+    fn truth(
+        g: &crate::graph::GroundGraph,
+        m: &PartialModel,
+        pred: &str,
+        args: &[&str],
+    ) -> TruthValue {
         let id = g
             .atoms()
             .id_of(&GroundAtom::from_texts(pred, args))
@@ -597,10 +598,7 @@ mod tests {
     #[test]
     fn closer_is_confluent_under_definition_order() {
         // Define the same atoms in both orders; final models agree.
-        let (g, p, d) = closed(
-            "a :- not b.\nb :- not a.\nc :- not d.\nd :- not c.",
-            "",
-        );
+        let (g, p, d) = closed("a :- not b.\nb :- not a.\nc :- not d.\nd :- not c.", "");
         let ids: Vec<AtomId> = ["a", "c"]
             .iter()
             .map(|n| g.atoms().atom_id((*n).into(), &[]).unwrap())

@@ -309,12 +309,9 @@ fn ground_full(
         // universe (it includes all program constants).
         let var_pos = |v| vars.iter().position(|&w| w == v).expect("var in list");
         let compile = |atom: &datalog_ast::Atom| -> AtomTemplate {
-            let offset = atoms
-                .ids_of_pred(atom.pred)
-                .next()
-                .map_or(0, |id| id.0); // first id of block
-            // NOTE: offset computed via first id; for empty blocks (u == 0
-            // with positive arity) the rule is skipped above.
+            let offset = atoms.ids_of_pred(atom.pred).next().map_or(0, |id| id.0); // first id of block
+                                                                                   // NOTE: offset computed via first id; for empty blocks (u == 0
+                                                                                   // with positive arity) the rule is skipped above.
             let slots = atom
                 .args
                 .iter()
@@ -345,8 +342,8 @@ fn ground_full(
                 .iter()
                 .map(|(t, s)| (t.resolve(u, &assignment), *s))
                 .collect();
-            let pruned = config.prune_decided
-                && body.iter().any(|&(a, s)| literal_false_in_m0(a, s));
+            let pruned =
+                config.prune_decided && body.iter().any(|&(a, s)| literal_false_in_m0(a, s));
             if !pruned {
                 emitted += 1;
                 if emitted > budget {
@@ -479,7 +476,13 @@ mod tests {
         .unwrap_err();
         // 3 win + 9 move atoms needed; the error says so.
         assert!(
-            matches!(err, GroundError::TooManyAtoms { required: 12, budget: 4 }),
+            matches!(
+                err,
+                GroundError::TooManyAtoms {
+                    required: 12,
+                    budget: 4
+                }
+            ),
             "{err:?}"
         );
 
@@ -493,7 +496,10 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, GroundError::TooManyRuleInstances { required: 9, .. }));
+        assert!(matches!(
+            err,
+            GroundError::TooManyRuleInstances { required: 9, .. }
+        ));
     }
 
     #[test]
@@ -526,7 +532,13 @@ mod tests {
         )
         .unwrap_err();
         assert!(
-            matches!(err, GroundError::TooManyRuleInstances { required: 2, budget: 1 }),
+            matches!(
+                err,
+                GroundError::TooManyRuleInstances {
+                    required: 2,
+                    budget: 1
+                }
+            ),
             "{err:?}"
         );
     }

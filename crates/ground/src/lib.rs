@@ -21,6 +21,9 @@
 //!   `close(M, G)` procedure, reusable across the iterations of the
 //!   well-founded and tie-breaking interpreters, plus the largest
 //!   unfounded set `Atoms[close(M, G⁺)]`;
+//! * [`UnfoundedEngine`] — the SCC condensation of the residual graph
+//!   with component-scoped unfounded-set and tie-structure queries, the
+//!   substrate of the stratified evaluation mode;
 //! * [`seminaive`] — the semi-naive join engine shared by the relevant
 //!   grounder and `tiebreak-core`'s stratified interpreter.
 
@@ -35,6 +38,7 @@ pub mod model;
 pub mod reference;
 pub mod relevant;
 pub mod seminaive;
+pub mod unfounded;
 
 pub use atoms::{AtomId, AtomInterner, AtomSpaceOverflow, AtomTable};
 pub use close::{CloseConflict, Closer, NodeKind, RemainingGraph};
@@ -42,3 +46,4 @@ pub use graph::{GroundGraph, GroundRule, RuleId};
 pub use grounder::{ground, GroundConfig, GroundError, GroundMode};
 pub use model::{PartialModel, TruthValue};
 pub use reference::{naive_close, naive_largest_unfounded, ResidualGraph};
+pub use unfounded::{ComponentGraph, UnfoundedEngine};

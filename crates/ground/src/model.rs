@@ -174,12 +174,7 @@ impl PartialModel {
 
     /// The paper's M₋ for the stable-model test: every **true IDB atom not
     /// in Δ** becomes undefined; everything else keeps its value.
-    pub fn minus(
-        &self,
-        program: &Program,
-        database: &Database,
-        atoms: &AtomTable,
-    ) -> PartialModel {
+    pub fn minus(&self, program: &Program, database: &Database, atoms: &AtomTable) -> PartialModel {
         let mut m = self.clone();
         for (i, v) in m.values.iter_mut().enumerate() {
             if *v == TruthValue::True {

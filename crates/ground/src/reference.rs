@@ -149,8 +149,7 @@ pub fn naive_largest_unfounded(graph: &GroundGraph, residual: &ResidualGraph) ->
         }
     }
 
-    in_d
-        .iter()
+    in_d.iter()
         .enumerate()
         .filter(|&(_, &b)| b)
         .map(|(i, _)| AtomId(i as u32))
@@ -213,7 +212,10 @@ mod tests {
 
     #[test]
     fn agrees_on_positive_and_stratified_programs() {
-        cross_check("t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).", "e(a, b).\ne(b, c).");
+        cross_check(
+            "t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).",
+            "e(a, b).\ne(b, c).",
+        );
         cross_check(
             "win(X) :- move(X, Y), not win(Y).",
             "move(a, b).\nmove(b, a).\nmove(c, a).",

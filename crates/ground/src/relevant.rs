@@ -129,10 +129,12 @@ pub(crate) fn ground_relevant(
         .collect();
     delta_facts.sort_unstable(); // deterministic ids for Δ
     for fact in &delta_facts {
-        interner.intern(fact).map_err(|ov| GroundError::TooManyAtoms {
-            required: ov.required,
-            budget: config.max_atoms,
-        })?;
+        interner
+            .intern(fact)
+            .map_err(|ov| GroundError::TooManyAtoms {
+                required: ov.required,
+                budget: config.max_atoms,
+            })?;
     }
 
     let budget = config.max_rule_instances;
@@ -141,53 +143,51 @@ pub(crate) fn ground_relevant(
 
     for (rule_index, rule) in program.rules().iter().enumerate() {
         let ev = RuleEvaluator::new(rule);
-        ev.for_each_substitution::<GroundError>(
-            &supportable,
-            &universe,
-            &mut |assignment| {
-                if config.prune_decided {
-                    // Positive literals are satisfied in S by
-                    // construction (EDB positives ∈ Δ); only a negative
-                    // literal on a Δ fact can be M₀-false here.
-                    for lit in &rule.body {
-                        if lit.sign == Sign::Neg
-                            && database.contains(&ev.ground_atom(&lit.atom, assignment))
-                        {
-                            return Ok(());
-                        }
+        ev.for_each_substitution::<GroundError>(&supportable, &universe, &mut |assignment| {
+            if config.prune_decided {
+                // Positive literals are satisfied in S by
+                // construction (EDB positives ∈ Δ); only a negative
+                // literal on a Δ fact can be M₀-false here.
+                for lit in &rule.body {
+                    if lit.sign == Sign::Neg
+                        && database.contains(&ev.ground_atom(&lit.atom, assignment))
+                    {
+                        return Ok(());
                     }
                 }
-                emitted += 1;
-                if emitted > budget {
-                    // Abort rather than walking the rest of the space;
-                    // the error reports the count reached (a lower
-                    // bound on the true requirement).
-                    return Err(GroundError::TooManyRuleInstances {
-                        required: emitted,
-                        budget,
-                    });
-                }
-                let mut intern = |atom: &GroundAtom| -> Result<AtomId, GroundError> {
-                    interner.intern(atom).map_err(|ov| GroundError::TooManyAtoms {
+            }
+            emitted += 1;
+            if emitted > budget {
+                // Abort rather than walking the rest of the space;
+                // the error reports the count reached (a lower
+                // bound on the true requirement).
+                return Err(GroundError::TooManyRuleInstances {
+                    required: emitted,
+                    budget,
+                });
+            }
+            let mut intern = |atom: &GroundAtom| -> Result<AtomId, GroundError> {
+                interner
+                    .intern(atom)
+                    .map_err(|ov| GroundError::TooManyAtoms {
                         required: ov.required,
                         budget: config.max_atoms,
                     })
-                };
-                let head = intern(&ev.ground_atom(&rule.head, assignment))?;
-                let body = rule
-                    .body
-                    .iter()
-                    .map(|lit| Ok((intern(&ev.ground_atom(&lit.atom, assignment))?, lit.sign)))
-                    .collect::<Result<Box<[(AtomId, Sign)]>, GroundError>>()?;
-                rules_out.push(GroundRule {
-                    head,
-                    body,
-                    rule_index: rule_index as u32,
-                    subst: assignment.into(),
-                });
-                Ok(())
-            },
-        )?;
+            };
+            let head = intern(&ev.ground_atom(&rule.head, assignment))?;
+            let body = rule
+                .body
+                .iter()
+                .map(|lit| Ok((intern(&ev.ground_atom(&lit.atom, assignment))?, lit.sign)))
+                .collect::<Result<Box<[(AtomId, Sign)]>, GroundError>>()?;
+            rules_out.push(GroundRule {
+                head,
+                body,
+                rule_index: rule_index as u32,
+                subst: assignment.into(),
+            });
+            Ok(())
+        })?;
     }
 
     Ok(GroundGraph::from_parts(interner.finish(), rules_out))
@@ -286,7 +286,13 @@ mod tests {
         )
         .unwrap_err();
         assert!(
-            matches!(err, GroundError::TooManyRuleInstances { required: 2, budget: 1 }),
+            matches!(
+                err,
+                GroundError::TooManyRuleInstances {
+                    required: 2,
+                    budget: 1
+                }
+            ),
             "{err:?}"
         );
     }
@@ -322,8 +328,11 @@ mod tests {
         .unwrap();
         let mut d = datalog_ast::Database::new();
         for i in 0..50 {
-            d.insert(datalog_ast::GroundAtom::from_texts("e", &[&format!("c{i}")]))
-                .expect("facts");
+            d.insert(datalog_ast::GroundAtom::from_texts(
+                "e",
+                &[&format!("c{i}")],
+            ))
+            .expect("facts");
         }
         let err = ground(
             &p,

@@ -100,11 +100,8 @@ impl<'r> RuleEvaluator<'r> {
 
     fn with_negation(rule: &'r Rule, check_negatives: bool) -> Self {
         let vars = rule.variables();
-        let var_index: FxHashMap<VarSym, usize> = vars
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i))
-            .collect();
+        let var_index: FxHashMap<VarSym, usize> =
+            vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let positive: Vec<&Atom> = rule
             .body
             .iter()
@@ -223,7 +220,14 @@ impl<'r> RuleEvaluator<'r> {
         f: &mut impl FnMut(&[ConstSym]) -> Result<(), E>,
     ) -> Result<(), E> {
         let mut scratch: Vec<ConstSym> = Vec::with_capacity(self.vars.len());
-        self.for_each_assignment(total, &Database::new(), None, universe, &mut |_, a| f(a), &mut scratch)
+        self.for_each_assignment(
+            total,
+            &Database::new(),
+            None,
+            universe,
+            &mut |_, a| f(a),
+            &mut scratch,
+        )
     }
 
     /// The join driver: positive literals matched left to right against
@@ -414,8 +418,7 @@ pub fn evaluate_stratum(
         .iter()
         .map(|&i| RuleEvaluator::new(&program.rules()[i]))
         .collect();
-    let in_stratum =
-        |p: datalog_ast::PredSym| -> bool { stratum_preds.contains(&p) };
+    let in_stratum = |p: datalog_ast::PredSym| -> bool { stratum_preds.contains(&p) };
     run_to_fixpoint(&evaluators, &in_stratum, total, universe)
 }
 
@@ -476,13 +479,7 @@ mod tests {
         let p = parse_program("t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
         let mut db = parse_database("e(a, b).\ne(b, c).\ne(c, d).").unwrap();
         let u = Database::universe(&p, &db);
-        let n = evaluate_stratum(
-            &p,
-            &[0, 1],
-            &[PredSym::new("t")],
-            &mut db,
-            &u,
-        );
+        let n = evaluate_stratum(&p, &[0, 1], &[PredSym::new("t")], &mut db, &u);
         assert_eq!(n, 6); // ab bc cd ac bd ad
         assert!(db.contains(&GroundAtom::from_texts("t", &["a", "d"])));
         assert!(!db.contains(&GroundAtom::from_texts("t", &["d", "a"])));

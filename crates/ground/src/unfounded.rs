@@ -1,0 +1,508 @@
+//! Component-scoped unfounded-set computation over the residual graph.
+//!
+//! `Closer::largest_unfounded_set` recomputes `Atoms[close(M, G⁺)]` from a
+//! full clone of the live deletion state, so interpreters that alternate
+//! unfounded rounds (or tie breaks) with `close` pay Θ(|G|) per round —
+//! quadratic end-to-end on alternation-heavy instances such as win–move
+//! chains. [`UnfoundedEngine`] removes that bottleneck:
+//!
+//! * it condenses the residual graph **once** (SCCs of the bipartite
+//!   atom/rule graph left alive by the first `close`), and
+//! * it answers unfounded-set and tie-structure queries **per component**,
+//!   touching only the component's members and their incident rules, with
+//!   reusable scratch buffers instead of whole-graph clones.
+//!
+//! The decomposition is exact because every `close` propagation step
+//! follows a graph edge (body atom → rule → head), so external
+//! assignments inside a component can only affect that component and the
+//! components **downstream** of it in the condensation. Processing
+//! components in topological order (sources first) therefore never needs
+//! to revisit a finished component.
+//!
+//! **Local unfounded sets.** For a component *C*, the engine simulates the
+//! positive fire-cascade of `close(M, G⁺)` restricted to *C*: every alive
+//! rule whose head lies in *C* starts with a pending count of its alive
+//! positive body atoms *inside C*; rules at zero fire and delete their
+//! heads, decrementing dependents. Survivors are unfounded. Positive body
+//! atoms outside *C* are always in upstream components (edges point
+//! downstream), and upstream components are processed to an empty local
+//! unfounded set first, so their alive atoms would fire in the global
+//! simulation — counting them as satisfied is exact, not a heuristic.
+//! Starting from a closed state no alive atom lacks support and no alive
+//! rule has zero pending, so the global simulation never takes the
+//! "unsupported" branch either — the fire-cascade is the whole story.
+
+use datalog_ast::Sign;
+use signed_graph::{EdgeSign, NodeId, Sccs, SignedDigraph};
+
+use crate::atoms::AtomId;
+use crate::close::{Closer, NodeKind};
+use crate::graph::RuleId;
+
+/// Sentinel component id for nodes not alive when the engine was built.
+const NO_COMP: u32 = u32::MAX;
+
+/// The SCC condensation of a residual graph, with component-scoped
+/// unfounded-set and tie-structure queries.
+///
+/// Build it once after the first `close(M₀, G)`; it stays valid for the
+/// rest of the run because deletions only ever shrink components.
+pub struct UnfoundedEngine {
+    /// Component of each atom (by [`AtomId`] index); [`NO_COMP`] if the
+    /// atom was already defined at build time.
+    atom_comp: Vec<u32>,
+    /// Component of each rule node; [`NO_COMP`] if dead at build time.
+    rule_comp: Vec<u32>,
+    /// Member atoms of each component.
+    comp_atoms: Vec<Vec<AtomId>>,
+    /// Member rule nodes of each component.
+    comp_rules: Vec<Vec<RuleId>>,
+    /// Alive-at-build rules whose *head* lies in the component (includes
+    /// external support rules sitting in upstream components).
+    comp_head_rules: Vec<Vec<RuleId>>,
+    /// Component ids in topological order of the condensation (sources
+    /// first — the processing order).
+    order: Vec<u32>,
+    /// Scratch: per-rule pending⁺ count, valid only for the component
+    /// currently being simulated.
+    pending: Vec<u32>,
+    /// Scratch: atoms deleted by the current simulation.
+    removed: Vec<bool>,
+    /// Scratch: the fire-cascade worklist.
+    queue: Vec<RuleId>,
+    /// Scratch: subgraph node of each atom ([`NO_NODE`] outside a call),
+    /// valid only for the component whose subgraph is being built.
+    node_of_atom: Vec<NodeId>,
+}
+
+/// Sentinel for [`UnfoundedEngine::node_of_atom`] entries not in the
+/// subgraph under construction.
+const NO_NODE: NodeId = NodeId::MAX;
+
+/// The alive induced subgraph of one component, for tie detection.
+///
+/// Nodes are the component's alive atoms and alive rule nodes, densely
+/// renumbered; edges are the surviving internal edges. `external_in`
+/// marks nodes that still receive an edge from an alive node *outside*
+/// the component — a sub-SCC containing such a node is not a bottom
+/// component of the global remaining graph and must not be tie-broken.
+pub struct ComponentGraph {
+    /// The induced subgraph.
+    pub digraph: SignedDigraph,
+    /// The atom behind each node, or `None` for rule nodes.
+    pub node_atoms: Vec<Option<AtomId>>,
+    /// Whether each node has an alive in-edge from outside the component.
+    pub external_in: Vec<bool>,
+}
+
+impl ComponentGraph {
+    /// `true` iff every node of `members` is free of external in-edges.
+    pub fn is_globally_bottom(&self, members: &[NodeId]) -> bool {
+        members.iter().all(|&n| !self.external_in[n as usize])
+    }
+}
+
+impl UnfoundedEngine {
+    /// Condenses the residual graph of `closer` (everything still alive).
+    pub fn build(closer: &Closer<'_>) -> Self {
+        let graph = closer.graph();
+        let rem = closer.remaining_digraph();
+        let sccs = Sccs::compute(&rem.digraph);
+        let n_comps = sccs.len();
+
+        let mut atom_comp = vec![NO_COMP; graph.atom_count()];
+        let mut rule_comp = vec![NO_COMP; graph.rule_count()];
+        let mut comp_atoms: Vec<Vec<AtomId>> = vec![Vec::new(); n_comps];
+        let mut comp_rules: Vec<Vec<RuleId>> = vec![Vec::new(); n_comps];
+        for (node, &kind) in rem.kinds.iter().enumerate() {
+            let c = sccs.component_of(node as NodeId);
+            match kind {
+                NodeKind::Atom(a) => {
+                    atom_comp[a.index()] = c;
+                    comp_atoms[c as usize].push(a);
+                }
+                NodeKind::Rule(r) => {
+                    rule_comp[r.index()] = c;
+                    comp_rules[c as usize].push(r);
+                }
+            }
+        }
+
+        let mut comp_head_rules: Vec<Vec<RuleId>> = vec![Vec::new(); n_comps];
+        for (i, rule) in graph.rules().iter().enumerate() {
+            let r = RuleId(i as u32);
+            if !closer.rule_alive(r) {
+                continue;
+            }
+            let head_comp = atom_comp[rule.head.index()];
+            if head_comp != NO_COMP {
+                comp_head_rules[head_comp as usize].push(r);
+            }
+        }
+
+        UnfoundedEngine {
+            atom_comp,
+            rule_comp,
+            comp_atoms,
+            comp_rules,
+            comp_head_rules,
+            order: sccs.topological_order().collect(),
+            pending: vec![0; graph.rule_count()],
+            removed: vec![false; graph.atom_count()],
+            queue: Vec::new(),
+            node_of_atom: vec![NO_NODE; graph.atom_count()],
+        }
+    }
+
+    /// Component ids in topological order (sources first): the order in
+    /// which components must be processed.
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Number of components in the condensation.
+    pub fn component_count(&self) -> usize {
+        self.comp_atoms.len()
+    }
+
+    /// The member atoms of component `c` (aliveness as of build time).
+    pub fn component_atoms(&self, c: u32) -> &[AtomId] {
+        &self.comp_atoms[c as usize]
+    }
+
+    /// The component of `atom`, if it was alive at build time.
+    pub fn component_of_atom(&self, atom: AtomId) -> Option<u32> {
+        match self.atom_comp[atom.index()] {
+            NO_COMP => None,
+            c => Some(c),
+        }
+    }
+
+    /// `true` iff component `c` still contains an alive (undefined) atom.
+    pub fn has_alive_atoms(&self, closer: &Closer<'_>, c: u32) -> bool {
+        self.comp_atoms[c as usize]
+            .iter()
+            .any(|&a| closer.atom_alive(a))
+    }
+
+    /// The unfounded subset of component `c` at the current state of
+    /// `closer`: the alive atoms of `c` not reachable by the positive
+    /// fire-cascade restricted to `c` (see the module docs for why this
+    /// matches the global `Atoms[close(M, G⁺)] ∩ c` when components are
+    /// processed in topological order).
+    ///
+    /// Cost: O(|c| + incident rules), independent of the graph size.
+    pub fn local_unfounded(&mut self, closer: &Closer<'_>, c: u32) -> Vec<AtomId> {
+        let graph = closer.graph();
+        debug_assert!(self.queue.is_empty());
+
+        for &r in &self.comp_head_rules[c as usize] {
+            if !closer.rule_alive(r) {
+                continue;
+            }
+            let rule = graph.rule(r);
+            if !closer.atom_alive(rule.head) {
+                continue;
+            }
+            let p = rule
+                .body
+                .iter()
+                .filter(|&&(a, s)| {
+                    s.is_pos() && closer.atom_alive(a) && self.atom_comp[a.index()] == c
+                })
+                .count() as u32;
+            self.pending[r.index()] = p;
+            if p == 0 {
+                self.queue.push(r);
+            }
+        }
+
+        while let Some(r) = self.queue.pop() {
+            let head = graph.rule(r).head;
+            if self.removed[head.index()] {
+                continue;
+            }
+            self.removed[head.index()] = true;
+            for &(r2, s) in graph.uses_of(head) {
+                if s != Sign::Pos || !closer.rule_alive(r2) {
+                    continue;
+                }
+                let h2 = graph.rule(r2).head;
+                // Only rules initialized above participate: alive, head
+                // alive, head in this component.
+                if self.atom_comp[h2.index()] != c || !closer.atom_alive(h2) {
+                    continue;
+                }
+                let p = &mut self.pending[r2.index()];
+                if *p > 0 {
+                    *p -= 1;
+                    if *p == 0 {
+                        self.queue.push(r2);
+                    }
+                }
+            }
+        }
+
+        let mut unfounded = Vec::new();
+        for &a in &self.comp_atoms[c as usize] {
+            if closer.atom_alive(a) && !self.removed[a.index()] {
+                unfounded.push(a);
+            }
+            self.removed[a.index()] = false; // reset scratch for reuse
+        }
+        unfounded
+    }
+
+    /// The alive induced subgraph of component `c`, with external-inflow
+    /// markers (see [`ComponentGraph`]). Used for per-component tie
+    /// detection: the sub-SCCs of this graph are exactly the SCCs of the
+    /// global remaining graph that descend from `c`.
+    pub fn alive_subgraph(&mut self, closer: &Closer<'_>, c: u32) -> ComponentGraph {
+        let graph = closer.graph();
+        let atoms = &self.comp_atoms[c as usize];
+        let rules = &self.comp_rules[c as usize];
+
+        // Dense renumbering: alive atoms first (indexed through the
+        // graph-sized `node_of_atom` scratch, reset on exit), then alive
+        // rule nodes.
+        let mut node_atoms: Vec<Option<AtomId>> = Vec::new();
+        let mut external_in: Vec<bool> = Vec::new();
+        let mut rule_node: Vec<Option<NodeId>> = vec![None; rules.len()];
+
+        for &a in atoms {
+            if !closer.atom_alive(a) {
+                continue;
+            }
+            self.node_of_atom[a.index()] = node_atoms.len() as NodeId;
+            node_atoms.push(Some(a));
+            // An alive rule head-feeding `a` from another component (e.g.
+            // an external support rule, or a member of a stuck upstream
+            // component) keeps `a` out of every global bottom component.
+            external_in.push(
+                graph
+                    .heads_of(a)
+                    .iter()
+                    .any(|&r| closer.rule_alive(r) && self.rule_comp[r.index()] != c),
+            );
+        }
+        for (i, &r) in rules.iter().enumerate() {
+            if !closer.rule_alive(r) {
+                continue;
+            }
+            rule_node[i] = Some(node_atoms.len() as NodeId);
+            node_atoms.push(None);
+            external_in.push(
+                graph
+                    .rule(r)
+                    .body
+                    .iter()
+                    .any(|&(a, _)| closer.atom_alive(a) && self.atom_comp[a.index()] != c),
+            );
+        }
+
+        let mut digraph = SignedDigraph::new(node_atoms.len());
+        for (i, &r) in rules.iter().enumerate() {
+            let Some(rn) = rule_node[i] else { continue };
+            let rule = graph.rule(r);
+            let hn = self.node_of_atom[rule.head.index()];
+            if hn != NO_NODE {
+                digraph.add_edge(rn, hn, EdgeSign::Pos);
+            }
+            for &(a, s) in rule.body.iter() {
+                let an = self.node_of_atom[a.index()];
+                if an != NO_NODE {
+                    let sign = match s {
+                        Sign::Pos => EdgeSign::Pos,
+                        Sign::Neg => EdgeSign::Neg,
+                    };
+                    digraph.add_edge(an, rn, sign);
+                }
+            }
+        }
+
+        for &a in atoms {
+            self.node_of_atom[a.index()] = NO_NODE; // reset scratch
+        }
+
+        ComponentGraph {
+            digraph,
+            node_atoms,
+            external_in,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grounder::{ground, GroundConfig};
+    use crate::model::PartialModel;
+    use crate::model::TruthValue;
+    use datalog_ast::{parse_database, parse_program, GroundAtom};
+
+    fn closed(
+        program_src: &str,
+        db_src: &str,
+    ) -> (
+        crate::graph::GroundGraph,
+        datalog_ast::Program,
+        datalog_ast::Database,
+    ) {
+        let p = parse_program(program_src).unwrap();
+        let d = parse_database(db_src).unwrap();
+        let g = ground(&p, &d, &GroundConfig::default()).unwrap();
+        (g, p, d)
+    }
+
+    fn run_close<'g>(
+        g: &'g crate::graph::GroundGraph,
+        p: &datalog_ast::Program,
+        d: &datalog_ast::Database,
+    ) -> (Closer<'g>, PartialModel) {
+        let mut m = PartialModel::initial(p, d, g.atoms());
+        let mut closer = Closer::new(g);
+        closer.bootstrap(&m);
+        closer.run(&mut m).expect("no conflict");
+        (closer, m)
+    }
+
+    fn atom(g: &crate::graph::GroundGraph, name: &str) -> AtomId {
+        g.atoms()
+            .id_of(&GroundAtom::from_texts(name, &[]))
+            .expect("atom exists")
+    }
+
+    /// The union of local unfounded sets over the topological order, with
+    /// falsification between components, equals the global fixpoint of
+    /// repeated `largest_unfounded_set` rounds.
+    fn stratified_wf_falsified(src: &str) -> Vec<String> {
+        let (g, p, d) = closed(src, "");
+        let (mut closer, mut m) = run_close(&g, &p, &d);
+        let mut engine = UnfoundedEngine::build(&closer);
+        let mut all: Vec<AtomId> = Vec::new();
+        for c in engine.order().to_vec() {
+            loop {
+                let u = engine.local_unfounded(&closer, c);
+                if u.is_empty() {
+                    break;
+                }
+                for &a in &u {
+                    closer.define(&mut m, a, TruthValue::False);
+                }
+                closer.run(&mut m).unwrap();
+                all.extend(u);
+            }
+        }
+        let mut names: Vec<String> = all
+            .iter()
+            .map(|&a| g.atoms().decode(a).to_string())
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn positive_loop_is_locally_unfounded() {
+        let (g, p, d) = closed("p :- q.\nq :- p.", "");
+        let (closer, _) = run_close(&g, &p, &d);
+        let mut engine = UnfoundedEngine::build(&closer);
+        let c = engine.component_of_atom(atom(&g, "p")).unwrap();
+        assert_eq!(c, engine.component_of_atom(atom(&g, "q")).unwrap());
+        let mut u = engine.local_unfounded(&closer, c);
+        u.sort();
+        let mut expect = closer.largest_unfounded_set();
+        expect.sort();
+        assert_eq!(u, expect);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn externally_supported_loop_is_not_unfounded() {
+        // The loop {p} has support from `p :- not x`; x is upstream and
+        // still alive, so p must not be reported unfounded.
+        let (g, p, d) = closed("p :- p.\np :- not x.\nx :- not x.", "");
+        let (closer, _) = run_close(&g, &p, &d);
+        let mut engine = UnfoundedEngine::build(&closer);
+        let c = engine.component_of_atom(atom(&g, "p")).unwrap();
+        assert!(engine.local_unfounded(&closer, c).is_empty());
+        assert!(closer.largest_unfounded_set().is_empty());
+    }
+
+    #[test]
+    fn guarded_pairs_match_global_unfounded_fixpoint() {
+        let src = "p :- p, not q.\nq :- q, not p.\na :- a, not b.\nb :- b, not a.";
+        assert_eq!(stratified_wf_falsified(src), vec!["a", "b", "p", "q"]);
+    }
+
+    #[test]
+    fn chained_unfounded_rounds_resolve_in_one_pass() {
+        // a0 unfounded → b0 true → a1 true → b1 false → a2 unfounded → …
+        // The global algorithm needs Θ(n) rounds; the engine resolves the
+        // chain in one topological pass.
+        let mut src = String::from("a0 :- a0.\nb0 :- not a0.\n");
+        for i in 1..6 {
+            src.push_str(&format!(
+                "a{i} :- a{i}.\na{i} :- b{}.\nb{i} :- not a{i}.\n",
+                i - 1
+            ));
+        }
+        let falsified = stratified_wf_falsified(&src);
+        // Exactly the even-index loop atoms are unfounded (odd ones become
+        // true through the b-chain).
+        assert_eq!(falsified, vec!["a0", "a2", "a4"]);
+    }
+
+    #[test]
+    fn subgraph_marks_external_inflow() {
+        // {p, q} is a tie but fed by the stuck odd loop via `p :- x`.
+        let (g, p, d) = closed("p :- not q.\nq :- not p.\np :- x.\nx :- not x.", "");
+        let (closer, _) = run_close(&g, &p, &d);
+        let mut engine = UnfoundedEngine::build(&closer);
+        let c = engine.component_of_atom(atom(&g, "p")).unwrap();
+        let sub = engine.alive_subgraph(&closer, c);
+        // p (fed by the alive rule `p :- x` from outside) carries the
+        // external-in mark; q does not.
+        let pn = sub
+            .node_atoms
+            .iter()
+            .position(|&a| a == Some(atom(&g, "p")))
+            .unwrap();
+        let qn = sub
+            .node_atoms
+            .iter()
+            .position(|&a| a == Some(atom(&g, "q")))
+            .unwrap();
+        assert!(sub.external_in[pn]);
+        assert!(!sub.external_in[qn]);
+        assert!(!sub.is_globally_bottom(&[pn as NodeId, qn as NodeId]));
+    }
+
+    #[test]
+    fn subgraph_of_isolated_tie_is_bottom() {
+        let (g, p, d) = closed("p :- not q.\nq :- not p.", "");
+        let (closer, _) = run_close(&g, &p, &d);
+        let mut engine = UnfoundedEngine::build(&closer);
+        let c = engine.component_of_atom(atom(&g, "p")).unwrap();
+        let sub = engine.alive_subgraph(&closer, c);
+        assert_eq!(sub.digraph.node_count(), 4); // 2 atoms + 2 rules
+        let all: Vec<NodeId> = (0..4).collect();
+        assert!(sub.is_globally_bottom(&all));
+        let sccs = Sccs::compute(&sub.digraph);
+        assert_eq!(sccs.len(), 1);
+    }
+
+    #[test]
+    fn order_respects_the_condensation() {
+        // win(a) depends (negatively) on win(b): b's component first.
+        let (g, p, d) = closed(
+            "p :- not q.\nq :- not p.\nr :- not p, not r0.\nr0 :- not r0.",
+            "",
+        );
+        let (closer, _) = run_close(&g, &p, &d);
+        let engine = UnfoundedEngine::build(&closer);
+        let cp = engine.component_of_atom(atom(&g, "p")).unwrap();
+        let cr = engine.component_of_atom(atom(&g, "r")).unwrap();
+        let pos = |c: u32| engine.order().iter().position(|&x| x == c).unwrap();
+        assert!(pos(cp) < pos(cr), "upstream tie before its dependent");
+    }
+}

@@ -75,7 +75,9 @@ fn close_summary(
     let mut model = PartialModel::initial(program, database, graph.atoms());
     let mut closer = Closer::new(&graph);
     closer.bootstrap(&model);
-    closer.run(&mut model).expect("close from M0 cannot conflict");
+    closer
+        .run(&mut model)
+        .expect("close from M0 cannot conflict");
 
     let decode = |id: datalog_ground::AtomId| graph.atoms().decode(id).to_string();
     let mut true_atoms: Vec<String> = model
@@ -301,7 +303,8 @@ fn fo_db_from_mask(mask: u32) -> Database {
     for x in consts {
         for y in consts {
             if mask & (1 << bit) != 0 {
-                db.insert(GroundAtom::from_texts("e", &[x, y])).expect("facts");
+                db.insert(GroundAtom::from_texts("e", &[x, y]))
+                    .expect("facts");
             }
             bit += 1;
         }

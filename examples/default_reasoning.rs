@@ -43,7 +43,10 @@ fn main() {
     for seed in [0u64, 1, 2] {
         let mut policy = RandomPolicy::seeded(seed);
         let run = tie_breaking_datalog::core::semantics::well_founded_tie_breaking(
-            &graph, &program, &database, &mut policy,
+            &graph,
+            &program,
+            &database,
+            &mut policy,
         )
         .expect("runs");
         let found: BTreeSet<_> = graph

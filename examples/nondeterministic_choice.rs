@@ -25,9 +25,7 @@ fn main() {
     for script_bits in 0u8..8 {
         let script: Vec<bool> = (0..3).map(|i| script_bits & (1 << i) != 0).collect();
         let mut policy = ScriptedPolicy::new(script.clone(), false);
-        let out = engine
-            .well_founded_tie_breaking(&mut policy)
-            .expect("runs");
+        let out = engine.well_founded_tie_breaking(&mut policy).expect("runs");
         assert!(out.total, "structurally total: every script totals");
         let model: Vec<String> = out.true_facts.iter().map(|f| f.to_string()).collect();
         println!("script {script:?} -> {{{}}}", model.join(", "));

@@ -36,9 +36,7 @@ fn main() {
     // policy chooses the orientation.
     for (name, root_true) in [("root-true", true), ("root-false", false)] {
         let mut policy = ScriptedPolicy::new(vec![root_true, root_true], root_true);
-        let out = engine
-            .well_founded_tie_breaking(&mut policy)
-            .expect("runs");
+        let out = engine.well_founded_tie_breaking(&mut policy).expect("runs");
         let facts: Vec<String> = out.true_facts.iter().map(|f| f.to_string()).collect();
         println!(
             "tie-breaking [{name}]: total = {}, ties broken = {}, true = {{{}}}",

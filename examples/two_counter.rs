@@ -68,7 +68,10 @@ fn main() {
     println!("\nwell-founded model reproduces the trace:");
     for (t, cfg) in machine.trace(steps).iter().enumerate() {
         let atom = GroundAtom::from_texts("state", &[&t.to_string(), &cfg.state.to_string()]);
-        let id = graph.atoms().id_of(&atom).expect("atom in the relevant table");
+        let id = graph
+            .atoms()
+            .id_of(&atom)
+            .expect("atom in the relevant table");
         assert_eq!(run.model.get(id), TruthValue::True, "missing {atom}");
         println!("  {atom} = {}", run.model.get(id));
     }

@@ -31,15 +31,19 @@ fn main() {
     for fact in &wf.true_facts {
         println!("  {fact}");
     }
-    println!("  undefined: {:?}", wf.undefined.iter().map(|a| a.to_string()).collect::<Vec<_>>());
+    println!(
+        "  undefined: {:?}",
+        wf.undefined
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+    );
 
     // Tie-breaking decides the drawn cluster; both orientations are
     // legitimate fixpoints.
     for seed in [1u64, 2, 3] {
         let mut policy = RandomPolicy::seeded(seed);
-        let out = engine
-            .well_founded_tie_breaking(&mut policy)
-            .expect("runs");
+        let out = engine.well_founded_tie_breaking(&mut policy).expect("runs");
         let wins: Vec<String> = out
             .true_facts
             .iter()
@@ -58,4 +62,29 @@ fn main() {
     println!("fixpoints: {}", fixpoints.len());
     let stable = engine.stable_models().expect("enumerates");
     println!("stable models: {}", stable.len());
+
+    // Evaluation modes: a chain of 64 draw pockets is quadratic for the
+    // global loop (each tie break re-scans the whole remaining graph)
+    // and linear for the SCC-stratified one — same answers either way.
+    let chain = generators::tie_chain_move_db(64);
+    for mode in [EvalMode::Global, EvalMode::Stratified] {
+        let engine = Engine::new(generators::win_move_program(), chain.clone()).with_config(
+            EngineConfig::default()
+                .with_ground_mode(GroundMode::Relevant)
+                .with_eval_mode(mode),
+        );
+        let mut policy = RootTruePolicy;
+        let out = engine.well_founded_tie_breaking(&mut policy).expect("runs");
+        println!(
+            "tie chain (n = 64, {mode:?}): total = {}, wins = {}, ties broken = {}, \
+             components = {}",
+            out.total,
+            out.true_facts
+                .iter()
+                .filter(|f| f.pred.as_str() == "win")
+                .count(),
+            out.stats.ties_broken,
+            out.stats.components_processed,
+        );
+    }
 }

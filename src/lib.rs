@@ -53,11 +53,12 @@ pub mod prelude {
     };
     pub use datalog_ground::{ground, GroundConfig, GroundMode, PartialModel, TruthValue};
     pub use tiebreak_core::analysis::{
-        structural_nonuniform_totality, structural_totality, stratify, useless_predicates,
+        stratify, structural_nonuniform_totality, structural_totality, useless_predicates,
     };
     pub use tiebreak_core::semantics::{
-        pure_tie_breaking, well_founded, well_founded_tie_breaking, RandomPolicy,
+        pure_tie_breaking, pure_tie_breaking_stratified, well_founded, well_founded_stratified,
+        well_founded_tie_breaking, well_founded_tie_breaking_stratified, RandomPolicy,
         RootFalsePolicy, RootTruePolicy, ScriptedPolicy, TiePolicy,
     };
-    pub use tiebreak_core::{Engine, EngineConfig};
+    pub use tiebreak_core::{Engine, EngineConfig, EvalMode, EvalOptions};
 }

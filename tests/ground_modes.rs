@@ -44,7 +44,9 @@ fn residual(graph: &GroundGraph, program: &Program, database: &Database) -> Resi
     let mut model = PartialModel::initial(program, database, graph.atoms());
     let mut closer = Closer::new(graph);
     closer.bootstrap(&model);
-    closer.run(&mut model).expect("close from M0 cannot conflict");
+    closer
+        .run(&mut model)
+        .expect("close from M0 cannot conflict");
     let mut alive_atoms: Vec<String> = closer
         .alive_atoms()
         .map(|id| graph.atoms().decode(id).to_string())
@@ -154,11 +156,11 @@ fn assert_equivalent(program: &Program, database: &Database) {
 fn win_move_instances_agree() {
     let program = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
     for db_src in [
-        "move(a, b).\nmove(b, c).",            // chain: total WF model
-        "move(a, b).\nmove(b, a).",            // even cycle: the draw (a tie)
-        "move(a, a).",                         // odd self-loop
+        "move(a, b).\nmove(b, c).",              // chain: total WF model
+        "move(a, b).\nmove(b, a).",              // even cycle: the draw (a tie)
+        "move(a, a).",                           // odd self-loop
         "move(a, b).\nmove(b, a).\nmove(c, a).", // cycle + tail
-        "",                                     // empty database
+        "",                                      // empty database
     ] {
         let database = parse_database(db_src).unwrap();
         assert_equivalent(&program, &database);
@@ -236,5 +238,8 @@ fn relevant_mode_handles_what_full_mode_rejects() {
         .atoms()
         .id_of(&GroundAtom::from_texts("p", &[]))
         .expect("p interned");
-    assert_eq!(run.model.get(p), tie_breaking_datalog::ground::TruthValue::Undefined);
+    assert_eq!(
+        run.model.get(p),
+        tie_breaking_datalog::ground::TruthValue::Undefined
+    );
 }

@@ -53,10 +53,9 @@ fn stratified_vs_well_founded_cross_validation() {
 /// the enumeration agrees with the checkers.
 #[test]
 fn stable_models_extend_the_well_founded_model() {
-    let program = parse_program(
-        "a :- not b.\nb :- not a.\nc :- a.\nd :- not c, not b.\ne(k) :- not a.",
-    )
-    .unwrap();
+    let program =
+        parse_program("a :- not b.\nb :- not a.\nc :- a.\nd :- not c, not b.\ne(k) :- not a.")
+            .unwrap();
     let db = Database::new();
     let graph = ground(&program, &db, &GroundConfig::default()).unwrap();
     let wf = well_founded(&graph, &program, &db).unwrap();
@@ -137,8 +136,11 @@ fn budget_failures_are_typed() {
     let program = parse_program("t(U, V, W, X, Y, Z) :- e(U, V), e(W, X), e(Y, Z).").unwrap();
     let mut db = Database::new();
     for i in 0..24 {
-        db.insert(GroundAtom::from_texts("e", &[&format!("c{i}"), &format!("c{}", i + 1)]))
-            .unwrap();
+        db.insert(GroundAtom::from_texts(
+            "e",
+            &[&format!("c{i}"), &format!("c{}", i + 1)],
+        ))
+        .unwrap();
     }
     // 6 variables over 25 constants = 244 million instances: over budget.
     let err = ground(&program, &db, &GroundConfig::default()).unwrap_err();

@@ -1,6 +1,8 @@
 //! Property-based tests over the whole stack.
 
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use tie_breaking_datalog::constructions::generators;
 use tie_breaking_datalog::core::semantics::alternating::alternating_well_founded;
 use tie_breaking_datalog::core::semantics::enumerate::{enumerate_fixpoints, EnumerateConfig};
@@ -11,8 +13,6 @@ use tie_breaking_datalog::core::semantics::tie_breaking::{
 };
 use tie_breaking_datalog::core::semantics::well_founded::well_founded;
 use tie_breaking_datalog::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn cfg() -> EnumerateConfig {
     EnumerateConfig {

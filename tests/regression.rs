@@ -74,7 +74,8 @@ const CORPUS: &[Case] = &[
     },
     Case {
         name: "even/odd on a chain",
-        program: "even(X) :- zero(X).\neven(Y) :- succ(X, Y), odd(X).\nodd(Y) :- succ(X, Y), even(X).",
+        program:
+            "even(X) :- zero(X).\neven(Y) :- succ(X, Y), odd(X).\nodd(Y) :- succ(X, Y), even(X).",
         database: "zero(0). succ(0, 1). succ(1, 2). succ(2, 3).",
         wf_total: true,
         fixpoints: 1,

@@ -31,11 +31,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { name: parameter.to_string() }
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
     }
 }
 
@@ -53,7 +57,9 @@ impl IntoBenchmarkId for BenchmarkId {
 
 impl<T: fmt::Display> IntoBenchmarkId for T {
     fn into_benchmark_id(self) -> BenchmarkId {
-        BenchmarkId { name: self.to_string() }
+        BenchmarkId {
+            name: self.to_string(),
+        }
     }
 }
 
@@ -90,16 +96,18 @@ impl Default for Criterion {
     fn default() -> Self {
         // cargo bench invokes the harness with `--bench`; skip flags and
         // take the first free argument as a name filter.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion { filter }
     }
 }
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), pending_throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            pending_throughput: None,
+        }
     }
 
     pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
@@ -122,9 +130,16 @@ impl Criterion {
                 return;
             }
         }
-        let mut b = Bencher { iters: 0, total: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+        };
         f(&mut b);
-        let mean = if b.iters > 0 { b.total / b.iters as u32 } else { Duration::ZERO };
+        let mean = if b.iters > 0 {
+            b.total / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
         let rate = match throughput {
             Some(Throughput::Elements(n)) if !mean.is_zero() => {
                 format!("  thrpt: {:.0} elem/s", n as f64 / mean.as_secs_f64())
@@ -134,7 +149,10 @@ impl Criterion {
             }
             _ => String::new(),
         };
-        println!("{full_name:<60} time: {mean:>12.3?}  ({} iters){rate}", b.iters);
+        println!(
+            "{full_name:<60} time: {mean:>12.3?}  ({} iters){rate}",
+            b.iters
+        );
     }
 }
 
@@ -234,7 +252,9 @@ mod tests {
 
     #[test]
     fn filter_skips_nonmatching() {
-        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
         let mut ran = false;
         c.bench_function("other", |b| {
             b.iter(|| ran = true);

@@ -3,7 +3,7 @@
 //! The build image has no registry access, so this workspace vendors the
 //! slice of the proptest 1.x API its property suites use: the
 //! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, range and
-//! tuple strategies, [`collection::vec`], `prop::bool::ANY`, [`any`],
+//! tuple strategies, [`collection::vec`], `prop::bool::ANY`, [`arbitrary::any`],
 //! the `proptest!` macro with `#![proptest_config(..)]`, and the
 //! `prop_assert*` macros.
 //!
@@ -159,13 +159,19 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
         }
     }
 
@@ -176,7 +182,10 @@ pub mod collection {
 
     /// `proptest::collection::vec(element, size)`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -266,7 +275,9 @@ pub mod test_runner {
                 h = h.wrapping_mul(0x1000_0000_01b3);
             }
             let seed = h ^ GLOBAL_SEED.rotate_left(17) ^ ((case as u64) << 32 | case as u64);
-            TestRng { rng: SmallRng::seed_from_u64(seed) }
+            TestRng {
+                rng: SmallRng::seed_from_u64(seed),
+            }
         }
     }
 
@@ -296,11 +307,15 @@ pub mod test_runner {
 
     impl TestCaseError {
         pub fn fail(message: impl Into<String>) -> Self {
-            TestCaseError { message: message.into() }
+            TestCaseError {
+                message: message.into(),
+            }
         }
         #[allow(clippy::self_named_constructors)]
         pub fn reject(message: impl Into<String>) -> Self {
-            TestCaseError { message: message.into() }
+            TestCaseError {
+                message: message.into(),
+            }
         }
     }
 
