@@ -1,24 +1,33 @@
 //! `bench_trajectory` — the CI perf-trajectory harness.
 //!
-//! Runs the well-founded + grounding trajectory workloads with wall-clock
-//! timing, writes a machine-readable `BENCH_<sha>.json` summary (instance
-//! sizes, mode, wall time, close/unfounded/tie round counts), and fails
-//! (exit code 1) when a perf gate regresses:
+//! Runs the well-founded + grounding + runtime trajectory workloads with
+//! wall-clock timing, writes a machine-readable `BENCH_<sha>.json`
+//! summary (instance sizes, mode, wall time, close/unfounded/tie round
+//! counts), and fails (exit code 1) when a perf gate regresses:
 //!
 //! * `Stratified` must not be slower than `Global` on the win–move tie
-//!   chain at n ≥ 1024;
-//! * `Stratified` must be ≥ 5× faster than `Global` on the win–move tie
-//!   chain at n = 4096.
+//!   chain at n ≥ 1024 (and ≥ 5× faster at n = 4096);
+//! * the session runtime's copy-on-write `all_outcomes` must be ≥ 5×
+//!   faster than the core per-script re-close enumerator at 64 scripts;
+//! * on a wide tie forest (64 independent branches) evaluation at
+//!   `threads = 4` must be ≥ 2× faster than `threads = 1` when the
+//!   machine has ≥ 4 cores (≥ 1.2× on 2–3 cores; the gate is skipped —
+//!   recorded as such — on a single-core host, where no wall-time
+//!   speedup is physically possible).
 //!
-//! Gates compare the two modes on the same machine in the same process,
+//! Gates compare configurations on the same machine in the same process,
 //! so they are ratios — robust to runner speed. Usage:
 //!
 //! ```text
-//! bench_trajectory [--out FILE] [--sha SHA]
+//! bench_trajectory [--out FILE] [--sha SHA] [--baseline BENCH_<sha>.json]
 //! ```
 //!
 //! `SHA` defaults to `$GITHUB_SHA`, then `local`; `FILE` defaults to
-//! `BENCH_<sha>.json`.
+//! `BENCH_<sha>.json`. With `--baseline` the summary of a previous
+//! commit is diffed entry by entry: every entry gains
+//! `baseline_wall_ms` / `vs_baseline` fields and a `> 1.25×` slowdown
+//! prints a `warn:` line (cross-machine noise makes this advisory, not
+//! a failure).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -26,9 +35,11 @@ use std::time::Instant;
 use datalog_ast::Database;
 use datalog_ground::{ground, GroundConfig, GroundMode};
 use paper_constructions::generators;
+use tiebreak_core::semantics::outcomes::all_outcomes_with;
 use tiebreak_core::semantics::well_founded::well_founded_with;
 use tiebreak_core::semantics::{well_founded_tie_breaking_with, RootTruePolicy};
-use tiebreak_core::{EvalMode, EvalOptions, RunStats};
+use tiebreak_core::{EngineConfig, EvalMode, EvalOptions, RunStats, RuntimeConfig};
+use tiebreak_runtime::{uniform, Solver};
 
 /// Timed runs per configuration; the minimum is reported.
 const RUNS: usize = 3;
@@ -161,6 +172,97 @@ fn grounding_entries(entries: &mut Vec<Entry>, n: usize) {
     }
 }
 
+/// The wide-forest workload through the session runtime at several
+/// worker counts. The session is prepared outside the timer: the gate
+/// measures evaluation scheduling, not grounding.
+fn runtime_forest_entries(entries: &mut Vec<Entry>, chains: usize, pockets: usize) {
+    let program = generators::win_move_program();
+    let db = generators::wide_tie_forest_db(chains, pockets);
+    for &threads in &[1usize, 2, 4] {
+        let solver = Solver::with_config(
+            program.clone(),
+            db.clone(),
+            EngineConfig::default().with_runtime(RuntimeConfig::with_threads(threads)),
+        )
+        .expect("prepares");
+        assert_eq!(solver.branch_count(), chains, "one branch per chain");
+        let (wall_ms, stats) = best_of(|| {
+            let out = solver
+                .well_founded_tie_breaking(&uniform(RootTruePolicy))
+                .expect("runs");
+            assert!(out.total, "every pocket is decided");
+            out.stats
+        });
+        entries.push(Entry {
+            bench: "runtime_wide_forest",
+            n: chains,
+            mode: format!("threads{threads}"),
+            wall_ms,
+            atoms: solver.graph().atom_count(),
+            rules: solver.graph().rule_count(),
+            stats,
+        });
+    }
+}
+
+/// Outcome enumeration over 2^pockets scripts: the core per-script
+/// re-close enumerator vs. the session's copy-on-write forks, both over
+/// the identical relevant-mode ground graph and stratified kernel.
+fn outcomes_cow_entries(entries: &mut Vec<Entry>, decided: usize, pockets: usize) {
+    let program = generators::win_move_program();
+    let db = generators::outcome_pocket_db(decided, pockets);
+    let scripts = 1usize << pockets;
+    let config = GroundConfig {
+        mode: GroundMode::Relevant,
+        ..GroundConfig::default()
+    };
+    let graph = ground(&program, &db, &config).expect("grounds");
+
+    let (wall_ms, runs) = best_of(|| {
+        let set = all_outcomes_with(
+            &graph,
+            &program,
+            &db,
+            false,
+            scripts * 4,
+            &EvalOptions::with_mode(EvalMode::Stratified),
+        )
+        .expect("enumerates");
+        set.runs
+    });
+    assert_eq!(runs, scripts);
+    entries.push(Entry {
+        bench: "outcomes_enumeration",
+        n: scripts,
+        mode: "reclose".to_owned(),
+        wall_ms,
+        atoms: graph.atom_count(),
+        rules: graph.rule_count(),
+        stats: RunStats::default(),
+    });
+
+    let solver = Solver::with_config(
+        program.clone(),
+        db.clone(),
+        EngineConfig::default().with_runtime(RuntimeConfig::with_threads(1)),
+    )
+    .expect("prepares");
+    let (wall_ms, runs) = best_of(|| {
+        let set = solver.all_outcomes(false, scripts * 4).expect("enumerates");
+        set.runs
+    });
+    assert_eq!(runs, scripts);
+    entries.push(Entry {
+        bench: "outcomes_enumeration",
+        n: scripts,
+        mode: "cow".to_owned(),
+        wall_ms,
+        atoms: solver.graph().atom_count(),
+        rules: solver.graph().rule_count(),
+        stats: RunStats::default(),
+    });
+}
+
 struct Gate {
     name: String,
     pass: bool,
@@ -175,7 +277,7 @@ fn wall_of(entries: &[Entry], bench: &str, n: usize, mode: &str) -> f64 {
         .expect("entry recorded")
 }
 
-fn gates(entries: &[Entry], sizes: &[usize]) -> Vec<Gate> {
+fn gates(entries: &[Entry], sizes: &[usize], forest_chains: usize, scripts: usize) -> Vec<Gate> {
     let mut gates = Vec::new();
     for &n in sizes.iter().filter(|&&n| n >= 1024) {
         let global = wall_of(entries, "win_move_tie_chain", n, "global");
@@ -196,25 +298,117 @@ fn gates(entries: &[Entry], sizes: &[usize]) -> Vec<Gate> {
             });
         }
     }
+
+    // Parallel scheduling: a wall-time gate only makes sense when the
+    // machine can actually run workers concurrently.
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let t1 = wall_of(entries, "runtime_wide_forest", forest_chains, "threads1");
+    let t4 = wall_of(entries, "runtime_wide_forest", forest_chains, "threads4");
+    let speedup = t1 / t4.max(f64::MIN_POSITIVE);
+    let (pass, requirement) = if cores >= 4 {
+        (t4 * 2.0 <= t1, "2.0x (>=4 cores)")
+    } else if cores >= 2 {
+        (t4 * 1.2 <= t1, "1.2x (2-3 cores)")
+    } else {
+        (true, "skipped (single core)")
+    };
+    gates.push(Gate {
+        name: format!("runtime_forest_parallel_speedup_c{forest_chains}"),
+        pass,
+        detail: format!(
+            "threads4 {t4:.3}ms vs threads1 {t1:.3}ms = {speedup:.2}x, required {requirement}, \
+             {cores} core(s)"
+        ),
+    });
+
+    // Copy-on-write enumeration: single-threaded, machine-independent.
+    let reclose = wall_of(entries, "outcomes_enumeration", scripts, "reclose");
+    let cow = wall_of(entries, "outcomes_enumeration", scripts, "cow");
+    gates.push(Gate {
+        name: format!("outcomes_cow_5x_s{scripts}"),
+        pass: cow * 5.0 <= reclose,
+        detail: format!(
+            "speedup {:.1}x (cow {cow:.3}ms, reclose {reclose:.3}ms)",
+            reclose / cow.max(f64::MIN_POSITIVE)
+        ),
+    });
     gates
+}
+
+/// One `(bench, n, mode) → wall_ms` record recovered from a previous
+/// summary file.
+struct BaselineEntry {
+    bench: String,
+    n: usize,
+    mode: String,
+    wall_ms: f64,
+}
+
+/// Extracts the string value of `"key": "..."` from a JSON entry line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_owned())
+}
+
+/// Extracts the numeric value of `"key": ...` from a JSON entry line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the `entries` of a previous `BENCH_<sha>.json`. The format is
+/// our own (one entry object per line), so a line scanner is enough — no
+/// JSON dependency in the image.
+fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(BaselineEntry {
+                bench: field_str(line, "bench")?,
+                n: field_num(line, "n")? as usize,
+                mode: field_str(line, "mode")?,
+                wall_ms: field_num(line, "wall_ms")?,
+            })
+        })
+        .collect()
+}
+
+/// The cross-commit comparison: `entry → (baseline wall, ratio)`.
+fn baseline_delta(baseline: &[BaselineEntry], e: &Entry) -> Option<(f64, f64)> {
+    let b = baseline
+        .iter()
+        .find(|b| b.bench == e.bench && b.n == e.n && b.mode == e.mode)?;
+    Some((b.wall_ms, e.wall_ms / b.wall_ms.max(f64::MIN_POSITIVE)))
 }
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn to_json(sha: &str, entries: &[Entry], gates: &[Gate]) -> String {
+fn to_json(sha: &str, entries: &[Entry], gates: &[Gate], baseline: &[BaselineEntry]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"schema\": 2,");
     let _ = writeln!(out, "  \"sha\": \"{}\",", json_escape(sha));
+    let _ = writeln!(out, "  \"cores\": {cores},");
     let _ = writeln!(out, "  \"entries\": [");
     for (i, e) in entries.iter().enumerate() {
         let _ = write!(
             out,
             "    {{\"bench\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"wall_ms\": {:.3}, \
              \"atoms\": {}, \"rules\": {}, \"close_rounds\": {}, \"unfounded_rounds\": {}, \
-             \"ties_broken\": {}, \"components_processed\": {}, \"max_component_rounds\": {}}}",
+             \"ties_broken\": {}, \"components_processed\": {}, \"max_component_rounds\": {}",
             e.bench,
             e.n,
             e.mode,
@@ -227,6 +421,13 @@ fn to_json(sha: &str, entries: &[Entry], gates: &[Gate]) -> String {
             e.stats.components_processed,
             e.stats.max_component_rounds,
         );
+        if let Some((base_ms, ratio)) = baseline_delta(baseline, e) {
+            let _ = write!(
+                out,
+                ", \"baseline_wall_ms\": {base_ms:.3}, \"vs_baseline\": {ratio:.3}"
+            );
+        }
+        let _ = write!(out, "}}");
         let _ = writeln!(out, "{}", if i + 1 < entries.len() { "," } else { "" });
     }
     let _ = writeln!(out, "  ],");
@@ -250,14 +451,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path: Option<String> = None;
     let mut sha: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out_path = it.next().cloned(),
             "--sha" => sha = it.next().cloned(),
+            "--baseline" => baseline_path = it.next().cloned(),
             other => {
                 eprintln!(
-                    "unknown argument {other} (usage: bench_trajectory [--out FILE] [--sha SHA])"
+                    "unknown argument {other} (usage: bench_trajectory [--out FILE] [--sha SHA] \
+                     [--baseline FILE])"
                 );
                 std::process::exit(2);
             }
@@ -267,20 +471,40 @@ fn main() {
         .or_else(|| std::env::var("GITHUB_SHA").ok())
         .unwrap_or_else(|| "local".to_owned());
     let out_path = out_path.unwrap_or_else(|| format!("BENCH_{sha}.json"));
+    let baseline: Vec<BaselineEntry> = match &baseline_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => parse_baseline(&text),
+            Err(e) => {
+                // A missing baseline (first run, expired artifact) is not
+                // an error — the comparison is simply skipped.
+                eprintln!("warn: cannot read baseline {path}: {e}; skipping comparison");
+                Vec::new()
+            }
+        },
+        None => Vec::new(),
+    };
 
     let tie_sizes = [256usize, 1024, 4096];
+    let forest_chains = 64;
+    let cow_scripts = 64;
     let mut entries = Vec::new();
     tie_chain_entries(&mut entries, &tie_sizes);
     unfounded_chain_entries(&mut entries, &tie_sizes);
     grounding_entries(&mut entries, 256);
+    runtime_forest_entries(&mut entries, forest_chains, 8);
+    outcomes_cow_entries(&mut entries, 4096, 6); // 2^6 = 64 scripts
 
-    let gates = gates(&entries, &tie_sizes);
-    let json = to_json(&sha, &entries, &gates);
+    let gates = gates(&entries, &tie_sizes, forest_chains, cow_scripts);
+    let json = to_json(&sha, &entries, &gates, &baseline);
     std::fs::write(&out_path, &json).expect("write summary");
 
     for e in &entries {
+        let delta = match baseline_delta(&baseline, e) {
+            Some((_, ratio)) => format!("  [{ratio:.2}x vs baseline]"),
+            None => String::new(),
+        };
         println!(
-            "{:<26} n={:<5} {:<10} {:>10.3} ms  (atoms {}, rules {}, ties {}, unfounded {})",
+            "{:<26} n={:<5} {:<10} {:>10.3} ms  (atoms {}, rules {}, ties {}, unfounded {}){}",
             e.bench,
             e.n,
             e.mode,
@@ -288,8 +512,21 @@ fn main() {
             e.atoms,
             e.rules,
             e.stats.ties_broken,
-            e.stats.unfounded_rounds
+            e.stats.unfounded_rounds,
+            delta
         );
+    }
+    // Cross-commit regressions warn (runner-to-runner noise is real);
+    // the same-process ratio gates below are what fail the build.
+    for e in &entries {
+        if let Some((base_ms, ratio)) = baseline_delta(&baseline, e) {
+            if ratio > 1.25 {
+                println!(
+                    "warn: {} n={} {} regressed {ratio:.2}x vs baseline ({:.3} ms -> {:.3} ms)",
+                    e.bench, e.n, e.mode, base_ms, e.wall_ms
+                );
+            }
+        }
     }
     let mut failed = false;
     for g in &gates {

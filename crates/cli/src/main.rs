@@ -3,31 +3,48 @@
 //! ```text
 //! datalog analyze  <program.dl>
 //! datalog run      <program.dl> [database.dl] [--semantics wf|tb|pure-tb|stratified]
-//!                  [--policy root-true|root-false|random] [--seed N]
+//!                  [--policy root-true|root-false|random] [--seed N] [--threads N]
 //! datalog models   <program.dl> [database.dl] [--stable] [--limit N]
 //! datalog ground   <program.dl> [database.dl]
 //! datalog explain  <program.dl> [database.dl] --atom "win(a)" [--semantics wf|tb]
+//!                  [--threads N]
 //! datalog outcomes <program.dl> [database.dl] [--semantics tb|pure-tb] [--limit N]
+//!                  [--threads N]
 //! datalog totality <program.dl> [--nonuniform]          (propositional only)
 //! ```
 //!
 //! Every command that grounds accepts `--ground-mode full|relevant`:
-//! `full` (default) builds the paper-literal *G(Π, Δ)*; `relevant` builds
-//! the join-based relevant grounding — same post-`close` semantics, far
-//! smaller graphs on large databases.
+//! `relevant` (the production default) builds the join-based relevant
+//! grounding; `full` builds the paper-literal *G(Π, Δ)* — same
+//! post-`close` semantics, `relevant` is far smaller on large databases.
 //!
 //! Every command that evaluates accepts `--eval-mode global|stratified`:
-//! `global` (default) is the paper-literal loop; `stratified` drives the
-//! interpreters over the SCC condensation of the residual graph — same
-//! models and outcome sets, far faster on alternation-heavy instances.
+//! `stratified` (the production default) drives the interpreters over the
+//! SCC condensation of the residual graph; `global` is the paper-literal
+//! loop — same models and outcome sets.
+//!
+//! `run`, `outcomes`, and `explain` accept `--threads N`: the query then
+//! goes through the `tiebreak-runtime` session solver, which grounds,
+//! closes, and condenses once and evaluates independent condensation
+//! branches on `N` worker threads (`0` = auto, honouring the
+//! `TIEBREAK_THREADS` environment variable). With the deterministic
+//! policies (`root-true`, `root-false`) output is bit-identical to the
+//! sequential path and across thread counts; `--policy random` stays
+//! reproducible per `--seed` and per thread count (choice streams are
+//! keyed by branch), but draws different choices than the sequential
+//! single-RNG run. For `outcomes` the session also forks each tie
+//! script copy-on-write off the shared post-close state instead of
+//! re-closing per script.
 //!
 //! Programs use `head(X) :- body(X), not other(X).` syntax; database files
 //! contain ground facts only.
 
 use std::process::ExitCode;
 
+use tiebreak_core::engine::EvalOutcome;
 use tiebreak_core::semantics::{RandomPolicy, RootFalsePolicy, RootTruePolicy, TiePolicy};
-use tiebreak_core::{Engine, EngineConfig, EvalMode, GroundMode};
+use tiebreak_core::{Engine, EngineConfig, EvalMode, GroundMode, RuntimeConfig};
+use tiebreak_runtime::{uniform, PolicyFactory, Solver};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,7 +58,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  datalog analyze <program.dl>\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N]\n  datalog totality <program.dl> [--nonuniform]\n\nGrounding commands also accept --ground-mode full|relevant (default: full).\nEvaluating commands also accept --eval-mode global|stratified (default: global)."
+    "usage:\n  datalog analyze <program.dl>\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N] [--threads N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb] [--threads N]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N] [--threads N]\n  datalog totality <program.dl> [--nonuniform]\n\nGrounding commands also accept --ground-mode full|relevant (default: relevant).\nEvaluating commands also accept --eval-mode global|stratified (default: stratified).\n--threads N routes run/outcomes/explain through the parallel session runtime\n(0 = auto via TIEBREAK_THREADS or the machine's parallelism)."
         .to_owned()
 }
 
@@ -56,6 +73,7 @@ struct Options {
     nonuniform: bool,
     ground_mode: GroundMode,
     eval_mode: EvalMode,
+    threads: Option<usize>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -68,8 +86,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         limit: 0,
         atom: None,
         nonuniform: false,
-        ground_mode: GroundMode::Full,
-        eval_mode: EvalMode::Global,
+        ground_mode: GroundMode::Relevant,
+        eval_mode: EvalMode::Stratified,
+        threads: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -113,6 +132,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown eval mode {other} (global|stratified)")),
                 };
             }
+            "--threads" => {
+                opts.threads = Some(
+                    it.next()
+                        .ok_or("--threads needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad thread count: {e}"))?,
+                );
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -122,7 +149,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn load_engine(opts: &Options) -> Result<Engine, String> {
+fn engine_config(opts: &Options) -> EngineConfig {
+    EngineConfig::default()
+        .with_ground_mode(opts.ground_mode)
+        .with_eval_mode(opts.eval_mode)
+        .with_runtime(RuntimeConfig::with_threads(opts.threads.unwrap_or(0)))
+}
+
+/// Reads the program and (optional) database sources named in `opts`.
+fn load_sources(opts: &Options) -> Result<(String, String), String> {
     let program_path = opts.files.first().ok_or_else(usage)?;
     let program_src = std::fs::read_to_string(program_path)
         .map_err(|e| format!("cannot read {program_path}: {e}"))?;
@@ -132,15 +167,63 @@ fn load_engine(opts: &Options) -> Result<Engine, String> {
         }
         None => String::new(),
     };
+    Ok((program_src, db_src))
+}
+
+fn load_engine(opts: &Options) -> Result<Engine, String> {
+    let (program_src, db_src) = load_sources(opts)?;
     Engine::from_sources(&program_src, &db_src)
-        .map(|e| {
-            e.with_config(
-                EngineConfig::default()
-                    .with_ground_mode(opts.ground_mode)
-                    .with_eval_mode(opts.eval_mode),
-            )
-        })
+        .map(|e| e.with_config(engine_config(opts)))
         .map_err(|e| e.to_string())
+}
+
+/// Builds the session solver for the `--threads` paths (parsing the
+/// sources directly — no intermediate `Engine` to clone out of).
+fn load_solver(opts: &Options) -> Result<Solver, String> {
+    let (program_src, db_src) = load_sources(opts)?;
+    let program = datalog_ast::parse_program(&program_src).map_err(|e| e.to_string())?;
+    let database = datalog_ast::parse_database(&db_src).map_err(|e| e.to_string())?;
+    Solver::with_config(program, database, engine_config(opts)).map_err(|e| e.to_string())
+}
+
+/// `--policy random` for the session path: one independently seeded
+/// stream per branch. Deterministic for a given `--seed` and across
+/// thread counts (the stream is keyed by the schedule-independent
+/// branch id) — but *not* the same choice sequence as the sequential
+/// path, which threads a single RNG through the whole run.
+struct BranchSeededRandom(u64);
+
+impl PolicyFactory for BranchSeededRandom {
+    type Policy = RandomPolicy;
+
+    fn policy_for(&self, branch: u32) -> RandomPolicy {
+        // Mix the branch id in with the golden-ratio multiplier so
+        // adjacent branches get unrelated streams.
+        RandomPolicy::seeded(self.0 ^ u64::from(branch).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+/// Runs a tie-breaking flavour on the session solver with the chosen
+/// policy lifted per branch.
+fn solver_tie_breaking(solver: &Solver, pure: bool, opts: &Options) -> Result<EvalOutcome, String> {
+    fn go<F: PolicyFactory>(
+        solver: &Solver,
+        pure: bool,
+        factory: &F,
+    ) -> Result<EvalOutcome, String> {
+        if pure {
+            solver.pure_tie_breaking(factory)
+        } else {
+            solver.well_founded_tie_breaking(factory)
+        }
+        .map_err(|e| e.to_string())
+    }
+    match opts.policy.as_str() {
+        "root-true" => go(solver, pure, &uniform(RootTruePolicy)),
+        "root-false" => go(solver, pure, &uniform(RootFalsePolicy)),
+        "random" => go(solver, pure, &BranchSeededRandom(opts.seed)),
+        other => Err(format!("unknown policy {other}")),
+    }
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -157,26 +240,49 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "run" => {
-            let engine = load_engine(&opts)?;
             let outcome = match opts.semantics.as_str() {
-                "wf" => engine.well_founded().map_err(|e| e.to_string())?,
+                "wf" => {
+                    if opts.threads.is_some() {
+                        load_solver(&opts)?
+                            .well_founded()
+                            .map_err(|e| e.to_string())?
+                    } else {
+                        load_engine(&opts)?
+                            .well_founded()
+                            .map_err(|e| e.to_string())?
+                    }
+                }
                 "tb" | "pure-tb" => {
                     let pure = opts.semantics == "pure-tb";
-                    let mut policy: Box<dyn TiePolicy> = match opts.policy.as_str() {
-                        "root-true" => Box::new(RootTruePolicy),
-                        "root-false" => Box::new(RootFalsePolicy),
-                        "random" => Box::new(RandomPolicy::seeded(opts.seed)),
-                        other => return Err(format!("unknown policy {other}")),
-                    };
-                    let mut adapter = PolicyBox(&mut *policy);
-                    let result = if pure {
-                        engine.pure_tie_breaking(&mut adapter)
+                    if opts.threads.is_some() {
+                        let solver = load_solver(&opts)?;
+                        solver_tie_breaking(&solver, pure, &opts)?
                     } else {
-                        engine.well_founded_tie_breaking(&mut adapter)
-                    };
-                    result.map_err(|e| e.to_string())?
+                        let engine = load_engine(&opts)?;
+                        let mut policy: Box<dyn TiePolicy> = match opts.policy.as_str() {
+                            "root-true" => Box::new(RootTruePolicy),
+                            "root-false" => Box::new(RootFalsePolicy),
+                            "random" => Box::new(RandomPolicy::seeded(opts.seed)),
+                            other => return Err(format!("unknown policy {other}")),
+                        };
+                        let mut adapter = PolicyBox(&mut *policy);
+                        let result = if pure {
+                            engine.pure_tie_breaking(&mut adapter)
+                        } else {
+                            engine.well_founded_tie_breaking(&mut adapter)
+                        };
+                        result.map_err(|e| e.to_string())?
+                    }
                 }
                 "stratified" => {
+                    if opts.threads.is_some() {
+                        return Err(
+                            "--threads applies to wf|tb|pure-tb (--semantics stratified is the \
+                             sequential semi-naive engine)"
+                                .to_owned(),
+                        );
+                    }
+                    let engine = load_engine(&opts)?;
                     let run = engine.stratified().map_err(|e| e.to_string())?;
                     for fact in run.true_atoms() {
                         println!("{fact}.");
@@ -248,8 +354,10 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "explain" => {
-            let engine = load_engine(&opts)?;
-            let atom_src = opts.atom.ok_or("explain needs --atom \"pred(c1, ...)\"")?;
+            let atom_src = opts
+                .atom
+                .clone()
+                .ok_or("explain needs --atom \"pred(c1, ...)\"")?;
             let parsed = datalog_ast::parse_program(&format!("{atom_src}."))
                 .map_err(|e| format!("bad --atom: {e}"))?;
             let ground_atom = parsed
@@ -258,78 +366,79 @@ fn run(args: &[String]) -> Result<(), String> {
                 .and_then(|r| r.head.to_ground())
                 .ok_or("--atom must be a single ground atom")?;
 
-            let graph = engine.ground().map_err(|e| e.to_string())?;
-            let program = engine.program();
-            let database = engine.database();
-            let eval = tiebreak_core::EvalOptions::with_mode(opts.eval_mode);
-            let model = match opts.semantics.as_str() {
-                "wf" => {
-                    tiebreak_core::semantics::well_founded_with(&graph, program, database, &eval)
+            if opts.threads.is_some() {
+                // Session path: the solver's prepared graph carries the
+                // atom space the parallel run's model is indexed by.
+                let solver = load_solver(&opts)?;
+                let run = match opts.semantics.as_str() {
+                    "wf" => solver.well_founded_run().map_err(|e| e.to_string())?,
+                    "tb" => solver
+                        .well_founded_tie_breaking_run(&uniform(RootTruePolicy))
+                        .map_err(|e| e.to_string())?,
+                    other => return Err(format!("explain supports wf|tb, not {other}")),
+                };
+                print_explanation(
+                    solver.graph(),
+                    solver.program(),
+                    solver.database(),
+                    &run.model,
+                    &ground_atom,
+                )
+            } else {
+                let engine = load_engine(&opts)?;
+                let graph = engine.ground().map_err(|e| e.to_string())?;
+                let program = engine.program();
+                let database = engine.database();
+                let eval = tiebreak_core::EvalOptions::with_mode(opts.eval_mode);
+                let model = match opts.semantics.as_str() {
+                    "wf" => {
+                        tiebreak_core::semantics::well_founded_with(
+                            &graph, program, database, &eval,
+                        )
                         .map_err(|e| e.to_string())?
                         .model
-                }
-                "tb" => {
-                    let mut policy = RootTruePolicy;
-                    tiebreak_core::semantics::well_founded_tie_breaking_with(
-                        &graph,
-                        program,
-                        database,
-                        &mut policy,
-                        &eval,
-                    )
-                    .map_err(|e| e.to_string())?
-                    .model
-                }
-                other => return Err(format!("explain supports wf|tb, not {other}")),
-            };
-            let id = graph
-                .atoms()
-                .id_of(&ground_atom)
-                .ok_or_else(|| format!("atom {ground_atom} is not in the ground atom space"))?;
-            let justification = tiebreak_core::analysis::justify(&graph, database, &model, id);
-            println!(
-                "{}",
-                tiebreak_core::analysis::explain::render(
-                    &graph,
-                    program,
-                    &model,
-                    id,
-                    &justification
-                )
-            );
-            Ok(())
+                    }
+                    "tb" => {
+                        let mut policy = RootTruePolicy;
+                        tiebreak_core::semantics::well_founded_tie_breaking_with(
+                            &graph,
+                            program,
+                            database,
+                            &mut policy,
+                            &eval,
+                        )
+                        .map_err(|e| e.to_string())?
+                        .model
+                    }
+                    other => return Err(format!("explain supports wf|tb, not {other}")),
+                };
+                print_explanation(&graph, program, database, &model, &ground_atom)
+            }
         }
         "outcomes" => {
-            let engine = load_engine(&opts)?;
-            let graph = engine.ground().map_err(|e| e.to_string())?;
             let max_runs = if opts.limit == 0 { 256 } else { opts.limit };
-            let set = tiebreak_core::semantics::outcomes::all_outcomes_with(
-                &graph,
-                engine.program(),
-                engine.database(),
-                opts.semantics == "pure-tb",
-                max_runs,
-                &tiebreak_core::EvalOptions::with_mode(opts.eval_mode),
-            )
-            .map_err(|e| e.to_string())?;
-            println!(
-                "% {} distinct outcome(s) over {} run(s){}",
-                set.models.len(),
-                set.runs,
-                if set.truncated { " (truncated)" } else { "" }
-            );
-            for (i, model) in set.models.iter().enumerate() {
-                let facts: Vec<String> = model
-                    .true_atoms(graph.atoms())
-                    .iter()
-                    .map(|f| f.to_string())
-                    .collect();
-                println!(
-                    "% outcome {} ({}): {{{}}}",
-                    i + 1,
-                    if model.is_total() { "total" } else { "partial" },
-                    facts.join(", ")
-                );
+            let pure = opts.semantics == "pure-tb";
+            if opts.threads.is_some() {
+                // Session path: one ground + close, copy-on-write forks
+                // per tie script.
+                let solver = load_solver(&opts)?;
+                let set = solver
+                    .all_outcomes(pure, max_runs)
+                    .map_err(|e| e.to_string())?;
+                print_outcomes(&set, solver.graph().atoms());
+            } else {
+                let engine = load_engine(&opts)?;
+                let graph = engine.ground().map_err(|e| e.to_string())?;
+                let set = tiebreak_core::semantics::outcomes::all_outcomes_with(
+                    &graph,
+                    engine.program(),
+                    engine.database(),
+                    pure,
+                    max_runs,
+                    &tiebreak_core::EvalOptions::with_mode(opts.eval_mode),
+                )
+                .map_err(|e| e.to_string())?;
+                print_outcomes(&set, graph.atoms());
             }
             Ok(())
         }
@@ -359,6 +468,52 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown command {other}\n{}", usage())),
     }
+}
+
+/// Prints an outcome set in the shared `outcomes` format.
+fn print_outcomes(
+    set: &tiebreak_core::semantics::outcomes::OutcomeSet,
+    atoms: &datalog_ground::AtomTable,
+) {
+    println!(
+        "% {} distinct outcome(s) over {} run(s){}",
+        set.models.len(),
+        set.runs,
+        if set.truncated { " (truncated)" } else { "" }
+    );
+    for (i, model) in set.models.iter().enumerate() {
+        let facts: Vec<String> = model
+            .true_atoms(atoms)
+            .iter()
+            .map(|f| f.to_string())
+            .collect();
+        println!(
+            "% outcome {} ({}): {{{}}}",
+            i + 1,
+            if model.is_total() { "total" } else { "partial" },
+            facts.join(", ")
+        );
+    }
+}
+
+/// Justifies and renders one atom against a computed model.
+fn print_explanation(
+    graph: &datalog_ground::GroundGraph,
+    program: &datalog_ast::Program,
+    database: &datalog_ast::Database,
+    model: &datalog_ground::PartialModel,
+    ground_atom: &datalog_ast::GroundAtom,
+) -> Result<(), String> {
+    let id = graph
+        .atoms()
+        .id_of(ground_atom)
+        .ok_or_else(|| format!("atom {ground_atom} is not in the ground atom space"))?;
+    let justification = tiebreak_core::analysis::justify(graph, database, model, id);
+    println!(
+        "{}",
+        tiebreak_core::analysis::explain::render(graph, program, model, id, &justification)
+    );
+    Ok(())
 }
 
 /// Adapter: lets a boxed policy satisfy the generic bound.

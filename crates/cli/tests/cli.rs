@@ -72,6 +72,125 @@ fn run_tie_breaking_decides_the_draw() {
 }
 
 #[test]
+fn threads_flag_routes_through_the_session_runtime() {
+    let prog = write_temp("rt.dl", "win(X) :- move(X, Y), not win(Y).");
+    let db = write_temp(
+        "rt_db.dl",
+        "move(a, b).\nmove(b, a).\nmove(c, d).\nmove(d, c).\nmove(e, f).\nmove(f, g).",
+    );
+
+    // `run --threads` must print exactly what the sequential path prints.
+    let mut outputs = Vec::new();
+    for extra in [&[][..], &["--threads", "1"][..], &["--threads", "4"][..]] {
+        let mut args = vec![
+            "run",
+            prog.to_str().unwrap(),
+            db.to_str().unwrap(),
+            "--semantics",
+            "tb",
+        ];
+        args.extend_from_slice(extra);
+        let out = datalog(&args);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outputs.push(String::from_utf8_lossy(&out.stdout).into_owned());
+    }
+    assert_eq!(outputs[0], outputs[1], "sequential vs session");
+    assert_eq!(outputs[1], outputs[2], "1 vs 4 workers");
+
+    // `outcomes --threads` enumerates the same outcome count (2 pockets
+    // ⇒ 4 total outcomes) through the copy-on-write path.
+    let out = datalog(&[
+        "outcomes",
+        prog.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--threads",
+        "2",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("% 4 distinct outcome(s)"), "{text}");
+
+    // `explain --threads` justifies against the session's model.
+    let out = datalog(&[
+        "explain",
+        prog.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--atom",
+        "win(f)",
+        "--semantics",
+        "wf",
+        "--threads",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("win(f)"), "{text}");
+}
+
+#[test]
+fn stratified_semantics_rejects_threads() {
+    let prog = write_temp("strat_t.dl", "t(X, Y) :- e(X, Y).");
+    let db = write_temp("strat_t_db.dl", "e(a, b).");
+    let out = datalog(&[
+        "run",
+        prog.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--semantics",
+        "stratified",
+        "--threads",
+        "2",
+    ]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("--threads applies to"), "{text}");
+}
+
+#[test]
+fn random_policy_with_threads_is_seed_reproducible() {
+    let prog = write_temp("rand_t.dl", "win(X) :- move(X, Y), not win(Y).");
+    let db = write_temp(
+        "rand_t_db.dl",
+        "move(a, b).\nmove(b, a).\nmove(c, d).\nmove(d, c).",
+    );
+    let run = |threads: &str| {
+        let out = datalog(&[
+            "run",
+            prog.to_str().unwrap(),
+            db.to_str().unwrap(),
+            "--policy",
+            "random",
+            "--seed",
+            "7",
+            "--threads",
+            threads,
+        ]);
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    // Branch-keyed streams: same seed ⇒ same choices, whatever the
+    // worker count.
+    assert_eq!(run("1"), run("1"));
+    assert_eq!(run("1"), run("8"));
+}
+
+#[test]
+fn bad_threads_value_is_rejected() {
+    let prog = write_temp("rt_bad.dl", "p :- not q.\nq :- not p.");
+    let out = datalog(&["run", prog.to_str().unwrap(), "--threads", "many"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("bad thread count"), "{text}");
+}
+
+#[test]
 fn models_enumerates_and_flags_stable() {
     let prog = write_temp("pq.dl", "p :- p, not q.\nq :- q, not p.");
     let all = datalog(&["models", prog.to_str().unwrap()]);
@@ -216,8 +335,14 @@ fn ground_mode_flag_switches_grounders() {
     let prog = write_temp("gm.dl", "win(X) :- move(X, Y), not win(Y).");
     let db = write_temp("gm_db.dl", "move(a, b).\nmove(b, c).");
 
-    // Full (default): |U|² = 9 instances, 12 atoms.
-    let out = datalog(&["ground", prog.to_str().unwrap(), db.to_str().unwrap()]);
+    // Full (paper-literal, selected explicitly): |U|² = 9 instances.
+    let out = datalog(&[
+        "ground",
+        prog.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--ground-mode",
+        "full",
+    ]);
     assert!(
         out.status.success(),
         "{}",
@@ -226,14 +351,8 @@ fn ground_mode_flag_switches_grounders() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("% 12 ground atoms, 9 rule nodes"), "{text}");
 
-    // Relevant: one instance per move fact, 5 atoms.
-    let out = datalog(&[
-        "ground",
-        prog.to_str().unwrap(),
-        db.to_str().unwrap(),
-        "--ground-mode",
-        "relevant",
-    ]);
+    // Relevant (the production default): one instance per move fact.
+    let out = datalog(&["ground", prog.to_str().unwrap(), db.to_str().unwrap()]);
     assert!(
         out.status.success(),
         "{}",

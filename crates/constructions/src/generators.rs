@@ -108,6 +108,55 @@ pub fn tie_chain_move_db(n: usize) -> Database {
     db
 }
 
+/// A **wide tie forest** for the win–move game: `chains` independent
+/// copies of [`tie_chain_move_db`]-style pocket chains, `pockets` draw
+/// pockets each, with no moves between copies. The residual condensation
+/// is a forest of `chains` weakly-connected branches — the canonical
+/// *wide* workload for the parallel session runtime: branches are
+/// causally independent, so the scheduler's speedup is bounded only by
+/// `min(threads, chains)`.
+pub fn wide_tie_forest_db(chains: usize, pockets: usize) -> Database {
+    let mut db = Database::new();
+    let mut insert = |from: &str, to: &str| {
+        db.insert(GroundAtom::from_texts("move", &[from, to]))
+            .expect("binary facts");
+    };
+    for c in 0..chains {
+        for i in 0..pockets {
+            insert(&format!("t{c}a{i}"), &format!("t{c}b{i}"));
+            insert(&format!("t{c}b{i}"), &format!("t{c}a{i}"));
+            if i + 1 < pockets {
+                insert(&format!("t{c}a{i}"), &format!("t{c}a{}", i + 1));
+            }
+        }
+    }
+    db
+}
+
+/// An **outcome-enumeration workload** for the win–move game: a decided
+/// move chain of `decided` edges (the well-founded core resolves it in
+/// the first `close`) plus `pockets` independent draw pockets. With `k`
+/// pockets the tie-breaking choice tree has `2^k` scripts; the per-script
+/// cost of re-running `close` is Θ(`decided`), while a copy-on-write fork
+/// off the shared post-close state pays only the (constant-size) pocket
+/// work plus a state `memcpy` — the instance behind the session runtime's
+/// enumeration speedup gate.
+pub fn outcome_pocket_db(decided: usize, pockets: usize) -> Database {
+    let mut db = Database::new();
+    let mut insert = |from: &str, to: &str| {
+        db.insert(GroundAtom::from_texts("move", &[from, to]))
+            .expect("binary facts");
+    };
+    for i in 0..decided {
+        insert(&format!("d{i}"), &format!("d{}", i + 1));
+    }
+    for p in 0..pockets {
+        insert(&format!("pa{p}"), &format!("pb{p}"));
+        insert(&format!("pb{p}"), &format!("pa{p}"));
+    }
+    db
+}
+
 /// The **unfounded chain** U(n): `a_i ← a_i` (guard loops),
 /// `a_i ← b_{i-1}` (chain support), `b_i ← ¬a_i`. Algorithm Well-Founded
 /// resolves it one loop at a time — falsifying `a_i` closes `b_i` true

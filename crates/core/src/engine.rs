@@ -38,8 +38,56 @@ use crate::semantics::tie_breaking::{
 use crate::semantics::well_founded::well_founded_with;
 use crate::semantics::{EvalMode, EvalOptions, InterpreterRun, RunStats, SemanticsError};
 
-/// Engine-wide budgets, grounding mode, and evaluation mode.
-#[derive(Clone, Copy, Debug, Default)]
+/// Parallelism knobs for the `tiebreak-runtime` session solver.
+///
+/// The config travels inside [`EngineConfig`] so one value configures the
+/// whole pipeline; the sequential [`Engine`] facade simply ignores it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Worker threads for the parallel branch scheduler. `0` (the
+    /// default) means *auto*: the `TIEBREAK_THREADS` environment
+    /// variable if set and positive, otherwise the machine's available
+    /// parallelism.
+    pub threads: usize,
+}
+
+impl RuntimeConfig {
+    /// A config pinning the worker count (`0` = auto).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        RuntimeConfig { threads }
+    }
+
+    /// The effective worker count: an explicit `threads`, else the
+    /// `TIEBREAK_THREADS` environment variable, else available
+    /// parallelism (at least 1).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Some(n) = std::env::var("TIEBREAK_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Engine-wide budgets, grounding mode, evaluation mode, and runtime
+/// parallelism.
+///
+/// The default is the **production path**: `GroundMode::Relevant` +
+/// `EvalMode::Stratified` (identical semantics to the paper-literal
+/// modes — see the differential suites — but linear instead of quadratic
+/// on large instances). [`EngineConfig::paper_literal`] restores
+/// `Full`/`Global` for paper-exact experiments and the differential
+/// suites.
+#[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// Grounding budgets and [`GroundMode`].
     pub ground: GroundConfig,
@@ -47,25 +95,65 @@ pub struct EngineConfig {
     pub enumerate: EnumerateConfig,
     /// Evaluation mode and stats detail for the interpreters.
     pub eval: EvalOptions,
+    /// Parallelism for the `tiebreak-runtime` session solver.
+    pub runtime: RuntimeConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            ground: GroundConfig {
+                mode: GroundMode::Relevant,
+                ..GroundConfig::default()
+            },
+            enumerate: EnumerateConfig::default(),
+            eval: EvalOptions {
+                mode: EvalMode::Stratified,
+                ..EvalOptions::default()
+            },
+            runtime: RuntimeConfig::default(),
+        }
+    }
 }
 
 impl EngineConfig {
-    /// Selects the grounding mode (`Full` is the paper-literal default;
-    /// `Relevant` grounds only supportable instances — identical
-    /// post-`close` semantics, far smaller graphs on large databases).
+    /// The paper-literal configuration: `GroundMode::Full` grounding and
+    /// `EvalMode::Global` evaluation, exactly as the 1992 listings.
+    #[must_use]
+    pub fn paper_literal() -> Self {
+        EngineConfig {
+            ground: GroundConfig::default(),
+            enumerate: EnumerateConfig::default(),
+            eval: EvalOptions::default(),
+            runtime: RuntimeConfig::default(),
+        }
+    }
+
+    /// Selects the grounding mode (`Relevant` — the production default —
+    /// grounds only supportable instances; `Full` is the paper-literal
+    /// dense instantiation — identical post-`close` semantics).
     #[must_use]
     pub fn with_ground_mode(mut self, mode: GroundMode) -> Self {
         self.ground.mode = mode;
         self
     }
 
-    /// Selects the evaluation mode (`Global` is the paper-literal
-    /// default; `Stratified` drives the interpreters over the SCC
-    /// condensation of the residual graph — identical models and outcome
-    /// sets, far faster on alternation-heavy instances).
+    /// Selects the evaluation mode (`Stratified` — the production
+    /// default — drives the interpreters over the SCC condensation;
+    /// `Global` is the paper-literal loop — identical models and outcome
+    /// sets).
     #[must_use]
     pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
         self.eval.mode = mode;
+        self
+    }
+
+    /// Sets the runtime parallelism config (used by the
+    /// `tiebreak-runtime` session solver; ignored by the sequential
+    /// facade methods).
+    #[must_use]
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
         self
     }
 
@@ -140,6 +228,31 @@ pub struct EvalOutcome {
     pub total: bool,
     /// Interpreter statistics.
     pub stats: RunStats,
+}
+
+impl EvalOutcome {
+    /// Decodes an interpreter run against its atom table: true and
+    /// undefined facts, each sorted by `(predicate, args)`.
+    ///
+    /// The single decoding point for every front-end — the `Engine`
+    /// facade and the `tiebreak-runtime` session solver both go through
+    /// it, so their printed fact order can never drift apart.
+    pub fn decode(atoms: &datalog_ground::AtomTable, run: InterpreterRun) -> EvalOutcome {
+        let mut true_facts = run.model.true_atoms(atoms);
+        true_facts.sort_by(|a, b| (a.pred.as_str(), &a.args).cmp(&(b.pred.as_str(), &b.args)));
+        let mut undefined: Vec<GroundAtom> = run
+            .model
+            .undefined_atoms()
+            .map(|id| atoms.decode(id))
+            .collect();
+        undefined.sort_by(|a, b| (a.pred.as_str(), &a.args).cmp(&(b.pred.as_str(), &b.args)));
+        EvalOutcome {
+            true_facts,
+            undefined,
+            total: run.total,
+            stats: run.stats,
+        }
+    }
 }
 
 /// The facade: a program, a database, and budgets.
@@ -230,20 +343,7 @@ impl Engine {
     }
 
     fn decode(&self, graph: &GroundGraph, run: InterpreterRun) -> EvalOutcome {
-        let mut true_facts = run.model.true_atoms(graph.atoms());
-        true_facts.sort_by(|a, b| (a.pred.as_str(), &a.args).cmp(&(b.pred.as_str(), &b.args)));
-        let mut undefined: Vec<GroundAtom> = run
-            .model
-            .undefined_atoms()
-            .map(|id| graph.atoms().decode(id))
-            .collect();
-        undefined.sort_by(|a, b| (a.pred.as_str(), &a.args).cmp(&(b.pred.as_str(), &b.args)));
-        EvalOutcome {
-            true_facts,
-            undefined,
-            total: run.total,
-            stats: run.stats,
-        }
+        EvalOutcome::decode(graph.atoms(), run)
     }
 
     /// Runs the well-founded interpreter.
@@ -405,7 +505,9 @@ mod tests {
             "win(X) :- move(X, Y), not win(Y).",
             "move(a, b).\nmove(b, c).\nmove(d, d).",
         );
-        let full = Engine::from_sources(sources.0, sources.1).unwrap();
+        let full = Engine::from_sources(sources.0, sources.1)
+            .unwrap()
+            .with_config(EngineConfig::default().with_ground_mode(GroundMode::Full));
         let relevant = Engine::from_sources(sources.0, sources.1)
             .unwrap()
             .with_config(EngineConfig::default().with_ground_mode(GroundMode::Relevant));
@@ -425,7 +527,9 @@ mod tests {
             "win(X) :- move(X, Y), not win(Y).",
             "move(a, b).\nmove(b, a).\nmove(c, a).\nmove(d, e).\nmove(e, d).",
         );
-        let global = Engine::from_sources(sources.0, sources.1).unwrap();
+        let global = Engine::from_sources(sources.0, sources.1)
+            .unwrap()
+            .with_config(EngineConfig::default().with_eval_mode(EvalMode::Global));
         let strat = Engine::from_sources(sources.0, sources.1)
             .unwrap()
             .with_config(EngineConfig::default().with_eval_mode(EvalMode::Stratified));
@@ -455,6 +559,24 @@ mod tests {
             .well_founded_tie_breaking(&mut RootTruePolicy)
             .unwrap();
         assert_eq!(td.stats.tie_log.len(), td.stats.ties_broken);
+    }
+
+    #[test]
+    fn production_defaults_are_relevant_stratified() {
+        let config = EngineConfig::default();
+        assert_eq!(config.ground.mode, GroundMode::Relevant);
+        assert_eq!(config.eval.mode, EvalMode::Stratified);
+        let literal = EngineConfig::paper_literal();
+        assert_eq!(literal.ground.mode, GroundMode::Full);
+        assert_eq!(literal.eval.mode, EvalMode::Global);
+    }
+
+    #[test]
+    fn runtime_config_resolution() {
+        // Pinned thread counts win over every fallback; auto resolves to
+        // at least one worker whatever the environment says.
+        assert_eq!(RuntimeConfig::with_threads(3).resolved_threads(), 3);
+        assert!(RuntimeConfig::default().resolved_threads() >= 1);
     }
 
     #[test]

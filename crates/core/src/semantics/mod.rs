@@ -18,7 +18,8 @@ use std::fmt;
 use datalog_ground::{AtomId, CloseConflict, GroundError, PartialModel};
 
 pub use scc_stratified::{
-    pure_tie_breaking_stratified, well_founded_stratified, well_founded_tie_breaking_stratified,
+    process_components, pure_tie_breaking_stratified, well_founded_stratified,
+    well_founded_tie_breaking_stratified, ComponentPass,
 };
 pub use tie_breaking::{
     pure_tie_breaking, pure_tie_breaking_with, well_founded_tie_breaking,
@@ -106,6 +107,26 @@ impl RunStats {
         if detailed {
             self.component_rounds.push(rounds);
         }
+    }
+
+    /// Merges the stats of another (partial) run into `self`: counters
+    /// add, `max_component_rounds` maxes, detailed logs append.
+    ///
+    /// This is how the parallel runtime aggregates per-worker partials:
+    /// each branch task accumulates into a private `RunStats` (no shared
+    /// counter, no lock on the hot path) and the scheduler merges the
+    /// partials **at join, in deterministic branch order**, so the
+    /// aggregate — including the `tie_log` / `component_rounds` sequences
+    /// — is bit-identical across thread counts and schedules.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.close_rounds += other.close_rounds;
+        self.unfounded_rounds += other.unfounded_rounds;
+        self.ties_broken += other.ties_broken;
+        self.components_processed += other.components_processed;
+        self.max_component_rounds = self.max_component_rounds.max(other.max_component_rounds);
+        self.component_rounds
+            .extend_from_slice(&other.component_rounds);
+        self.tie_log.extend_from_slice(&other.tie_log);
     }
 }
 

@@ -76,6 +76,35 @@ pub fn all_outcomes_with(
     max_runs: usize,
     options: &EvalOptions,
 ) -> Result<OutcomeSet, SemanticsError> {
+    explore_scripts(max_runs, |prefix| {
+        let mut policy = ScriptedPolicy::new(prefix.to_vec(), false);
+        let run = if pure {
+            pure_tie_breaking_with(graph, program, database, &mut policy, options)?
+        } else {
+            well_founded_tie_breaking_with(graph, program, database, &mut policy, options)?
+        };
+        Ok((run.model, policy.consumed()))
+    })
+}
+
+/// The tie-script choice-tree driver: depth-first over scripts, flipping
+/// every default (`false`) answer exactly once, deduplicating final
+/// models, stopping after `max_runs` runs.
+///
+/// `run_script` evaluates one script prefix and returns the final model
+/// plus the number of choices the run consumed. Keeping the driver in
+/// one place is what the "identical outcome sets" claims rest on: the
+/// core per-script enumerator above and the session runtime's
+/// copy-on-write enumerator differ only in the closure, so exploration
+/// order, branching, truncation, and dedup cannot drift apart.
+///
+/// # Errors
+///
+/// Whatever `run_script` returns.
+pub fn explore_scripts<F>(max_runs: usize, mut run_script: F) -> Result<OutcomeSet, SemanticsError>
+where
+    F: FnMut(&[bool]) -> Result<(PartialModel, usize), SemanticsError>,
+{
     let mut models: Vec<PartialModel> = Vec::new();
     let mut stack: Vec<Vec<bool>> = vec![Vec::new()];
     let mut runs = 0;
@@ -87,13 +116,7 @@ pub fn all_outcomes_with(
             break;
         }
         runs += 1;
-        let mut policy = ScriptedPolicy::new(prefix.clone(), false);
-        let run = if pure {
-            pure_tie_breaking_with(graph, program, database, &mut policy, options)?
-        } else {
-            well_founded_tie_breaking_with(graph, program, database, &mut policy, options)?
-        };
-        let consumed = policy.consumed();
+        let (model, consumed) = run_script(&prefix)?;
 
         // Branch: for every choice position answered by the default
         // (false), queue the script that flips it to true.
@@ -104,8 +127,8 @@ pub fn all_outcomes_with(
             stack.push(next);
         }
 
-        if !models.contains(&run.model) {
-            models.push(run.model);
+        if !models.contains(&model) {
+            models.push(model);
         }
     }
 

@@ -89,6 +89,21 @@ pub fn well_founded_tie_breaking_stratified<P: TiePolicy>(
     run_stratified(graph, program, database, Some(policy), true, false)
 }
 
+/// One pass over a sequence of condensation components — the flavour
+/// switches (`policy: None` means plain well-founded; `use_unfounded`
+/// keeps the unfounded-set priority of the well-founded flavours).
+///
+/// Bundling them keeps [`process_components`]' signature stable while
+/// the runtime crate drives the same kernel over component subsets.
+pub struct ComponentPass<'p> {
+    /// Falsify component-local unfounded sets before looking at ties.
+    pub use_unfounded: bool,
+    /// Record per-event details in the stats.
+    pub detailed: bool,
+    /// The tie policy; `None` skips the tie phase entirely.
+    pub policy: Option<&'p mut dyn TiePolicy>,
+}
+
 /// The condensation-driven loop shared by all three flavours.
 ///
 /// `policy: None` runs plain well-founded evaluation; `use_unfounded`
@@ -97,7 +112,7 @@ pub(crate) fn run_stratified(
     graph: &GroundGraph,
     program: &Program,
     database: &Database,
-    mut policy: Option<&mut dyn TiePolicy>,
+    policy: Option<&mut dyn TiePolicy>,
     use_unfounded: bool,
     detailed: bool,
 ) -> Result<InterpreterRun, SemanticsError> {
@@ -112,36 +127,84 @@ pub(crate) fn run_stratified(
     let mut engine = UnfoundedEngine::build(&closer);
     let order: Vec<u32> = engine.order().to_vec();
 
-    for c in order {
+    let mut pass = ComponentPass {
+        use_unfounded,
+        detailed,
+        policy,
+    };
+    process_components(
+        &mut closer,
+        &mut model,
+        &mut engine,
+        &order,
+        &mut pass,
+        &mut stats,
+    )?;
+
+    let total = model.is_total();
+    Ok(InterpreterRun {
+        model,
+        total,
+        stats,
+    })
+}
+
+/// Processes `components` (which must be listed in topological order of
+/// the condensation, upstream first) against live `closer`/`model` state:
+/// per component, falsify local unfounded sets to a fixpoint, then break
+/// bottom ties inside the alive remnant, re-running the incremental
+/// `close` after every batch.
+///
+/// This is the shared evaluation kernel: the stratified interpreters
+/// (e.g. [`well_founded_stratified`]) drive it over the full topological
+/// order after grounding and closing, and the `tiebreak-runtime` session
+/// scheduler calls it per *branch* (a weakly-connected family of
+/// components) on forked copies of the post-close state — causally
+/// independent branches touch disjoint atoms, so the kernel itself never
+/// needs to know it is running concurrently.
+///
+/// # Errors
+///
+/// [`SemanticsError::Conflict`] on propagation conflicts (substrate
+/// misuse; the paper's algorithms never conflict).
+pub fn process_components(
+    closer: &mut Closer<'_>,
+    model: &mut PartialModel,
+    engine: &mut UnfoundedEngine,
+    components: &[u32],
+    pass: &mut ComponentPass<'_>,
+    stats: &mut RunStats,
+) -> Result<(), SemanticsError> {
+    for &c in components {
         let mut rounds = 0usize;
         loop {
             // Unfounded sets take priority over tie-breaking, exactly as
             // in the global Algorithm Well-Founded Tie-Breaking.
-            if use_unfounded {
-                let unfounded = engine.local_unfounded(&closer, c);
+            if pass.use_unfounded {
+                let unfounded = engine.local_unfounded(closer, c);
                 if !unfounded.is_empty() {
                     stats.unfounded_rounds += 1;
                     for atom in unfounded {
-                        closer.define(&mut model, atom, TruthValue::False);
+                        closer.define(model, atom, TruthValue::False);
                     }
-                    closer.run(&mut model)?;
+                    closer.run(model)?;
                     stats.close_rounds += 1;
                     rounds += 1;
                     continue;
                 }
             }
 
-            let Some(policy) = policy.as_deref_mut() else {
+            let Some(policy) = pass.policy.as_deref_mut() else {
                 break; // plain well-founded: no tie phase
             };
-            if !engine.has_alive_atoms(&closer, c) {
+            if !engine.has_alive_atoms(closer, c) {
                 break;
             }
 
             // Bottom ties inside the component's alive remnant. A sub-SCC
             // with an external alive in-edge is not bottom in the global
             // graph (its upstream residue is stuck) and is skipped.
-            let sub = engine.alive_subgraph(&closer, c);
+            let sub = engine.alive_subgraph(closer, c);
             let sccs = Sccs::compute(&sub.digraph);
             let mut broke = false;
             for s in sccs.bottom_components(&sub.digraph) {
@@ -166,13 +229,13 @@ pub(crate) fn run_stratified(
                 }
 
                 break_tie(
-                    &mut closer,
-                    &mut model,
+                    closer,
+                    model,
                     policy,
                     &root_side,
                     &other_side,
-                    &mut stats,
-                    detailed,
+                    stats,
+                    pass.detailed,
                 )?;
                 rounds += 1;
                 broke = true;
@@ -182,15 +245,9 @@ pub(crate) fn run_stratified(
                 break; // stuck remnant (odd or vetoed): move on
             }
         }
-        stats.record_component(rounds, detailed);
+        stats.record_component(rounds, pass.detailed);
     }
-
-    let total = model.is_total();
-    Ok(InterpreterRun {
-        model,
-        total,
-        stats,
-    })
+    Ok(())
 }
 
 #[cfg(test)]

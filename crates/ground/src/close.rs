@@ -86,6 +86,39 @@ pub struct Closer<'g> {
     queue: VecDeque<Event>,
 }
 
+/// An owned snapshot of a [`Closer`]'s deletion state, detached from the
+/// graph borrow.
+///
+/// This is the copy-on-write fork primitive of the session runtime: a
+/// solver session runs `close(M₀, G)` **once**, snapshots the result, and
+/// every subsequent evaluation (a parallel branch task, one script of an
+/// outcome enumeration) rehydrates a private [`Closer`] from the shared
+/// snapshot with [`Closer::from_state`] — a few `memcpy`s instead of a
+/// whole propagation pass.
+///
+/// A snapshot can only be taken of (and restored to) a *quiescent*
+/// closer — one whose worklist has been drained by [`Closer::run`] — so
+/// restoring never replays half-processed events.
+#[derive(Clone, Debug)]
+pub struct CloseState {
+    atom_alive: Vec<bool>,
+    rule_alive: Vec<bool>,
+    rule_pending: Vec<u32>,
+    atom_support: Vec<u32>,
+}
+
+impl CloseState {
+    /// Number of atoms still in the graph at snapshot time.
+    pub fn alive_atom_count(&self) -> usize {
+        self.atom_alive.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of rule nodes still in the graph at snapshot time.
+    pub fn alive_rule_count(&self) -> usize {
+        self.rule_alive.iter().filter(|&&b| b).count()
+    }
+}
+
 impl<'g> Closer<'g> {
     /// Fresh state over `graph`: everything alive, nothing queued.
     pub fn new(graph: &'g GroundGraph) -> Self {
@@ -106,6 +139,52 @@ impl<'g> Closer<'g> {
     /// The underlying graph.
     pub fn graph(&self) -> &'g GroundGraph {
         self.graph
+    }
+
+    /// Snapshots the deletion state (see [`CloseState`]).
+    ///
+    /// # Panics
+    ///
+    /// If the worklist is not empty — snapshot only quiescent state, i.e.
+    /// after [`Closer::run`] has returned.
+    pub fn snapshot(&self) -> CloseState {
+        assert!(
+            self.queue.is_empty(),
+            "snapshot of a closer with queued events"
+        );
+        CloseState {
+            atom_alive: self.atom_alive.clone(),
+            rule_alive: self.rule_alive.clone(),
+            rule_pending: self.rule_pending.clone(),
+            atom_support: self.atom_support.clone(),
+        }
+    }
+
+    /// Rehydrates a closer over `graph` from a snapshot previously taken
+    /// by [`Closer::snapshot`] of a closer over the *same* graph.
+    ///
+    /// # Panics
+    ///
+    /// If the snapshot's dimensions do not match `graph`.
+    pub fn from_state(graph: &'g GroundGraph, state: &CloseState) -> Self {
+        assert_eq!(
+            state.atom_alive.len(),
+            graph.atom_count(),
+            "snapshot is for a different graph"
+        );
+        assert_eq!(
+            state.rule_alive.len(),
+            graph.rule_count(),
+            "snapshot is for a different graph"
+        );
+        Closer {
+            graph,
+            atom_alive: state.atom_alive.clone(),
+            rule_alive: state.rule_alive.clone(),
+            rule_pending: state.rule_pending.clone(),
+            atom_support: state.atom_support.clone(),
+            queue: VecDeque::new(),
+        }
     }
 
     /// Queues every already-defined atom of `model` (typically M₀), every
@@ -617,5 +696,42 @@ mod tests {
 
         assert_eq!(m1, m2);
         assert!(m1.is_total());
+    }
+
+    #[test]
+    fn snapshot_forks_independent_evaluations() {
+        // Fork two closers off one post-close snapshot and drive them to
+        // opposite orientations; the snapshot itself stays pristine.
+        let (g, p, d) = closed("p :- not q.\nq :- not p.\nr :- not p.", "");
+        let (closer, m) = run_close(&g, &p, &d);
+        let snap = closer.snapshot();
+        assert_eq!(snap.alive_atom_count(), closer.alive_atom_count());
+        assert_eq!(snap.alive_rule_count(), 3);
+
+        let qa = g.atoms().atom_id("q".into(), &[]).unwrap();
+        let run_fork = |value: TruthValue| {
+            let mut fork = Closer::from_state(&g, &snap);
+            let mut fm = m.clone();
+            fork.define(&mut fm, qa, value);
+            fork.run(&mut fm).unwrap();
+            fm
+        };
+        let m_false = run_fork(TruthValue::False);
+        let m_true = run_fork(TruthValue::True);
+        assert!(m_false.is_total() && m_true.is_total());
+        assert_eq!(truth(&g, &m_false, "p", &[]), TruthValue::True);
+        assert_eq!(truth(&g, &m_false, "r", &[]), TruthValue::False);
+        assert_eq!(truth(&g, &m_true, "p", &[]), TruthValue::False);
+        assert_eq!(truth(&g, &m_true, "r", &[]), TruthValue::True);
+    }
+
+    #[test]
+    #[should_panic(expected = "queued events")]
+    fn snapshot_of_pending_closer_panics() {
+        let (g, p, d) = closed("p :- not q.\nq :- not p.", "");
+        let (mut closer, mut m) = run_close(&g, &p, &d);
+        let qa = g.atoms().atom_id("q".into(), &[]).unwrap();
+        closer.define(&mut m, qa, TruthValue::False);
+        let _ = closer.snapshot(); // queue still holds the definition
     }
 }

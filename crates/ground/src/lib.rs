@@ -41,7 +41,7 @@ pub mod seminaive;
 pub mod unfounded;
 
 pub use atoms::{AtomId, AtomInterner, AtomSpaceOverflow, AtomTable};
-pub use close::{CloseConflict, Closer, NodeKind, RemainingGraph};
+pub use close::{CloseConflict, CloseState, Closer, NodeKind, RemainingGraph};
 pub use graph::{GroundGraph, GroundRule, RuleId};
 pub use grounder::{ground, GroundConfig, GroundError, GroundMode};
 pub use model::{PartialModel, TruthValue};

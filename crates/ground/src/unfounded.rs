@@ -47,6 +47,11 @@ const NO_COMP: u32 = u32::MAX;
 ///
 /// Build it once after the first `close(M₀, G)`; it stays valid for the
 /// rest of the run because deletions only ever shrink components.
+///
+/// The engine is `Clone` so that parallel schedulers can hand each worker
+/// a private copy (the `pending`/`removed`/`queue`/`node_of_atom` fields
+/// are per-call scratch and must not be shared across threads).
+#[derive(Clone)]
 pub struct UnfoundedEngine {
     /// Component of each atom (by [`AtomId`] index); [`NO_COMP`] if the
     /// atom was already defined at build time.
@@ -63,6 +68,13 @@ pub struct UnfoundedEngine {
     /// Component ids in topological order of the condensation (sources
     /// first — the processing order).
     order: Vec<u32>,
+    /// Branch group of each component: two components share a group iff
+    /// they are weakly connected in the condensation DAG. Close
+    /// propagation follows graph edges, so groups are *causally
+    /// independent* — the unit of parallel scheduling.
+    comp_group: Vec<u32>,
+    /// Member components of each group, in topological order.
+    group_comps: Vec<Vec<u32>>,
     /// Scratch: per-rule pending⁺ count, valid only for the component
     /// currently being simulated.
     pending: Vec<u32>,
@@ -140,13 +152,55 @@ impl UnfoundedEngine {
             }
         }
 
+        // Branch groups: union components across every condensation edge
+        // (direction is irrelevant — weak connectivity), then renumber
+        // groups by first appearance in topological order so ids are
+        // deterministic and group-internal component lists come out
+        // already topologically sorted.
+        let mut uf: Vec<u32> = (0..n_comps as u32).collect();
+        fn find(uf: &mut [u32], mut x: u32) -> u32 {
+            while uf[x as usize] != x {
+                uf[x as usize] = uf[uf[x as usize] as usize]; // halve path
+                x = uf[x as usize];
+            }
+            x
+        }
+        for (u, v, _) in rem.digraph.edges() {
+            let (cu, cv) = (sccs.component_of(u), sccs.component_of(v));
+            if cu != cv {
+                let (ru, rv) = (find(&mut uf, cu), find(&mut uf, cv));
+                if ru != rv {
+                    uf[ru as usize] = rv;
+                }
+            }
+        }
+        let order: Vec<u32> = sccs.topological_order().collect();
+        let mut comp_group = vec![u32::MAX; n_comps];
+        let mut group_of_root: Vec<u32> = vec![u32::MAX; n_comps];
+        let mut group_comps: Vec<Vec<u32>> = Vec::new();
+        for &c in &order {
+            let root = find(&mut uf, c);
+            let g = if group_of_root[root as usize] == u32::MAX {
+                let g = group_comps.len() as u32;
+                group_of_root[root as usize] = g;
+                group_comps.push(Vec::new());
+                g
+            } else {
+                group_of_root[root as usize]
+            };
+            comp_group[c as usize] = g;
+            group_comps[g as usize].push(c);
+        }
+
         UnfoundedEngine {
             atom_comp,
             rule_comp,
             comp_atoms,
             comp_rules,
             comp_head_rules,
-            order: sccs.topological_order().collect(),
+            order,
+            comp_group,
+            group_comps,
             pending: vec![0; graph.rule_count()],
             removed: vec![false; graph.atom_count()],
             queue: Vec::new(),
@@ -163,6 +217,25 @@ impl UnfoundedEngine {
     /// Number of components in the condensation.
     pub fn component_count(&self) -> usize {
         self.comp_atoms.len()
+    }
+
+    /// Number of branch groups (weakly connected families of components).
+    /// Groups share no graph edges, so `close` propagation never crosses
+    /// a group boundary: they can be evaluated concurrently and merged in
+    /// any order.
+    pub fn group_count(&self) -> usize {
+        self.group_comps.len()
+    }
+
+    /// The branch group of component `c`.
+    pub fn group_of_component(&self, c: u32) -> u32 {
+        self.comp_group[c as usize]
+    }
+
+    /// The components of group `g`, in topological order of the
+    /// condensation (sources first — the required processing order).
+    pub fn group_components(&self, g: u32) -> &[u32] {
+        &self.group_comps[g as usize]
     }
 
     /// The member atoms of component `c` (aliveness as of build time).
@@ -489,6 +562,36 @@ mod tests {
         assert!(sub.is_globally_bottom(&all));
         let sccs = Sccs::compute(&sub.digraph);
         assert_eq!(sccs.len(), 1);
+    }
+
+    #[test]
+    fn branch_groups_split_exactly_at_weak_connectivity() {
+        // Two independent ties + a dependent chain hanging off the first:
+        // {p, q} and {r} are one group (r depends on p); {a, b} another.
+        let (g, p, d) = closed(
+            "p :- not q.\nq :- not p.\nr :- not p, not r.\na :- not b.\nb :- not a.",
+            "",
+        );
+        let (closer, _) = run_close(&g, &p, &d);
+        let engine = UnfoundedEngine::build(&closer);
+        assert_eq!(engine.group_count(), 2);
+        let gp = engine.group_of_component(engine.component_of_atom(atom(&g, "p")).unwrap());
+        let gr = engine.group_of_component(engine.component_of_atom(atom(&g, "r")).unwrap());
+        let ga = engine.group_of_component(engine.component_of_atom(atom(&g, "a")).unwrap());
+        assert_eq!(gp, gr, "dependent component joins its upstream's group");
+        assert_ne!(gp, ga, "independent branches split");
+        // Group-internal component order is topological: p's tie precedes
+        // the r component that depends on it.
+        let comps = engine.group_components(gp);
+        let cp = engine.component_of_atom(atom(&g, "p")).unwrap();
+        let cr = engine.component_of_atom(atom(&g, "r")).unwrap();
+        let pos = |c: u32| comps.iter().position(|&x| x == c).unwrap();
+        assert!(pos(cp) < pos(cr));
+        // Every component belongs to exactly one group.
+        let total: usize = (0..engine.group_count())
+            .map(|g| engine.group_components(g as u32).len())
+            .sum();
+        assert_eq!(total, engine.component_count());
     }
 
     #[test]

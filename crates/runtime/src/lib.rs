@@ -1,0 +1,69 @@
+//! The parallel, session-oriented solver runtime.
+//!
+//! The `tiebreak-core` facade rebuilds the whole pipeline — ground,
+//! `close(M₀, G)`, condense — for every query, runs on one thread, and
+//! `all_outcomes` re-runs `close` once per tie script. This crate turns
+//! that pipeline into a persistent [`Solver`] **session**:
+//!
+//! * **Ground once, close once, condense once.** [`Solver::with_config`]
+//!   grounds the instance, runs the first `close`, snapshots the
+//!   quiescent deletion state ([`datalog_ground::CloseState`]), and
+//!   builds the SCC condensation
+//!   ([`datalog_ground::UnfoundedEngine`]). Everything after that is an
+//!   *evaluation* against this immutable prepared state — the well-founded
+//!   core is deterministic and order-independent, so the prepared state
+//!   can be shared freely.
+//! * **Parallel branch scheduling.** The condensation splits into
+//!   *branches* — weakly connected families of components. `close`
+//!   propagation follows graph edges, so branches are causally
+//!   independent: [`Solver::well_founded`] and the tie-breaking
+//!   evaluations dispatch them to `std::thread::scope` workers
+//!   ([`RuntimeConfig::threads`], `TIEBREAK_THREADS`), each forking a
+//!   private copy of the post-close state and walking its branch's
+//!   components in topological order with the same kernel the sequential
+//!   `EvalMode::Stratified` path uses
+//!   (`tiebreak_core::semantics::process_components`). Results merge at
+//!   join in branch order, so models, outcome sets, and
+//!   [`tiebreak_core::RunStats`] counters are **bit-identical across
+//!   thread counts** (see `tests/runtime_parallel.rs`).
+//! * **Copy-on-write outcome enumeration.** [`Solver::all_outcomes`]
+//!   forks each tie script off the shared post-close snapshot — a few
+//!   `memcpy`s — instead of re-running `close` from scratch per script,
+//!   turning enumeration from O(scripts × close) into
+//!   O(close + scripts × residual).
+//!
+//! Tie choices are the only nondeterministic points (the tie scripts are
+//! game-like choice moves; everything else is forced), which is exactly
+//! what makes evaluations shareable as cheap forks off one prepared
+//! state. Because branches evaluate concurrently, a policy is created
+//! **per branch** through a [`PolicyFactory`]; stateless policies lift
+//! with [`uniform`].
+//!
+//! ```
+//! use tiebreak_runtime::{uniform, Solver};
+//! use tiebreak_core::RootTruePolicy;
+//!
+//! let solver = Solver::from_sources(
+//!     "win(X) :- move(X, Y), not win(Y).",
+//!     "move(a, b). move(b, a). move(c, d). move(d, c).",
+//! )
+//! .unwrap();
+//!
+//! // Two independent draw pockets: two branches, four outcomes.
+//! assert_eq!(solver.branch_count(), 2);
+//! let outcome = solver.well_founded_tie_breaking(&uniform(RootTruePolicy)).unwrap();
+//! assert!(outcome.total);
+//! assert_eq!(solver.all_outcomes(false, 64).unwrap().models.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod outcomes;
+mod policy;
+mod scheduler;
+mod session;
+
+pub use policy::{uniform, PolicyFactory, UniformPolicy};
+pub use session::{Solver, SolverError};
+pub use tiebreak_core::RuntimeConfig;

@@ -1,0 +1,58 @@
+//! Copy-on-write outcome enumeration.
+//!
+//! `tiebreak_core::semantics::outcomes::all_outcomes` explores the tie
+//! choice tree by running a full interpreter per script: every run
+//! rebuilds M₀, re-bootstraps, and re-propagates the first `close` —
+//! O(scripts × close) even though every script shares the identical
+//! post-close prefix. A session already holds that prefix as an immutable
+//! snapshot, so here each script **forks** it: rehydrate a private
+//! [`Closer`] from the shared [`datalog_ground::CloseState`] (a few
+//! `memcpy`s), clone the post-close model, and walk only the residual
+//! condensation — O(close + scripts × residual).
+//!
+//! The choice-tree driver itself —
+//! [`tiebreak_core::semantics::outcomes::explore_scripts`] — is shared
+//! with the core enumerator; only the per-script runner differs, so the
+//! exploration order, branching rule, and deduplication are structurally
+//! identical and the outcome *sets* coincide (asserted by this crate's
+//! tests and `tests/runtime_parallel.rs`).
+
+use datalog_ground::Closer;
+use tiebreak_core::semantics::outcomes::{explore_scripts, OutcomeSet};
+use tiebreak_core::semantics::{process_components, ComponentPass, SemanticsError};
+use tiebreak_core::{RunStats, ScriptedPolicy};
+
+use crate::session::Solver;
+
+/// Explores every tie script of one interpreter flavour against the
+/// prepared state, stopping after `max_runs` forks.
+pub(crate) fn all_outcomes(
+    solver: &Solver,
+    pure: bool,
+    max_runs: usize,
+) -> Result<OutcomeSet, SemanticsError> {
+    let order: Vec<u32> = solver.engine.order().to_vec();
+    let mut engine = solver.engine.clone();
+
+    explore_scripts(max_runs, |prefix| {
+        // The copy-on-write fork: state snapshot in, script-delta out.
+        let mut closer = Closer::from_state(&solver.graph, &solver.base_close);
+        let mut model = solver.base_model.clone();
+        let mut policy = ScriptedPolicy::new(prefix.to_vec(), false);
+        let mut stats = RunStats::default();
+        let mut pass = ComponentPass {
+            use_unfounded: !pure,
+            detailed: false,
+            policy: Some(&mut policy),
+        };
+        process_components(
+            &mut closer,
+            &mut model,
+            &mut engine,
+            &order,
+            &mut pass,
+            &mut stats,
+        )?;
+        Ok((model, policy.consumed()))
+    })
+}

@@ -1,0 +1,48 @@
+//! Per-branch tie-policy creation.
+//!
+//! The parallel scheduler evaluates condensation branches concurrently,
+//! so a single `&mut TiePolicy` cannot be threaded through the run the
+//! way the sequential interpreters do. Instead, a [`PolicyFactory`]
+//! creates one policy **per branch**, keyed by the branch id. Because
+//! branch ids and the in-branch tie order are schedule-independent (the
+//! kernel walks each branch's components in topological order), any
+//! factory whose output depends only on the branch id makes the whole
+//! evaluation deterministic across thread counts.
+
+use tiebreak_core::TiePolicy;
+
+/// Creates the tie policy for each condensation branch.
+///
+/// Implementations must be [`Sync`]: one factory is shared by all worker
+/// threads. The produced policy itself never crosses a thread boundary —
+/// it is created and consumed inside the worker that owns the branch.
+pub trait PolicyFactory: Sync {
+    /// The policy type handed to the evaluation kernel.
+    type Policy: TiePolicy;
+
+    /// The policy for branch `branch` (ids are dense, `0..branch_count`,
+    /// assigned in topological discovery order — stable for a given
+    /// prepared state).
+    fn policy_for(&self, branch: u32) -> Self::Policy;
+}
+
+/// Lifts one cloneable policy to every branch.
+///
+/// The clone is taken per branch, so stateful policies such as
+/// `RandomPolicy` restart identically on every branch — which keeps the
+/// evaluation deterministic across thread counts and schedules.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UniformPolicy<P>(pub P);
+
+impl<P: TiePolicy + Clone + Sync> PolicyFactory for UniformPolicy<P> {
+    type Policy = P;
+
+    fn policy_for(&self, _branch: u32) -> P {
+        self.0.clone()
+    }
+}
+
+/// Convenience constructor for [`UniformPolicy`].
+pub fn uniform<P: TiePolicy + Clone + Sync>(policy: P) -> UniformPolicy<P> {
+    UniformPolicy(policy)
+}

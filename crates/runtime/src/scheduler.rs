@@ -1,0 +1,150 @@
+//! The parallel branch scheduler.
+//!
+//! One evaluation = one walk of the residual condensation. The walk
+//! splits into *branches* (weakly connected component families,
+//! [`UnfoundedEngine::group_count`]): `close` propagation follows graph
+//! edges, so no assignment made inside one branch can ever reach
+//! another — branches are causally independent and every dependency a
+//! component has lies inside its own branch, upstream in the branch's
+//! topological component order. Scheduling therefore reduces to:
+//!
+//! 1. workers pull branch ids from a shared atomic cursor;
+//! 2. each worker forks a private copy of the post-close state (model +
+//!    [`datalog_ground::CloseState`] + condensation scratch) and runs the
+//!    sequential kernel (`tiebreak_core::semantics::process_components`)
+//!    over the branch's components in topological order — components
+//!    become ready exactly when their upstream components complete, which
+//!    inside a branch is the order itself;
+//! 3. finished branches record their atom assignments and a private
+//!    [`RunStats`] partial; the join merges both **in branch-id order**.
+//!
+//! Determinism: which worker evaluates a branch, and when, affects
+//! nothing — branch results depend only on the shared prepared state and
+//! the branch-keyed policy, and the merge order is fixed. Models, outcome
+//! sets, and stats are bit-identical across thread counts and schedules.
+//! Workers keep their fork across branches (branches touch disjoint
+//! state), so memory is O(threads × graph), not O(branches × graph).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use datalog_ground::{AtomId, Closer, TruthValue};
+use tiebreak_core::semantics::{process_components, ComponentPass, SemanticsError};
+use tiebreak_core::{InterpreterRun, RunStats, TiePolicy};
+
+use crate::policy::PolicyFactory;
+use crate::session::Solver;
+
+/// What one branch evaluation produced.
+struct BranchOutcome {
+    branch: u32,
+    /// Values the branch decided for its own atoms (stuck atoms simply
+    /// stay out — the base model is already undefined there).
+    assignments: Vec<(AtomId, TruthValue)>,
+    stats: RunStats,
+}
+
+/// Runs one full evaluation against `solver`'s prepared state.
+///
+/// `factory: None` runs plain well-founded evaluation (no tie phase);
+/// `use_unfounded` keeps the unfounded-set priority of the well-founded
+/// flavours, exactly as in the sequential interpreters.
+pub(crate) fn run_session<F: PolicyFactory>(
+    solver: &Solver,
+    factory: Option<&F>,
+    use_unfounded: bool,
+) -> Result<InterpreterRun, SemanticsError> {
+    let branches = solver.engine.group_count();
+    let threads = solver.effective_threads();
+    let detailed = solver.config.eval.detailed_stats;
+
+    // The base close is shared by every evaluation of the session; its
+    // one propagation round is part of each run's accounting so session
+    // stats remain comparable with the one-shot interpreters.
+    let mut stats = RunStats {
+        close_rounds: 1,
+        ..RunStats::default()
+    };
+    let mut model = solver.base_model.clone();
+
+    if branches > 0 {
+        let cursor = AtomicUsize::new(0);
+        let worker = || -> Result<Vec<BranchOutcome>, SemanticsError> {
+            let mut closer = Closer::from_state(&solver.graph, &solver.base_close);
+            let mut fork_model = solver.base_model.clone();
+            let mut engine = solver.engine.clone();
+            let mut done = Vec::new();
+            loop {
+                let b = cursor.fetch_add(1, Ordering::Relaxed);
+                if b >= branches {
+                    break;
+                }
+                let branch = b as u32;
+                let comps = solver.engine.group_components(branch);
+                let mut branch_stats = RunStats::default();
+                let mut policy = factory.map(|f| f.policy_for(branch));
+                let mut pass = ComponentPass {
+                    use_unfounded,
+                    detailed,
+                    policy: policy.as_mut().map(|p| p as &mut dyn TiePolicy),
+                };
+                process_components(
+                    &mut closer,
+                    &mut fork_model,
+                    &mut engine,
+                    comps,
+                    &mut pass,
+                    &mut branch_stats,
+                )?;
+                let mut assignments = Vec::new();
+                for &c in comps {
+                    for &a in solver.engine.component_atoms(c) {
+                        let v = fork_model.get(a);
+                        if v.is_defined() {
+                            assignments.push((a, v));
+                        }
+                    }
+                }
+                done.push(BranchOutcome {
+                    branch,
+                    assignments,
+                    stats: branch_stats,
+                });
+            }
+            Ok(done)
+        };
+
+        let mut partials: Vec<BranchOutcome> = if threads <= 1 {
+            worker()?
+        } else {
+            let results: Vec<Result<Vec<BranchOutcome>, SemanticsError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("runtime worker panicked"))
+                        .collect()
+                });
+            let mut all = Vec::with_capacity(branches);
+            for r in results {
+                all.extend(r?);
+            }
+            all
+        };
+
+        // Deterministic join: branch-id order, whatever the schedule was.
+        partials.sort_by_key(|p| p.branch);
+        for partial in &partials {
+            for &(atom, value) in &partial.assignments {
+                model.set(atom, value);
+            }
+            stats.merge(&partial.stats);
+        }
+    }
+
+    let total = model.is_total();
+    Ok(InterpreterRun {
+        model,
+        total,
+        stats,
+    })
+}

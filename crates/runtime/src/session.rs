@@ -1,0 +1,248 @@
+//! The [`Solver`] session: prepared-once state serving many evaluations.
+
+use std::fmt;
+
+use datalog_ast::{AstError, Database, Program};
+use datalog_ground::{ground, CloseState, Closer, GroundGraph, PartialModel, UnfoundedEngine};
+use tiebreak_core::engine::EvalOutcome;
+use tiebreak_core::semantics::outcomes::OutcomeSet;
+use tiebreak_core::semantics::SemanticsError;
+use tiebreak_core::{EngineConfig, InterpreterRun};
+
+use crate::policy::{PolicyFactory, UniformPolicy};
+use crate::{outcomes, scheduler};
+
+/// Errors from building a [`Solver`] out of source text.
+#[derive(Clone, Debug)]
+pub enum SolverError {
+    /// The program or database failed to parse.
+    Ast(AstError),
+    /// Grounding or the initial `close` failed.
+    Semantics(SemanticsError),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Ast(e) => e.fmt(f),
+            SolverError::Semantics(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl From<AstError> for SolverError {
+    fn from(e: AstError) -> Self {
+        SolverError::Ast(e)
+    }
+}
+
+impl From<SemanticsError> for SolverError {
+    fn from(e: SemanticsError) -> Self {
+        SolverError::Semantics(e)
+    }
+}
+
+/// A persistent solver session over one program/database instance.
+///
+/// Construction grounds the instance, runs the first `close(M₀, G)`,
+/// snapshots the quiescent deletion state, and condenses the residual
+/// graph — **once**. Every evaluation afterwards works against this
+/// immutable prepared state: parallel branch dispatch for single runs,
+/// copy-on-write forks for outcome enumeration. See the crate docs for
+/// the architecture.
+///
+/// The session honours [`EngineConfig::ground`] (grounding mode and
+/// budgets), [`EngineConfig::runtime`] (worker threads), and
+/// `EngineConfig::eval.detailed_stats`. `EngineConfig::eval.mode` is
+/// ignored: a session is inherently condensation-driven — the sequential
+/// `EvalMode::Global` loop exists only on the `Engine` facade.
+pub struct Solver {
+    pub(crate) program: Program,
+    pub(crate) database: Database,
+    pub(crate) config: EngineConfig,
+    pub(crate) graph: GroundGraph,
+    pub(crate) base_model: PartialModel,
+    pub(crate) base_close: CloseState,
+    pub(crate) engine: UnfoundedEngine,
+}
+
+impl Solver {
+    /// Prepares a session with the default (production) config.
+    ///
+    /// # Errors
+    ///
+    /// Grounding failures and (theoretical) propagation conflicts.
+    pub fn new(program: Program, database: Database) -> Result<Self, SemanticsError> {
+        Solver::with_config(program, database, EngineConfig::default())
+    }
+
+    /// Prepares a session: ground once, close once, condense once.
+    ///
+    /// # Errors
+    ///
+    /// Grounding failures and (theoretical) propagation conflicts.
+    pub fn with_config(
+        program: Program,
+        database: Database,
+        config: EngineConfig,
+    ) -> Result<Self, SemanticsError> {
+        let graph = ground(&program, &database, &config.ground)?;
+        let mut base_model = PartialModel::initial(&program, &database, graph.atoms());
+        let mut closer = Closer::new(&graph);
+        closer.bootstrap(&base_model);
+        closer.run(&mut base_model)?;
+        let engine = UnfoundedEngine::build(&closer);
+        let base_close = closer.snapshot();
+        Ok(Solver {
+            program,
+            database,
+            config,
+            graph,
+            base_model,
+            base_close,
+            engine,
+        })
+    }
+
+    /// Parses sources and prepares a session with the default config.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError`] on parse, grounding, or close failures.
+    pub fn from_sources(program_src: &str, database_src: &str) -> Result<Self, SolverError> {
+        let program = datalog_ast::parse_program(program_src)?;
+        let database = datalog_ast::parse_database(database_src)?;
+        Ok(Solver::new(program, database)?)
+    }
+
+    /// The program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The database.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// The session config.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The prepared ground graph.
+    pub fn graph(&self) -> &GroundGraph {
+        &self.graph
+    }
+
+    /// Atoms left alive (undefined) by the shared base `close`.
+    pub fn residual_atom_count(&self) -> usize {
+        self.base_close.alive_atom_count()
+    }
+
+    /// Components of the residual condensation.
+    pub fn component_count(&self) -> usize {
+        self.engine.component_count()
+    }
+
+    /// Independent branches (weakly connected component families) — the
+    /// parallel scheduling units.
+    pub fn branch_count(&self) -> usize {
+        self.engine.group_count()
+    }
+
+    /// The worker count an evaluation will actually use: the resolved
+    /// [`tiebreak_core::RuntimeConfig`] threads, capped by the branch
+    /// count (extra workers would only idle).
+    pub fn effective_threads(&self) -> usize {
+        self.config
+            .runtime
+            .resolved_threads()
+            .min(self.branch_count())
+            .max(1)
+    }
+
+    /// Algorithm Well-Founded against the prepared state, branches in
+    /// parallel. Identical model to `tiebreak_core`'s interpreters.
+    ///
+    /// # Errors
+    ///
+    /// Propagation conflicts (substrate misuse) only.
+    pub fn well_founded(&self) -> Result<EvalOutcome, SemanticsError> {
+        Ok(self.decode(self.well_founded_run()?))
+    }
+
+    /// [`Solver::well_founded`] returning the raw [`InterpreterRun`]
+    /// (undecoded model) — for callers that feed the model into analysis
+    /// passes such as justification.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Solver::well_founded`].
+    pub fn well_founded_run(&self) -> Result<InterpreterRun, SemanticsError> {
+        scheduler::run_session::<UniformPolicy<tiebreak_core::RootTruePolicy>>(self, None, true)
+    }
+
+    /// Algorithm Well-Founded Tie-Breaking against the prepared state,
+    /// branches in parallel with per-branch policies from `factory`.
+    /// Identical outcome set to `tiebreak_core`'s interpreters.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Solver::well_founded`].
+    pub fn well_founded_tie_breaking<F: PolicyFactory>(
+        &self,
+        factory: &F,
+    ) -> Result<EvalOutcome, SemanticsError> {
+        Ok(self.decode(self.well_founded_tie_breaking_run(factory)?))
+    }
+
+    /// [`Solver::well_founded_tie_breaking`] returning the raw
+    /// [`InterpreterRun`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Solver::well_founded`].
+    pub fn well_founded_tie_breaking_run<F: PolicyFactory>(
+        &self,
+        factory: &F,
+    ) -> Result<InterpreterRun, SemanticsError> {
+        scheduler::run_session(self, Some(factory), true)
+    }
+
+    /// Algorithm Pure Tie-Breaking against the prepared state, branches
+    /// in parallel with per-branch policies from `factory`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Solver::well_founded`].
+    pub fn pure_tie_breaking<F: PolicyFactory>(
+        &self,
+        factory: &F,
+    ) -> Result<EvalOutcome, SemanticsError> {
+        let run = scheduler::run_session(self, Some(factory), false)?;
+        Ok(self.decode(run))
+    }
+
+    /// Explores every tie script of the chosen interpreter flavour
+    /// (`pure` selects Pure Tie-Breaking; otherwise Well-Founded
+    /// Tie-Breaking), forking each script copy-on-write off the shared
+    /// post-close snapshot. Identical outcome set to
+    /// `tiebreak_core::semantics::outcomes::all_outcomes`, but
+    /// O(close + scripts × residual) instead of O(scripts × close).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Solver::well_founded`].
+    pub fn all_outcomes(&self, pure: bool, max_runs: usize) -> Result<OutcomeSet, SemanticsError> {
+        outcomes::all_outcomes(self, pure, max_runs)
+    }
+
+    /// Decodes an interpreter run into sorted fact lists (the shared
+    /// [`EvalOutcome::decode`], so facade and session output coincide).
+    pub(crate) fn decode(&self, run: InterpreterRun) -> EvalOutcome {
+        EvalOutcome::decode(self.graph.atoms(), run)
+    }
+}

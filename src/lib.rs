@@ -34,16 +34,19 @@
 //! assert!(out.total);
 //! ```
 //!
-//! The five crates re-exported here can also be used individually:
+//! The six crates re-exported here can also be used individually:
 //! [`ast`] (language front-end), [`graph`] (signed graphs and ties),
 //! [`ground`] (ground graphs and `close`), [`core`] (semantics and
-//! analyses), and [`constructions`] (reductions and generators).
+//! analyses), [`runtime`] (the parallel session solver: ground once,
+//! close once, serve many evaluations), and [`constructions`]
+//! (reductions and generators).
 
 pub use datalog_ast as ast;
 pub use datalog_ground as ground;
 pub use paper_constructions as constructions;
 pub use signed_graph as graph;
 pub use tiebreak_core as core;
+pub use tiebreak_runtime as runtime;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -60,5 +63,6 @@ pub mod prelude {
         well_founded_tie_breaking, well_founded_tie_breaking_stratified, RandomPolicy,
         RootFalsePolicy, RootTruePolicy, ScriptedPolicy, TiePolicy,
     };
-    pub use tiebreak_core::{Engine, EngineConfig, EvalMode, EvalOptions};
+    pub use tiebreak_core::{Engine, EngineConfig, EvalMode, EvalOptions, RuntimeConfig};
+    pub use tiebreak_runtime::{uniform, PolicyFactory, Solver};
 }
