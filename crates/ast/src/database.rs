@@ -73,6 +73,11 @@ impl Relation {
         self.tuples.contains(tuple)
     }
 
+    /// Removes a tuple. Returns `true` if it was present.
+    pub fn remove(&mut self, tuple: &[ConstSym]) -> bool {
+        self.tuples.remove(tuple)
+    }
+
     /// Iterates over the tuples (unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
         self.tuples.iter()
@@ -134,6 +139,14 @@ impl Database {
     pub fn insert_texts(&mut self, pred: &str, args: &[&str]) {
         self.insert(GroundAtom::from_texts(pred, args))
             .expect("arity mismatch in insert_texts");
+    }
+
+    /// Removes a ground fact. Returns `true` if it was present. Empty
+    /// relations are kept (the predicate's arity stays pinned).
+    pub fn remove(&mut self, fact: &GroundAtom) -> bool {
+        self.relations
+            .get_mut(&fact.pred)
+            .is_some_and(|rel| rel.remove(&fact.args))
     }
 
     /// Membership test for a ground atom.
@@ -304,6 +317,18 @@ mod tests {
         assert!(db.insert(GroundAtom::from_texts("p", &["a"])).unwrap());
         assert!(!db.insert(GroundAtom::from_texts("p", &["a"])).unwrap());
         assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn remove_round_trips() {
+        let mut db = Database::new();
+        db.insert_texts("p", &["a"]);
+        assert!(db.remove(&GroundAtom::from_texts("p", &["a"])));
+        assert!(!db.remove(&GroundAtom::from_texts("p", &["a"])));
+        assert!(!db.contains(&GroundAtom::from_texts("p", &["a"])));
+        assert_eq!(db.len(), 0);
+        // The (now empty) relation keeps its arity pinned.
+        assert!(db.insert(GroundAtom::from_texts("p", &["a", "b"])).is_err());
     }
 
     #[test]

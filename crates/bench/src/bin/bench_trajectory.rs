@@ -9,6 +9,10 @@
 //!   chain at n ≥ 1024 (and ≥ 5× faster at n = 4096);
 //! * the session runtime's copy-on-write `all_outcomes` must be ≥ 5×
 //!   faster than the core per-script re-close enumerator at 64 scripts;
+//! * incremental mutation (delta grounding + cone re-close +
+//!   condensation patch) must be ≥ 3× faster than full re-preparation
+//!   on the small-cone churn workload (n = 4096 tie chain, source-pocket
+//!   edge flapping);
 //! * on a wide tie forest (64 independent branches) evaluation at
 //!   `threads = 4` must be ≥ 2× faster than `threads = 1` when the
 //!   machine has ≥ 4 cores (≥ 1.2× on 2–3 cores; the gate is skipped —
@@ -43,6 +47,10 @@ use tiebreak_runtime::{uniform, Solver};
 
 /// Timed runs per configuration; the minimum is reported.
 const RUNS: usize = 3;
+
+/// Tie-chain sizes for the session-churn workload; the churn gate reads
+/// its `n` from the maximum, so entries and gate stay coupled.
+const CHURN_SIZES: &[usize] = &[1024, 4096];
 
 struct Entry {
     bench: &'static str,
@@ -263,6 +271,67 @@ fn outcomes_cow_entries(entries: &mut Vec<Entry>, decided: usize, pockets: usize
     });
 }
 
+/// The OLTP-style churn workload: a prepared session absorbs a
+/// retract/insert flap of the *source* pocket's back-edge — a mutation
+/// whose forward cone is a handful of nodes out of a Θ(n) residual —
+/// through the incremental path (delta grounding + cone re-close +
+/// condensation patch) and, for the baseline, through forced full
+/// re-preparation (`with_incremental(false)`). Both paths are exact
+/// (asserted here against a fresh solver), so the entries isolate the
+/// cost of *preparing*, which is what the ≥ 3× gate bites on.
+fn session_churn_entries(entries: &mut Vec<Entry>, sizes: &[usize], churn: usize) {
+    let program = generators::win_move_program();
+    let fact = datalog_ast::GroundAtom::from_texts("move", &["b0", "a0"]);
+    for &n in sizes {
+        let db = generators::tie_chain_move_db(n);
+        for (incremental, name) in [(true, "incremental"), (false, "reprepare")] {
+            let mut solver = Solver::with_config(
+                program.clone(),
+                db.clone(),
+                EngineConfig::default()
+                    .with_runtime(RuntimeConfig::with_threads(1))
+                    .with_incremental(incremental),
+            )
+            .expect("prepares");
+            let (wall_ms, ()) = best_of(|| {
+                for _ in 0..churn {
+                    let d = solver.retract_fact(fact.clone()).expect("retracts");
+                    assert_eq!(d.rebuilt, !incremental, "path taken as configured");
+                    if incremental {
+                        // The whole point of the workload: the cone is a
+                        // sliver of the residual graph.
+                        assert!(
+                            d.cone_atoms * 10 <= d.residual_atoms.max(1),
+                            "cone {} vs residual {}",
+                            d.cone_atoms,
+                            d.residual_atoms
+                        );
+                    }
+                    solver.insert_fact(fact.clone()).expect("inserts");
+                }
+            });
+            // Exactness spot-check: the churned session answers like a
+            // fresh solver on the (unchanged net) database.
+            let out = solver.well_founded().expect("wf runs");
+            let fresh = Solver::with_config(program.clone(), db.clone(), *solver.config())
+                .expect("fresh prepares")
+                .well_founded()
+                .expect("wf runs");
+            assert_eq!(out.true_facts, fresh.true_facts);
+            assert_eq!(out.undefined, fresh.undefined);
+            entries.push(Entry {
+                bench: "session_churn",
+                n,
+                mode: name.to_owned(),
+                wall_ms,
+                atoms: solver.graph().atom_count(),
+                rules: solver.graph().rule_count(),
+                stats: RunStats::default(),
+            });
+        }
+    }
+}
+
 struct Gate {
     name: String,
     pass: bool,
@@ -332,6 +401,20 @@ fn gates(entries: &[Entry], sizes: &[usize], forest_chains: usize, scripts: usiz
         detail: format!(
             "speedup {:.1}x (cow {cow:.3}ms, reclose {reclose:.3}ms)",
             reclose / cow.max(f64::MIN_POSITIVE)
+        ),
+    });
+
+    // Incremental mutation vs full re-preparation on the small-cone
+    // churn workload: single-threaded, same-process ratio.
+    let churn_n = *CHURN_SIZES.iter().max().expect("sizes nonempty");
+    let reprepare = wall_of(entries, "session_churn", churn_n, "reprepare");
+    let incremental = wall_of(entries, "session_churn", churn_n, "incremental");
+    gates.push(Gate {
+        name: format!("session_churn_incremental_3x_n{churn_n}"),
+        pass: incremental * 3.0 <= reprepare,
+        detail: format!(
+            "speedup {:.1}x (incremental {incremental:.3}ms, reprepare {reprepare:.3}ms)",
+            reprepare / incremental.max(f64::MIN_POSITIVE)
         ),
     });
     gates
@@ -493,6 +576,7 @@ fn main() {
     grounding_entries(&mut entries, 256);
     runtime_forest_entries(&mut entries, forest_chains, 8);
     outcomes_cow_entries(&mut entries, 4096, 6); // 2^6 = 64 scripts
+    session_churn_entries(&mut entries, CHURN_SIZES, 8);
 
     let gates = gates(&entries, &tie_sizes, forest_chains, cow_scripts);
     let json = to_json(&sha, &entries, &gates, &baseline);

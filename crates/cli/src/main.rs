@@ -11,7 +11,18 @@
 //! datalog outcomes <program.dl> [database.dl] [--semantics tb|pure-tb] [--limit N]
 //!                  [--threads N]
 //! datalog totality <program.dl> [--nonuniform]          (propositional only)
+//! datalog session  <program.dl> [database.dl] [--script FILE] [--semantics tb|pure-tb]
+//!                  [--threads N]
 //! ```
+//!
+//! `session` holds **one long-lived solver** and streams a mutation
+//! script against it (from `--script FILE`, or stdin): `+fact.` inserts,
+//! `-fact.` retracts (consecutive mutations batch into one epoch),
+//! `? wf` prints the current well-founded model, `?fact.` prints one
+//! atom's truth value, `? outcomes [N]` enumerates tie outcomes, and
+//! `? stats` reports the session state. Every applied batch prints a
+//! `% epoch …` line describing the incremental work (cone size, delta
+//! grounding, branch invalidation) or the re-prepare fallback.
 //!
 //! Every command that grounds accepts `--ground-mode full|relevant`:
 //! `relevant` (the production default) builds the join-based relevant
@@ -23,11 +34,13 @@
 //! SCC condensation of the residual graph; `global` is the paper-literal
 //! loop — same models and outcome sets.
 //!
-//! `run`, `outcomes`, and `explain` accept `--threads N`: the query then
-//! goes through the `tiebreak-runtime` session solver, which grounds,
-//! closes, and condenses once and evaluates independent condensation
-//! branches on `N` worker threads (`0` = auto, honouring the
-//! `TIEBREAK_THREADS` environment variable). With the deterministic
+//! `run`, `outcomes`, and `explain` accept `--threads N` (N ≥ 1; `0`
+//! and non-numeric values are rejected with a diagnostic — omit the
+//! flag for automatic selection via `TIEBREAK_THREADS`, which itself
+//! warns and falls back when unusable): the query then goes through the
+//! `tiebreak-runtime` session solver, which grounds, closes, and
+//! condenses once and evaluates independent condensation branches on
+//! `N` worker threads. With the deterministic
 //! policies (`root-true`, `root-false`) output is bit-identical to the
 //! sequential path and across thread counts; `--policy random` stays
 //! reproducible per `--seed` and per thread count (choice streams are
@@ -58,7 +71,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  datalog analyze <program.dl>\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N] [--threads N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb] [--threads N]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N] [--threads N]\n  datalog totality <program.dl> [--nonuniform]\n\nGrounding commands also accept --ground-mode full|relevant (default: relevant).\nEvaluating commands also accept --eval-mode global|stratified (default: stratified).\n--threads N routes run/outcomes/explain through the parallel session runtime\n(0 = auto via TIEBREAK_THREADS or the machine's parallelism)."
+    "usage:\n  datalog analyze <program.dl>\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N] [--threads N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb] [--threads N]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N] [--threads N]\n  datalog totality <program.dl> [--nonuniform]\n  datalog session <program.dl> [db.dl] [--script FILE] [--semantics tb|pure-tb] [--threads N]\n\nGrounding commands also accept --ground-mode full|relevant (default: relevant).\nEvaluating commands also accept --eval-mode global|stratified (default: stratified).\n--threads N (N >= 1) routes run/outcomes/explain through the parallel session\nruntime; omit the flag for automatic selection via TIEBREAK_THREADS or the\nmachine's parallelism.\nsession scripts: '+fact.' insert, '-fact.' retract, '? wf', '?fact.',\n'? outcomes [N]', '? stats', '#' comments; reads stdin without --script."
         .to_owned()
 }
 
@@ -74,6 +87,7 @@ struct Options {
     ground_mode: GroundMode,
     eval_mode: EvalMode,
     threads: Option<usize>,
+    script: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -89,6 +103,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         ground_mode: GroundMode::Relevant,
         eval_mode: EvalMode::Stratified,
         threads: None,
+        script: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -133,12 +148,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--threads" => {
-                opts.threads = Some(
-                    it.next()
-                        .ok_or("--threads needs a value")?
-                        .parse()
-                        .map_err(|e| format!("bad thread count: {e}"))?,
-                );
+                let raw = it.next().ok_or("--threads needs a value")?;
+                let n: usize = raw.parse().map_err(|_| {
+                    format!(
+                        "bad thread count {raw:?}: --threads needs a positive integer \
+                         (omit the flag for automatic selection via TIEBREAK_THREADS \
+                         or the machine's parallelism)"
+                    )
+                })?;
+                if n == 0 {
+                    return Err("bad thread count 0: --threads needs at least one worker \
+                                (omit the flag for automatic selection via TIEBREAK_THREADS \
+                                or the machine's parallelism)"
+                        .to_owned());
+                }
+                opts.threads = Some(n);
+            }
+            "--script" => {
+                opts.script = Some(it.next().ok_or("--script needs a file path")?.clone());
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
@@ -466,8 +493,171 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "session" => {
+            let mut solver = load_solver(&opts)?;
+            match &opts.script {
+                Some(path) => {
+                    let script = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    run_session_lines(&mut solver, script.lines().map(|l| Ok(l.to_owned())), &opts)
+                }
+                None => {
+                    // Line-streamed so the session can be driven
+                    // request/response over a pipe (or interactively):
+                    // each line is processed — and its answer flushed —
+                    // before the next read blocks.
+                    use std::io::BufRead as _;
+                    let stdin = std::io::stdin();
+                    run_session_lines(
+                        &mut solver,
+                        stdin
+                            .lock()
+                            .lines()
+                            .map(|l| l.map_err(|e| format!("cannot read stdin: {e}"))),
+                        &opts,
+                    )
+                }
+            }
+        }
         other => Err(format!("unknown command {other}\n{}", usage())),
     }
+}
+
+/// Parses one `pred(c1, …).` line of a session script (the trailing dot
+/// is optional).
+fn parse_session_fact(src: &str, lineno: usize) -> Result<datalog_ast::GroundAtom, String> {
+    let src = src.trim();
+    let src = src.strip_suffix('.').unwrap_or(src).trim();
+    let db = datalog_ast::parse_database(&format!("{src}."))
+        .map_err(|e| format!("line {}: bad fact {src:?}: {e}", lineno + 1))?;
+    let mut facts: Vec<datalog_ast::GroundAtom> = db.facts().collect();
+    if facts.len() != 1 {
+        return Err(format!(
+            "line {}: expected exactly one ground fact",
+            lineno + 1
+        ));
+    }
+    Ok(facts.pop().expect("one fact"))
+}
+
+/// One line summarizing what a mutation batch did to the prepared state.
+fn describe_delta(delta: &tiebreak_core::PrepareDelta) -> String {
+    if delta.rebuilt {
+        format!(
+            "% epoch {}: +{} -{} | re-prepared ({})",
+            delta.epoch,
+            delta.inserted,
+            delta.retracted,
+            delta.rebuild_reason.as_deref().unwrap_or("unspecified"),
+        )
+    } else {
+        format!(
+            "% epoch {}: +{} -{} | cone {} atoms / {} rules | grounded +{} atoms +{} rules | \
+             branches {}/{} invalidated | residual {}",
+            delta.epoch,
+            delta.inserted,
+            delta.retracted,
+            delta.cone_atoms,
+            delta.cone_rules,
+            delta.new_atoms,
+            delta.new_rules,
+            delta.branches_invalidated,
+            delta.branches_total,
+            delta.residual_atoms,
+        )
+    }
+}
+
+/// Streams mutation-script lines against one long-lived [`Solver`],
+/// flushing stdout after every processed line so a pipe driver gets
+/// each answer before the next read blocks.
+fn run_session_lines(
+    solver: &mut Solver,
+    lines: impl Iterator<Item = Result<String, String>>,
+    opts: &Options,
+) -> Result<(), String> {
+    use std::io::Write as _;
+    use tiebreak_core::Mutation;
+
+    let mut staged: Vec<Mutation> = Vec::new();
+    let flush = |solver: &mut Solver, staged: &mut Vec<Mutation>| -> Result<(), String> {
+        if staged.is_empty() {
+            return Ok(());
+        }
+        let delta = solver
+            .apply(std::mem::take(staged))
+            .map_err(|e| e.to_string())?;
+        println!("{}", describe_delta(&delta));
+        Ok(())
+    };
+
+    for (lineno, raw) in lines.enumerate() {
+        let raw = raw?;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('+') {
+            staged.push(Mutation::Insert(parse_session_fact(rest, lineno)?));
+        } else if let Some(rest) = line.strip_prefix('-') {
+            staged.push(Mutation::Retract(parse_session_fact(rest, lineno)?));
+        } else if let Some(rest) = line.strip_prefix('?') {
+            flush(solver, &mut staged)?;
+            let query = rest.trim();
+            if query == "wf" {
+                let outcome = solver.well_founded().map_err(|e| e.to_string())?;
+                for fact in &outcome.true_facts {
+                    println!("{fact}.");
+                }
+                if !outcome.total {
+                    println!(
+                        "% partial model: {} atoms left undefined",
+                        outcome.undefined.len()
+                    );
+                }
+            } else if query == "stats" {
+                println!(
+                    "% epoch {} | {} branches | {} components | {} residual atoms | db {} facts",
+                    solver.epoch(),
+                    solver.branch_count(),
+                    solver.component_count(),
+                    solver.residual_atom_count(),
+                    solver.database().len(),
+                );
+                if let Some(delta) = solver.last_delta() {
+                    println!("{}", describe_delta(delta));
+                }
+            } else if let Some(limit) = query.strip_prefix("outcomes") {
+                let limit = limit.trim();
+                let max_runs = if limit.is_empty() {
+                    256
+                } else {
+                    limit
+                        .parse()
+                        .map_err(|e| format!("line {}: bad outcome limit: {e}", lineno + 1))?
+                };
+                let pure = opts.semantics == "pure-tb";
+                let set = solver
+                    .all_outcomes(pure, max_runs)
+                    .map_err(|e| e.to_string())?;
+                print_outcomes(&set, solver.graph().atoms());
+            } else {
+                let fact = parse_session_fact(query, lineno)?;
+                let run = solver.well_founded_run().map_err(|e| e.to_string())?;
+                match solver.graph().atoms().id_of(&fact) {
+                    Some(id) => println!("{fact}: {}", run.model.get(id)),
+                    None => println!("{fact}: false (not in the ground atom space)"),
+                }
+            }
+        } else {
+            return Err(format!(
+                "line {}: expected '+fact.', '-fact.', or '?query', got {line:?}",
+                lineno + 1
+            ));
+        }
+        std::io::stdout().flush().ok();
+    }
+    flush(solver, &mut staged)
 }
 
 /// Prints an outcome set in the shared `outcomes` format.

@@ -184,10 +184,146 @@ fn random_policy_with_threads_is_seed_reproducible() {
 #[test]
 fn bad_threads_value_is_rejected() {
     let prog = write_temp("rt_bad.dl", "p :- not q.\nq :- not p.");
+    // Non-numeric: a clear diagnostic pointing at the auto default.
     let out = datalog(&["run", prog.to_str().unwrap(), "--threads", "many"]);
     assert!(!out.status.success());
     let text = String::from_utf8_lossy(&out.stderr);
     assert!(text.contains("bad thread count"), "{text}");
+    assert!(text.contains("positive integer"), "{text}");
+    assert!(text.contains("TIEBREAK_THREADS"), "{text}");
+
+    // Zero workers cannot run anything: rejected, not silently "auto".
+    let out = datalog(&["run", prog.to_str().unwrap(), "--threads", "0"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("bad thread count 0"), "{text}");
+    assert!(text.contains("at least one worker"), "{text}");
+}
+
+#[test]
+fn unusable_tiebreak_threads_env_warns_and_falls_back() {
+    let prog = write_temp("env_t.dl", "win(X) :- move(X, Y), not win(Y).");
+    let db = write_temp("env_t_db.dl", "move(a, b).\nmove(b, a).");
+    let script = write_temp("env_t_script.txt", "? outcomes 10\n");
+    for bad in ["many", "0", "-3"] {
+        // An explicit --threads pins the count: the env var is not even
+        // consulted, so no warning and a clean run.
+        let out = Command::new(env!("CARGO_BIN_EXE_datalog"))
+            .args([
+                "run",
+                prog.to_str().unwrap(),
+                db.to_str().unwrap(),
+                "--threads",
+                "1",
+            ])
+            .env("TIEBREAK_THREADS", bad)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "TIEBREAK_THREADS={bad}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(!err.contains("TIEBREAK_THREADS"), "{err}");
+
+        // The session resolves threads automatically: the unusable value
+        // warns on stderr and falls back to the machine's parallelism
+        // instead of silently ignoring the setting (or crashing).
+        let out = Command::new(env!("CARGO_BIN_EXE_datalog"))
+            .args([
+                "session",
+                prog.to_str().unwrap(),
+                db.to_str().unwrap(),
+                "--script",
+                script.to_str().unwrap(),
+            ])
+            .env("TIEBREAK_THREADS", bad)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "TIEBREAK_THREADS={bad}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("2 distinct outcome(s)"), "{text}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("TIEBREAK_THREADS"),
+            "TIEBREAK_THREADS={bad}: {err}"
+        );
+        assert!(err.contains("not a positive integer"), "{err}");
+    }
+}
+
+#[test]
+fn session_scripts_mutate_and_query() {
+    let prog = write_temp("sess.dl", "win(X) :- move(X, Y), not win(Y).");
+    let db = write_temp("sess_db.dl", "move(a, b).\nmove(b, c).");
+    let script = write_temp(
+        "sess_script.txt",
+        "# a long-lived OLTP-style session\n\
+         ? win(a)\n\
+         + move(c, a).\n\
+         ? win(a)\n\
+         ? wf\n\
+         - move(b, c).\n\
+         ? win(b)\n\
+         ? stats\n\
+         ? outcomes\n",
+    );
+    let out = datalog(&[
+        "session",
+        prog.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--script",
+        script.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Before the cycle closes, a loses (b wins via c); after `move(c, a)`
+    // the a→b→c→a cycle is an odd loop: everything undefined.
+    assert!(text.contains("win(a): false"), "{text}");
+    assert!(text.contains("win(a): undefined"), "{text}");
+    assert!(
+        text.contains("% partial model: 3 atoms left undefined"),
+        "{text}"
+    );
+    // Each mutation batch reports its epoch and incremental work.
+    assert!(text.contains("% epoch 1: +1 -0"), "{text}");
+    assert!(text.contains("% epoch 2: +0 -1"), "{text}");
+    assert!(text.contains("cone"), "{text}");
+    // After retracting move(b, c) the game is the chain c→a→b: b has no
+    // moves and loses — the wf model is total again.
+    assert!(text.contains("win(b): false"), "{text}");
+    assert!(text.contains("% epoch 2 |"), "{text}");
+    assert!(text.contains("% 1 distinct outcome(s)"), "{text}");
+}
+
+#[test]
+fn session_reads_stdin_and_rejects_garbage() {
+    use std::io::Write as _;
+    let prog = write_temp("sess2.dl", "p :- not q.\nq :- not p.");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_datalog"))
+        .args(["session", prog.to_str().unwrap()])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"? outcomes 10\nnot a command\n")
+        .expect("writes");
+    let out = child.wait_with_output().expect("runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 distinct outcome(s)"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "{err}");
 }
 
 #[test]

@@ -61,21 +61,111 @@ impl RuntimeConfig {
     /// The effective worker count: an explicit `threads`, else the
     /// `TIEBREAK_THREADS` environment variable, else available
     /// parallelism (at least 1).
+    ///
+    /// A set-but-unusable `TIEBREAK_THREADS` (non-numeric, or `0`) is a
+    /// configuration mistake, not a request for the default: it prints a
+    /// one-time diagnostic to stderr and then falls back to the
+    /// machine's parallelism instead of silently ignoring the variable.
     pub fn resolved_threads(&self) -> usize {
         if self.threads > 0 {
             return self.threads;
         }
-        if let Some(n) = std::env::var("TIEBREAK_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-        {
-            return n;
+        if let Ok(raw) = std::env::var("TIEBREAK_THREADS") {
+            match raw.trim().parse::<usize>() {
+                Ok(n) if n > 0 => return n,
+                _ => {
+                    static WARNED: std::sync::Once = std::sync::Once::new();
+                    WARNED.call_once(|| {
+                        eprintln!(
+                            "warning: TIEBREAK_THREADS={raw:?} is not a positive integer; \
+                             falling back to the machine's available parallelism"
+                        );
+                    });
+                }
+            }
         }
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
     }
+}
+
+/// Incremental-session knobs (used by the `tiebreak-runtime` solver;
+/// the one-shot [`Engine`] facade re-prepares per query regardless).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Serve mutations incrementally (delta grounding + cone re-close +
+    /// condensation patch). When `false` — or whenever the incremental
+    /// preconditions fail (a constant enters or leaves the universe,
+    /// `prune_decided` grounding) — every mutation re-prepares from
+    /// scratch; results are identical either way, only the cost differs.
+    pub incremental: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig { incremental: true }
+    }
+}
+
+/// A single database mutation for the session solver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Add a ground fact to Δ (no-op if already present).
+    Insert(GroundAtom),
+    /// Remove a ground fact from Δ (no-op if absent).
+    Retract(GroundAtom),
+}
+
+impl Mutation {
+    /// The fact being inserted or retracted.
+    pub fn fact(&self) -> &GroundAtom {
+        match self {
+            Mutation::Insert(f) | Mutation::Retract(f) => f,
+        }
+    }
+}
+
+/// What applying a batch of [`Mutation`]s did to a session's prepared
+/// state — the observability surface of the incremental pipeline.
+///
+/// When `rebuilt` is set the mutation fell back to a full re-prepare
+/// (`rebuild_reason` says why) and the cone/delta fields describe the
+/// whole instance.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PrepareDelta {
+    /// The session epoch after this batch (incremented once per
+    /// state-changing `apply`).
+    pub epoch: u64,
+    /// Facts actually added to Δ (duplicates and cancelled pairs drop
+    /// out).
+    pub inserted: usize,
+    /// Facts actually removed from Δ.
+    pub retracted: usize,
+    /// The batch fell back to a full re-prepare.
+    pub rebuilt: bool,
+    /// Why the full re-prepare happened, when it did.
+    pub rebuild_reason: Option<String>,
+    /// Atoms in the mutation's forward cone (re-closed).
+    pub cone_atoms: usize,
+    /// Rule nodes in the mutation's forward cone.
+    pub cone_rules: usize,
+    /// Atoms appended by delta grounding.
+    pub new_atoms: usize,
+    /// Rule instances appended by delta grounding.
+    pub new_rules: usize,
+    /// Newly supportable atoms (|ΔS|; `Relevant` grounding only).
+    pub delta_supportable: usize,
+    /// Condensation components retired by the cone patch.
+    pub components_removed: usize,
+    /// Condensation components created by the cone patch.
+    pub components_added: usize,
+    /// Branches whose cached evaluation state was discarded.
+    pub branches_invalidated: usize,
+    /// Branches after the patch.
+    pub branches_total: usize,
+    /// Residual (alive) atoms after the re-close.
+    pub residual_atoms: usize,
 }
 
 /// Engine-wide budgets, grounding mode, evaluation mode, and runtime
@@ -97,6 +187,8 @@ pub struct EngineConfig {
     pub eval: EvalOptions,
     /// Parallelism for the `tiebreak-runtime` session solver.
     pub runtime: RuntimeConfig,
+    /// Incremental-session behaviour for the `tiebreak-runtime` solver.
+    pub session: SessionConfig,
 }
 
 impl Default for EngineConfig {
@@ -112,6 +204,7 @@ impl Default for EngineConfig {
                 ..EvalOptions::default()
             },
             runtime: RuntimeConfig::default(),
+            session: SessionConfig::default(),
         }
     }
 }
@@ -126,6 +219,7 @@ impl EngineConfig {
             enumerate: EnumerateConfig::default(),
             eval: EvalOptions::default(),
             runtime: RuntimeConfig::default(),
+            session: SessionConfig::default(),
         }
     }
 
@@ -154,6 +248,16 @@ impl EngineConfig {
     #[must_use]
     pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
         self.runtime = runtime;
+        self
+    }
+
+    /// Enables or disables incremental mutation serving in the
+    /// `tiebreak-runtime` session solver (on by default; `false` forces
+    /// every mutation through a full re-prepare — the differential
+    /// baseline and the churn benchmarks use this).
+    #[must_use]
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.session.incremental = incremental;
         self
     }
 
@@ -577,6 +681,21 @@ mod tests {
         // at least one worker whatever the environment says.
         assert_eq!(RuntimeConfig::with_threads(3).resolved_threads(), 3);
         assert!(RuntimeConfig::default().resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn session_config_defaults_and_toggle() {
+        assert!(EngineConfig::default().session.incremental);
+        assert!(
+            !EngineConfig::default()
+                .with_incremental(false)
+                .session
+                .incremental
+        );
+        let delta = PrepareDelta::default();
+        assert!(!delta.rebuilt && delta.rebuild_reason.is_none());
+        let m = Mutation::Insert(GroundAtom::from_texts("p", &["a"]));
+        assert_eq!(m.fact().pred.as_str(), "p");
     }
 
     #[test]

@@ -282,6 +282,53 @@ impl AtomTable {
     pub fn ids(&self) -> impl Iterator<Item = AtomId> {
         (0..self.total).map(AtomId)
     }
+
+    /// Interns `atom` into a **sparse** table after the fact — the delta
+    /// grounder's extension point: new atoms discovered by an incremental
+    /// mutation get ids appended past the prepared range, so every
+    /// existing id (and every structure indexed by it) stays valid.
+    ///
+    /// `max_atoms` is the session's atom budget (clamped to
+    /// [`MAX_ATOM_SPACE`]), enforced exactly as [`AtomInterner::intern`]
+    /// does at build time.
+    ///
+    /// # Errors
+    ///
+    /// [`AtomSpaceOverflow`] when a *new* atom would exceed the budget.
+    ///
+    /// # Panics
+    ///
+    /// If the table uses the dense layout — the dense atom space is
+    /// universe-complete by construction and never needs extension.
+    pub fn intern(
+        &mut self,
+        atom: &GroundAtom,
+        max_atoms: u64,
+    ) -> Result<AtomId, AtomSpaceOverflow> {
+        let Layout::Sparse {
+            atoms,
+            index,
+            by_pred,
+        } = &mut self.layout
+        else {
+            panic!("intern on a dense atom table (the dense layout is universe-complete)");
+        };
+        if let Some(&i) = index.get(atom) {
+            return Ok(AtomId(i));
+        }
+        let next = u64::from(self.total);
+        if next >= max_atoms.min(MAX_ATOM_SPACE) {
+            return Err(AtomSpaceOverflow {
+                required: next.saturating_add(1),
+            });
+        }
+        let id = u32::try_from(next).expect("budget clamped to u32 range");
+        atoms.push(atom.clone());
+        index.insert(atom.clone(), id);
+        by_pred.entry(atom.pred).or_default().push(id);
+        self.total += 1;
+        Ok(AtomId(id))
+    }
 }
 
 fn block_of(blocks: &[PredBlock], id: AtomId) -> &PredBlock {

@@ -117,6 +117,25 @@ impl CloseState {
     pub fn alive_rule_count(&self) -> usize {
         self.rule_alive.iter().filter(|&&b| b).count()
     }
+
+    /// Grows the snapshot to a graph that gained atoms and rules since it
+    /// was taken (the delta grounder only ever appends). New entries get
+    /// placeholder values — they are always inside the mutation cone, so
+    /// [`Closer::reopen_cone`] recomputes them before anything reads them.
+    ///
+    /// # Panics
+    ///
+    /// If either dimension shrinks (graphs never retire nodes).
+    pub fn grow(&mut self, atom_count: usize, rule_count: usize) {
+        assert!(
+            atom_count >= self.atom_alive.len() && rule_count >= self.rule_alive.len(),
+            "ground graphs never shrink"
+        );
+        self.atom_alive.resize(atom_count, true);
+        self.rule_alive.resize(rule_count, true);
+        self.rule_pending.resize(rule_count, 0);
+        self.atom_support.resize(atom_count, 0);
+    }
 }
 
 impl<'g> Closer<'g> {
@@ -204,6 +223,108 @@ impl<'g> Closer<'g> {
             if support == 0 {
                 self.queue
                     .push_back(Event::AtomUnsupported(AtomId(i as u32)));
+            }
+        }
+    }
+
+    /// Reopens the forward cone of a mutation for re-closing — the
+    /// incremental counterpart of [`Closer::bootstrap`], in the spirit of
+    /// DRed: every conclusion the base `close` drew inside the cone is
+    /// *over-deleted* (cone atoms revert to undefined-and-alive, cone
+    /// rules to alive) and then *re-derived* by replaying `close` against
+    /// the frozen out-of-cone boundary. Because the cone is the forward
+    /// closure of the changed atoms ([`crate::GroundGraph::forward_cone`])
+    /// and every `close` operation follows a graph edge, (a) nothing
+    /// outside the cone can be affected by the mutation, and (b) no event
+    /// queued here can escape the cone — so splicing the re-closed cone
+    /// into the untouched remainder reproduces exactly what a from-scratch
+    /// `close` on the mutated database computes (close is confluent;
+    /// order the from-scratch run to process all out-of-cone events
+    /// first and it becomes this computation).
+    ///
+    /// `initial` must be the paper's M₀ for the **mutated** database;
+    /// `model` holds the base post-close model and is spliced in place.
+    /// The caller must [`Closer::run`] afterwards and may then snapshot.
+    ///
+    /// Boundary replay: an out-of-cone rule node is dead either because
+    /// it **fired** (its pending count reached 0 — every body occurrence
+    /// resolved true, which forces its head true) or because it was
+    /// **killed** by a false body literal (pending still positive; body
+    /// occurrences resolve at most once, so the two are distinguishable
+    /// from the retained pending count). Fired out-of-cone rules heading
+    /// a cone atom re-impose truth on it; alive out-of-cone rules keep it
+    /// supported; killed ones contribute nothing.
+    pub fn reopen_cone(
+        &mut self,
+        model: &mut PartialModel,
+        initial: &PartialModel,
+        cone: &crate::graph::Cone,
+    ) {
+        assert!(self.queue.is_empty(), "reopen requires a quiescent closer");
+        // Over-delete: revert the cone to its pre-close state.
+        for &a in &cone.atoms {
+            self.atom_alive[a.index()] = true;
+            model.set(a, TruthValue::Undefined);
+        }
+        for &r in &cone.rules {
+            self.rule_alive[r.index()] = true;
+        }
+        // Cone rules: recompute pending counts against the frozen
+        // boundary; a false out-of-cone literal kills the rule outright
+        // (its AtomDefined event was consumed by the base close).
+        for &r in &cone.rules {
+            let rule = self.graph.rule(r);
+            let mut pending = 0u32;
+            let mut dead = false;
+            for &(a, sign) in rule.body.iter() {
+                if cone.atom_in[a.index()] {
+                    pending += 1; // resolved by cone events, if ever
+                    continue;
+                }
+                match model.literal_truth(a, sign) {
+                    None => pending += 1, // alive boundary atom: never resolves
+                    Some(true) => {}
+                    Some(false) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if dead {
+                self.rule_alive[r.index()] = false;
+                // A killed rule must never read as *fired* (dead with
+                // pending 0) to a later epoch's boundary replay: record
+                // the falsified occurrence explicitly. Without this, a
+                // rule appended by delta grounding — whose grown
+                // placeholder pending is 0 — and killed right here
+                // would force its head true in the next cone that
+                // contains the head but not the rule.
+                self.rule_pending[r.index()] = self.rule_pending[r.index()].max(1);
+            } else {
+                self.rule_pending[r.index()] = pending;
+                if pending == 0 {
+                    self.queue.push_back(Event::RuleFires(r));
+                }
+            }
+        }
+        // Cone atoms: M₀ value (+ boundary replay of fired out-of-cone
+        // rules), support from the final aliveness of their head rules.
+        for &a in &cone.atoms {
+            let mut value = initial.get(a);
+            let mut support = 0u32;
+            for &r in self.graph.heads_of(a) {
+                if self.rule_alive[r.index()] {
+                    support += 1;
+                } else if !cone.rule_in[r.index()] && self.rule_pending[r.index()] == 0 {
+                    value = TruthValue::True; // fired out-of-cone rule
+                }
+            }
+            self.atom_support[a.index()] = support;
+            if value.is_defined() {
+                model.set(a, value);
+                self.queue.push_back(Event::AtomDefined(a));
+            } else if support == 0 {
+                self.queue.push_back(Event::AtomUnsupported(a));
             }
         }
     }
@@ -723,6 +844,125 @@ mod tests {
         assert_eq!(truth(&g, &m_false, "r", &[]), TruthValue::False);
         assert_eq!(truth(&g, &m_true, "p", &[]), TruthValue::False);
         assert_eq!(truth(&g, &m_true, "r", &[]), TruthValue::True);
+    }
+
+    /// Flips one EDB fact in a prepared close state via the cone splice
+    /// and checks the result against a from-scratch close of the mutated
+    /// database.
+    fn assert_cone_reclose_matches_fresh(program_src: &str, db_src: &str, flip: (&str, &[&str])) {
+        let p = parse_program(program_src).unwrap();
+        let d = parse_database(db_src).unwrap();
+        let g = ground(&p, &d, &GroundConfig::default()).unwrap();
+        let (mut closer, mut model) = run_close(&g, &p, &d);
+
+        let fact = GroundAtom::from_texts(flip.0, flip.1);
+        let atom = g.atoms().id_of(&fact).expect("fact in atom space");
+        let mut d2 = d.clone();
+        if !d2.remove(&fact) {
+            d2.insert(fact).unwrap();
+        }
+        // Incremental: reopen the forward cone against the new M₀.
+        let initial = PartialModel::initial(&p, &d2, g.atoms());
+        let cone = g.forward_cone([atom], []);
+        closer.reopen_cone(&mut model, &initial, &cone);
+        closer.run(&mut model).expect("no conflict");
+
+        // Reference: close from scratch on the mutated database.
+        let (fresh_closer, fresh_model) = run_close(&g, &p, &d2);
+        assert_eq!(model, fresh_model, "spliced model ≠ fresh close");
+        for id in g.atoms().ids() {
+            assert_eq!(
+                closer.atom_alive(id),
+                fresh_closer.atom_alive(id),
+                "aliveness differs at {}",
+                g.atoms().decode(id)
+            );
+        }
+        for i in 0..g.rule_count() {
+            let r = RuleId(i as u32);
+            assert_eq!(closer.rule_alive(r), fresh_closer.rule_alive(r));
+        }
+        let mut a = closer.largest_unfounded_set();
+        let mut b = fresh_closer.largest_unfounded_set();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "unfounded sets differ after splice");
+    }
+
+    #[test]
+    fn cone_reclose_retracts_a_chain_edge() {
+        // Retracting e(b) must revive nothing and falsify p(b)/q(b)'s
+        // support exactly as a fresh close would.
+        assert_cone_reclose_matches_fresh(
+            "p(X) :- e(X).\nq(X) :- p(X).",
+            "e(a).\ne(b).",
+            ("e", &["b"]),
+        );
+    }
+
+    #[test]
+    fn cone_reclose_inserts_into_a_win_move_game() {
+        assert_cone_reclose_matches_fresh(
+            "win(X) :- move(X, Y), not win(Y).",
+            "move(a, b).\nmove(b, c).\nmove(c, a).\nmove(a, c).",
+            ("move", &["b", "a"]),
+        );
+    }
+
+    #[test]
+    fn cone_reclose_revives_killed_rules() {
+        // With f(a) present the rule for p(a) is dead (negative literal
+        // false); retracting f(a) must revive and fire it.
+        assert_cone_reclose_matches_fresh(
+            "p(X) :- e(X), not f(X).\nr(X) :- p(X).",
+            "e(a).\nf(a).",
+            ("f", &["a"]),
+        );
+    }
+
+    #[test]
+    fn cone_reclose_keeps_residual_ties_intact() {
+        // The p/q tie survives a mutation in an unrelated region, and a
+        // mutation of its guard resolves it exactly like a fresh close.
+        assert_cone_reclose_matches_fresh(
+            "p :- not q, e.\nq :- not p, e.\nr(X) :- g(X).",
+            "e.\ng(a).",
+            ("g", &["a"]),
+        );
+        assert_cone_reclose_matches_fresh(
+            "p :- not q, e.\nq :- not p, e.\nr(X) :- g(X).",
+            "e.\ng(a).",
+            ("e", &[]),
+        );
+    }
+
+    #[test]
+    fn cone_reclose_sequences_compose() {
+        // A sequence of flips, each spliced incrementally, stays equal to
+        // fresh closes of every intermediate database.
+        let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let d0 = parse_database("move(a, b).\nmove(b, c).\nmove(c, d).\nmove(d, a).").unwrap();
+        let g = ground(&p, &d0, &GroundConfig::default()).unwrap();
+        let (mut closer, mut model) = run_close(&g, &p, &d0);
+        let mut db = d0.clone();
+        for (pred, args) in [
+            ("move", ["b", "a"]),
+            ("move", ["c", "b"]),
+            ("move", ["b", "a"]), // retract again
+            ("move", ["a", "c"]),
+        ] {
+            let fact = GroundAtom::from_texts(pred, &args);
+            if !db.remove(&fact) {
+                db.insert(fact.clone()).unwrap();
+            }
+            let atom = g.atoms().id_of(&fact).unwrap();
+            let initial = PartialModel::initial(&p, &db, g.atoms());
+            let cone = g.forward_cone([atom], []);
+            closer.reopen_cone(&mut model, &initial, &cone);
+            closer.run(&mut model).expect("no conflict");
+            let (_, fresh_model) = run_close(&g, &p, &db);
+            assert_eq!(model, fresh_model);
+        }
     }
 
     #[test]

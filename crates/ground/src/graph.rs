@@ -8,10 +8,18 @@
 //!
 //! Rule nodes carry provenance (source rule index and substitution) so
 //! interpreters can explain derivations.
+//!
+//! The graph is **extendable**: the delta grounder of the incremental
+//! session appends newly supportable atoms ([`GroundGraph::intern_atom`])
+//! and rule instances ([`GroundGraph::push_rule`]) after the initial
+//! build, and [`GroundGraph::forward_cone`] computes the set of nodes a
+//! mutation can possibly affect — the forward closure along graph edges
+//! (body atom → rule node → head atom), which is exactly how far `close`
+//! propagation can travel.
 
-use datalog_ast::{ConstSym, Program, Sign};
+use datalog_ast::{ConstSym, GroundAtom, Program, Sign};
 
-use crate::atoms::{AtomId, AtomTable};
+use crate::atoms::{AtomId, AtomSpaceOverflow, AtomTable};
 
 /// Identifier of a rule node.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -38,6 +46,21 @@ pub struct GroundRule {
     /// [`datalog_ast::Rule::variables`] order. Empty for variable-free
     /// rules.
     pub subst: Box<[ConstSym]>,
+}
+
+/// The forward cone of a mutation: the nodes reachable from the changed
+/// atoms (and any freshly appended rule instances) along graph edges.
+/// See [`GroundGraph::forward_cone`].
+#[derive(Clone, Debug)]
+pub struct Cone {
+    /// Member atoms, in discovery order.
+    pub atoms: Vec<AtomId>,
+    /// Member rule nodes, in discovery order.
+    pub rules: Vec<RuleId>,
+    /// Membership bitmap over all atoms.
+    pub atom_in: Vec<bool>,
+    /// Membership bitmap over all rule nodes.
+    pub rule_in: Vec<bool>,
 }
 
 /// The ground graph: atoms (via the table) plus rule nodes and their
@@ -111,6 +134,96 @@ impl GroundGraph {
     /// Total number of edges (head edges + body edges).
     pub fn edge_count(&self) -> usize {
         self.rules.len() + self.rules.iter().map(|r| r.body.len()).sum::<usize>()
+    }
+
+    /// Interns a new atom into a sparse table (see
+    /// [`AtomTable::intern`]), growing the incidence lists so the new id
+    /// is immediately addressable.
+    ///
+    /// # Errors
+    ///
+    /// [`AtomSpaceOverflow`] past the `max_atoms` budget.
+    ///
+    /// # Panics
+    ///
+    /// If the atom table uses the dense layout.
+    pub fn intern_atom(
+        &mut self,
+        atom: &GroundAtom,
+        max_atoms: u64,
+    ) -> Result<AtomId, AtomSpaceOverflow> {
+        let id = self.atoms.intern(atom, max_atoms)?;
+        while self.atom_uses.len() < self.atoms.len() {
+            self.atom_uses.push(Vec::new());
+            self.atom_heads.push(Vec::new());
+        }
+        Ok(id)
+    }
+
+    /// Appends a rule node, wiring its head and body incidence. All of
+    /// its atoms must already be in the table.
+    pub fn push_rule(&mut self, rule: GroundRule) -> RuleId {
+        let id = RuleId(u32::try_from(self.rules.len()).expect("rule ids fit u32 within budget"));
+        self.atom_heads[rule.head.index()].push(id);
+        for &(a, s) in rule.body.iter() {
+            self.atom_uses[a.index()].push((id, s));
+        }
+        self.rules.push(rule);
+        id
+    }
+
+    /// The forward closure of `seed_atoms` ∪ `seed_rules` along graph
+    /// edges (body atom → rule node → head atom): every node whose
+    /// `close` state a change at the seeds could possibly influence.
+    /// Nodes are collected dead or alive — a mutation can *revive*
+    /// previously deleted nodes, so the cone must be computed on the
+    /// static graph.
+    pub fn forward_cone(
+        &self,
+        seed_atoms: impl IntoIterator<Item = AtomId>,
+        seed_rules: impl IntoIterator<Item = RuleId>,
+    ) -> Cone {
+        let mut cone = Cone {
+            atoms: Vec::new(),
+            rules: Vec::new(),
+            atom_in: vec![false; self.atom_count()],
+            rule_in: vec![false; self.rule_count()],
+        };
+        let mut atom_stack: Vec<AtomId> = Vec::new();
+        let mut rule_stack: Vec<RuleId> = Vec::new();
+        for a in seed_atoms {
+            if !cone.atom_in[a.index()] {
+                cone.atom_in[a.index()] = true;
+                atom_stack.push(a);
+            }
+        }
+        for r in seed_rules {
+            if !cone.rule_in[r.index()] {
+                cone.rule_in[r.index()] = true;
+                rule_stack.push(r);
+            }
+        }
+        loop {
+            if let Some(a) = atom_stack.pop() {
+                cone.atoms.push(a);
+                for &(r, _) in self.uses_of(a) {
+                    if !cone.rule_in[r.index()] {
+                        cone.rule_in[r.index()] = true;
+                        rule_stack.push(r);
+                    }
+                }
+            } else if let Some(r) = rule_stack.pop() {
+                cone.rules.push(r);
+                let head = self.rule(r).head;
+                if !cone.atom_in[head.index()] {
+                    cone.atom_in[head.index()] = true;
+                    atom_stack.push(head);
+                }
+            } else {
+                break;
+            }
+        }
+        cone
     }
 
     /// Pretty-prints a rule node as `rule#i[subst]: head :- body`.

@@ -25,13 +25,21 @@
 //!   with component-scoped unfounded-set and tie-structure queries, the
 //!   substrate of the stratified evaluation mode;
 //! * [`seminaive`] — the semi-naive join engine shared by the relevant
-//!   grounder and `tiebreak-core`'s stratified interpreter.
+//!   grounder and `tiebreak-core`'s stratified interpreter;
+//! * [`delta`] — delta grounding for the incremental session: a
+//!   [`SessionGrounder`] extends a prepared graph under fact insertion
+//!   (seeded semi-naive passes, scoped gfp refresh for positive cycles),
+//!   [`GroundGraph::forward_cone`] bounds how far a mutation can reach,
+//!   [`Closer::reopen_cone`] re-closes exactly that cone against the
+//!   frozen remainder, and [`UnfoundedEngine::patch_cone`] splices the
+//!   re-condensed cone into the prepared condensation.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod atoms;
 pub mod close;
+pub mod delta;
 pub mod graph;
 pub mod grounder;
 pub mod model;
@@ -42,8 +50,9 @@ pub mod unfounded;
 
 pub use atoms::{AtomId, AtomInterner, AtomSpaceOverflow, AtomTable};
 pub use close::{CloseConflict, CloseState, Closer, NodeKind, RemainingGraph};
-pub use graph::{GroundGraph, GroundRule, RuleId};
+pub use delta::{DeltaGround, SessionGrounder};
+pub use graph::{Cone, GroundGraph, GroundRule, RuleId};
 pub use grounder::{ground, GroundConfig, GroundError, GroundMode};
 pub use model::{PartialModel, TruthValue};
 pub use reference::{naive_close, naive_largest_unfounded, ResidualGraph};
-pub use unfounded::{ComponentGraph, UnfoundedEngine};
+pub use unfounded::{ComponentGraph, ConePatch, UnfoundedEngine};

@@ -90,6 +90,17 @@ impl PartialModel {
         self.values.len()
     }
 
+    /// Grows the model to `n` atoms, the new atoms undefined — the delta
+    /// grounder's extension point (atom ids only ever append).
+    ///
+    /// # Panics
+    ///
+    /// If `n` is smaller than the current length (ids never retire).
+    pub fn grow(&mut self, n: usize) {
+        assert!(n >= self.values.len(), "models never shrink");
+        self.values.resize(n, TruthValue::Undefined);
+    }
+
     /// `true` iff the model ranges over zero atoms.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()

@@ -37,7 +37,7 @@
 //!    node) are interned on first touch. Δ's facts are interned first so
 //!    the initial model M₀(Δ) is fully representable.
 
-use datalog_ast::{Database, GroundAtom, Program, Sign};
+use datalog_ast::{ConstSym, Database, GroundAtom, Program, Sign};
 
 use crate::atoms::{AtomId, AtomInterner, MAX_ATOM_SPACE};
 use crate::graph::{GroundGraph, GroundRule};
@@ -50,17 +50,43 @@ pub(crate) fn ground_relevant(
     database: &Database,
     config: &GroundConfig,
 ) -> Result<GroundGraph, GroundError> {
+    Ok(ground_relevant_parts(program, database, config)?.0)
+}
+
+/// [`ground_relevant`] also handing back the supportable set S — the
+/// incremental session stores it so delta grounding can extend it
+/// without recomputing the gfp from scratch.
+pub(crate) fn ground_relevant_parts(
+    program: &Program,
+    database: &Database,
+    config: &GroundConfig,
+) -> Result<(GroundGraph, Database), GroundError> {
     debug_assert_eq!(config.mode, GroundMode::Relevant);
     let universe = Database::universe(program, database);
-    let atom_budget = config.max_atoms.min(MAX_ATOM_SPACE);
+    let supportable = supportable_set(program, database, config, &universe)?;
+    let graph = emit_instances(program, database, config, &universe, &supportable)?;
+    Ok((graph, supportable))
+}
 
-    // Facts about predicates the program never mentions sit in the
-    // databases we join against but never become atoms; keep the budget
-    // arithmetic honest about them.
-    let ignored_facts = database
+/// The number of database facts about predicates the program never
+/// mentions: they sit in the databases we join against but never become
+/// atoms, so budget arithmetic must discount them.
+pub(crate) fn ignored_fact_count(program: &Program, database: &Database) -> u64 {
+    database
         .facts()
         .filter(|f| program.arity(f.pred).is_none())
-        .count() as u64;
+        .count() as u64
+}
+
+/// Passes 1 + 2: the supportable set S (see the module docs).
+pub(crate) fn supportable_set(
+    program: &Program,
+    database: &Database,
+    config: &GroundConfig,
+    universe: &[ConstSym],
+) -> Result<Database, GroundError> {
+    let atom_budget = config.max_atoms.min(MAX_ATOM_SPACE);
+    let ignored_facts = ignored_fact_count(program, database);
     let fact_cap = atom_budget.saturating_add(ignored_facts);
     let too_many = |count: u64| GroundError::TooManyAtoms {
         required: count.saturating_sub(ignored_facts),
@@ -79,7 +105,7 @@ pub(crate) fn ground_relevant(
         .collect();
     let mut candidates = database.clone();
     for (rule, ev) in program.rules().iter().zip(&skeletons) {
-        ev.for_each_substitution::<GroundError>(database, &universe, &mut |assignment| {
+        ev.for_each_substitution::<GroundError>(database, universe, &mut |assignment| {
             candidates
                 .insert(ev.ground_atom(&rule.head, assignment))
                 .expect("arity consistent");
@@ -105,7 +131,7 @@ pub(crate) fn ground_relevant(
     loop {
         let mut next = database.clone();
         for (rule, ev) in program.rules().iter().zip(&envelopes) {
-            ev.for_each_substitution::<GroundError>(&supportable, &universe, &mut |assignment| {
+            ev.for_each_substitution::<GroundError>(&supportable, universe, &mut |assignment| {
                 next.insert(ev.ground_atom(&rule.head, assignment))
                     .expect("arity consistent");
                 if next.len() as u64 > fact_cap {
@@ -120,9 +146,18 @@ pub(crate) fn ground_relevant(
             break;
         }
     }
+    Ok(supportable)
+}
 
-    // Pass 3: emit every instance whose positive body lies in S.
-    let mut interner = AtomInterner::new(universe.clone(), config.max_atoms);
+/// Pass 3: emit every instance whose positive body lies in S.
+pub(crate) fn emit_instances(
+    program: &Program,
+    database: &Database,
+    config: &GroundConfig,
+    universe: &[ConstSym],
+    supportable: &Database,
+) -> Result<GroundGraph, GroundError> {
+    let mut interner = AtomInterner::new(universe.to_vec(), config.max_atoms);
     let mut delta_facts: Vec<GroundAtom> = database
         .facts()
         .filter(|f| program.arity(f.pred).is_some())
@@ -143,7 +178,7 @@ pub(crate) fn ground_relevant(
 
     for (rule_index, rule) in program.rules().iter().enumerate() {
         let ev = RuleEvaluator::new(rule);
-        ev.for_each_substitution::<GroundError>(&supportable, &universe, &mut |assignment| {
+        ev.for_each_substitution::<GroundError>(supportable, universe, &mut |assignment| {
             if config.prune_decided {
                 // Positive literals are satisfied in S by
                 // construction (EDB positives ∈ Δ); only a negative

@@ -230,6 +230,36 @@ impl<'r> RuleEvaluator<'r> {
         )
     }
 
+    /// The semi-naive variant of [`RuleEvaluator::for_each_substitution`]:
+    /// the `delta_occurrence`-th positive literal reads `delta` instead of
+    /// `total`, so only substitutions whose body touches the delta at that
+    /// occurrence are enumerated. The delta grounder drives this once per
+    /// positive occurrence whose predicate gained supportable atoms,
+    /// deduplicating across occurrences (the same substitution can match
+    /// several delta literals).
+    ///
+    /// # Errors
+    ///
+    /// Whatever `f` returns; enumeration stops at the first error.
+    pub fn for_each_substitution_delta<E>(
+        &self,
+        total: &Database,
+        delta: &Database,
+        delta_occurrence: usize,
+        universe: &[ConstSym],
+        f: &mut impl FnMut(&[ConstSym]) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let mut scratch: Vec<ConstSym> = Vec::with_capacity(self.vars.len());
+        self.for_each_assignment(
+            total,
+            delta,
+            Some(delta_occurrence),
+            universe,
+            &mut |_, a| f(a),
+            &mut scratch,
+        )
+    }
+
     /// The join driver: positive literals matched left to right against
     /// `total`/`delta`, leftover variables enumerated over `universe`,
     /// `f` called once per fully bound assignment.
@@ -467,6 +497,77 @@ pub(crate) fn run_to_fixpoint(
         delta = next;
     }
     derived
+}
+
+/// The *seeded* semi-naive driver: like [`run_to_fixpoint`], but round 0
+/// is skipped — the fixpoint is restarted from `total` (assumed already
+/// closed under `evaluators` before the seeds arrived) with `seed` as the
+/// initial delta. Seeds not already in `total` are inserted. Returns
+/// every fact the seeding added to `total` (seeds included) in insertion
+/// order — for the delta grounder this is exactly ΔS, the newly
+/// supportable atoms.
+///
+/// `fact_cap` bounds `total` like the relevant grounder's candidate
+/// pass: the run aborts with `Err(count reached)` as soon as an
+/// insertion pushes past it, instead of materializing an over-budget
+/// fixpoint first.
+pub(crate) fn run_seeded(
+    evaluators: &[RuleEvaluator<'_>],
+    total: &mut Database,
+    seed: Vec<GroundAtom>,
+    universe: &[ConstSym],
+    fact_cap: u64,
+) -> Result<Vec<GroundAtom>, u64> {
+    let mut added: Vec<GroundAtom> = Vec::new();
+    let mut delta = Database::new();
+    let insert_new = |total: &mut Database,
+                      delta: &mut Database,
+                      added: &mut Vec<GroundAtom>,
+                      fact: GroundAtom| {
+        if !total.contains(&fact) {
+            total.insert(fact.clone()).expect("arity consistent");
+            delta.insert(fact.clone()).expect("arity consistent");
+            added.push(fact);
+            if total.len() as u64 > fact_cap {
+                return Err(total.len() as u64);
+            }
+        }
+        Ok(())
+    };
+    for fact in seed {
+        insert_new(total, &mut delta, &mut added, fact)?;
+    }
+    let mut out: Vec<GroundAtom> = Vec::new();
+    while !delta.is_empty() {
+        for ev in evaluators {
+            debug_assert!(
+                !ev.check_negatives,
+                "run_seeded expects envelope evaluators"
+            );
+            for occ in 0..ev.positive_len() {
+                if delta.relation(ev.positive_pred(occ)).is_none() {
+                    continue;
+                }
+                // The fallible join (not `emit`) so a single runaway
+                // occurrence aborts mid-enumeration; the buffer holds
+                // not-yet-deduplicated heads, so the bound carries a 2×
+                // slack rather than the exact cap.
+                ev.for_each_substitution_delta::<u64>(total, &delta, occ, universe, &mut |a| {
+                    out.push(ev.ground_atom(&ev.rule.head, a));
+                    if total.len() as u64 + out.len() as u64 > fact_cap.saturating_mul(2) {
+                        return Err(total.len() as u64 + out.len() as u64);
+                    }
+                    Ok(())
+                })?;
+            }
+        }
+        let mut next = Database::new();
+        for fact in out.drain(..) {
+            insert_new(total, &mut next, &mut added, fact)?;
+        }
+        delta = next;
+    }
+    Ok(added)
 }
 
 #[cfg(test)]

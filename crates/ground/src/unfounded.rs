@@ -75,6 +75,11 @@ pub struct UnfoundedEngine {
     comp_group: Vec<u32>,
     /// Member components of each group, in topological order.
     group_comps: Vec<Vec<u32>>,
+    /// Component ids retired by earlier [`UnfoundedEngine::patch_cone`]
+    /// calls and not yet reassigned, kept sorted descending (allocation
+    /// pops the smallest). Bounds the component tables at their peak
+    /// live size however long a session churns.
+    free_comps: Vec<u32>,
     /// Scratch: per-rule pending⁺ count, valid only for the component
     /// currently being simulated.
     pending: Vec<u32>,
@@ -90,6 +95,19 @@ pub struct UnfoundedEngine {
 /// Sentinel for [`UnfoundedEngine::node_of_atom`] entries not in the
 /// subgraph under construction.
 const NO_NODE: NodeId = NodeId::MAX;
+
+/// What [`UnfoundedEngine::patch_cone`] did to the condensation.
+#[derive(Clone, Debug)]
+pub struct ConePatch {
+    /// Components the cone retired.
+    pub retired: usize,
+    /// Components the re-condensed cone produced.
+    pub added: usize,
+    /// The ids assigned to the new components (retired ids are recycled
+    /// before fresh ones append). Any branch containing one of these is
+    /// *not* the branch an equal-looking id denoted before the patch.
+    pub new_components: Vec<u32>,
+}
 
 /// The alive induced subgraph of one component, for tie detection.
 ///
@@ -152,60 +170,27 @@ impl UnfoundedEngine {
             }
         }
 
-        // Branch groups: union components across every condensation edge
-        // (direction is irrelevant — weak connectivity), then renumber
-        // groups by first appearance in topological order so ids are
-        // deterministic and group-internal component lists come out
-        // already topologically sorted.
-        let mut uf: Vec<u32> = (0..n_comps as u32).collect();
-        fn find(uf: &mut [u32], mut x: u32) -> u32 {
-            while uf[x as usize] != x {
-                uf[x as usize] = uf[uf[x as usize] as usize]; // halve path
-                x = uf[x as usize];
-            }
-            x
-        }
-        for (u, v, _) in rem.digraph.edges() {
-            let (cu, cv) = (sccs.component_of(u), sccs.component_of(v));
-            if cu != cv {
-                let (ru, rv) = (find(&mut uf, cu), find(&mut uf, cv));
-                if ru != rv {
-                    uf[ru as usize] = rv;
-                }
-            }
-        }
         let order: Vec<u32> = sccs.topological_order().collect();
-        let mut comp_group = vec![u32::MAX; n_comps];
-        let mut group_of_root: Vec<u32> = vec![u32::MAX; n_comps];
-        let mut group_comps: Vec<Vec<u32>> = Vec::new();
-        for &c in &order {
-            let root = find(&mut uf, c);
-            let g = if group_of_root[root as usize] == u32::MAX {
-                let g = group_comps.len() as u32;
-                group_of_root[root as usize] = g;
-                group_comps.push(Vec::new());
-                g
-            } else {
-                group_of_root[root as usize]
-            };
-            comp_group[c as usize] = g;
-            group_comps[g as usize].push(c);
-        }
-
-        UnfoundedEngine {
+        let mut engine = UnfoundedEngine {
             atom_comp,
             rule_comp,
             comp_atoms,
             comp_rules,
             comp_head_rules,
             order,
-            comp_group,
-            group_comps,
+            comp_group: Vec::new(),
+            group_comps: Vec::new(),
+            free_comps: Vec::new(),
             pending: vec![0; graph.rule_count()],
             removed: vec![false; graph.atom_count()],
             queue: Vec::new(),
             node_of_atom: vec![NO_NODE; graph.atom_count()],
-        }
+        };
+        // Branch groups (weak connectivity of the condensation): the one
+        // implementation shared with the cone patch, so group numbering
+        // can never drift between a fresh build and a patched engine.
+        engine.rebuild_groups(closer);
+        engine
     }
 
     /// Component ids in topological order (sources first): the order in
@@ -214,9 +199,239 @@ impl UnfoundedEngine {
         &self.order
     }
 
-    /// Number of components in the condensation.
+    /// Number of live components in the condensation. (After a
+    /// [`UnfoundedEngine::patch_cone`], retired component ids leave holes
+    /// in the internal tables; the processing order lists exactly the
+    /// live ones.)
     pub fn component_count(&self) -> usize {
-        self.comp_atoms.len()
+        self.order.len()
+    }
+
+    /// Splices a mutated cone into the condensation after an incremental
+    /// re-close: every component intersecting the cone is retired (an SCC
+    /// through a cone node lies wholly inside the cone — the cone is
+    /// forward-closed, so the whole cycle is reachable from that node),
+    /// the alive cone remnant is re-condensed, and the new components are
+    /// appended to the topological order with **fresh ids** — untouched
+    /// components keep their ids, membership lists, and position, so
+    /// their prepared state stays valid verbatim.
+    ///
+    /// Appending is topologically correct because every edge between the
+    /// cone and the rest points *into* the cone (nothing inside is
+    /// forward-reachable from outside-bound edges — again forward
+    /// closure), so new components have no successors among the retained
+    /// ones.
+    ///
+    /// Branch groups (weak connectivity) are rebuilt over the resulting
+    /// component set — a cone change can merge or split groups — with
+    /// ids renumbered by first appearance in topological order, exactly
+    /// as [`UnfoundedEngine::build`] numbers them; callers that cache
+    /// per-branch state carry it over by comparing member lists (see the
+    /// runtime session); retired ids are recycled, so a bare list
+    /// comparison could alias a re-condensed component onto a stale
+    /// cache entry — exclude everything in
+    /// [`ConePatch::new_components`].
+    pub fn patch_cone(&mut self, closer: &Closer<'_>, cone: &crate::graph::Cone) -> ConePatch {
+        let graph = closer.graph();
+        // The graph may have grown since the engine was built.
+        self.atom_comp.resize(graph.atom_count(), NO_COMP);
+        self.rule_comp.resize(graph.rule_count(), NO_COMP);
+        self.pending.resize(graph.rule_count(), 0);
+        self.removed.resize(graph.atom_count(), false);
+        self.node_of_atom.resize(graph.atom_count(), NO_NODE);
+
+        // Retire every component the cone touches.
+        let mut retired: Vec<u32> = Vec::new();
+        let mut is_retired = vec![false; self.comp_atoms.len()];
+        let retire = |c: u32, is_retired: &mut Vec<bool>, retired: &mut Vec<u32>| {
+            if c != NO_COMP && !is_retired[c as usize] {
+                is_retired[c as usize] = true;
+                retired.push(c);
+            }
+        };
+        for &a in &cone.atoms {
+            retire(self.atom_comp[a.index()], &mut is_retired, &mut retired);
+            self.atom_comp[a.index()] = NO_COMP;
+        }
+        for &r in &cone.rules {
+            retire(self.rule_comp[r.index()], &mut is_retired, &mut retired);
+            self.rule_comp[r.index()] = NO_COMP;
+        }
+        for &c in &retired {
+            self.comp_atoms[c as usize].clear();
+            self.comp_rules[c as usize].clear();
+            self.comp_head_rules[c as usize].clear();
+        }
+
+        // Re-condense the alive cone remnant. Edges to alive atoms
+        // outside the cone are boundary context, not subgraph edges.
+        // Nodes are laid out in ascending id order — atoms first, rules
+        // after — exactly like [`Closer::remaining_digraph`] lays out a
+        // fresh build, so the per-component member lists (and with them
+        // every tie partition's spanning-tree root) come out identical
+        // to a from-scratch condensation.
+        let mut cone_atoms = cone.atoms.clone();
+        cone_atoms.sort_unstable();
+        let mut cone_rules = cone.rules.clone();
+        cone_rules.sort_unstable();
+        let mut node_kinds: Vec<NodeKind> = Vec::new();
+        for &a in &cone_atoms {
+            if closer.atom_alive(a) {
+                self.node_of_atom[a.index()] = node_kinds.len() as NodeId;
+                node_kinds.push(NodeKind::Atom(a));
+            }
+        }
+        let mut rule_node: Vec<NodeId> = vec![NO_NODE; cone_rules.len()];
+        for (i, &r) in cone_rules.iter().enumerate() {
+            if closer.rule_alive(r) {
+                rule_node[i] = node_kinds.len() as NodeId;
+                node_kinds.push(NodeKind::Rule(r));
+            }
+        }
+        let mut digraph = SignedDigraph::new(node_kinds.len());
+        for (i, &r) in cone_rules.iter().enumerate() {
+            let rn = rule_node[i];
+            if rn == NO_NODE {
+                continue;
+            }
+            let rule = graph.rule(r);
+            let hn = self.node_of_atom[rule.head.index()];
+            if hn != NO_NODE && cone.atom_in[rule.head.index()] {
+                digraph.add_edge(rn, hn, EdgeSign::Pos);
+            }
+            for &(a, s) in rule.body.iter() {
+                if !cone.atom_in[a.index()] {
+                    continue;
+                }
+                let an = self.node_of_atom[a.index()];
+                if an != NO_NODE {
+                    let sign = match s {
+                        Sign::Pos => EdgeSign::Pos,
+                        Sign::Neg => EdgeSign::Neg,
+                    };
+                    digraph.add_edge(an, rn, sign);
+                }
+            }
+        }
+        let sccs = Sccs::compute(&digraph);
+        let added = sccs.len();
+        // Ids for the new components, in topological order of the cone
+        // sub-condensation: slots retired by this or any earlier patch
+        // are reused first (so a long-lived session flapping facts does
+        // not grow the component tables without bound), then fresh ids
+        // append. The free list is drained smallest-first for
+        // determinism.
+        self.free_comps.extend(retired.iter().copied());
+        self.free_comps.sort_unstable_by(|a, b| b.cmp(a));
+        self.free_comps.dedup();
+        let new_ids: Vec<u32> = (0..added)
+            .map(|_| {
+                self.free_comps.pop().unwrap_or_else(|| {
+                    self.comp_atoms.push(Vec::new());
+                    self.comp_rules.push(Vec::new());
+                    self.comp_head_rules.push(Vec::new());
+                    (self.comp_atoms.len() - 1) as u32
+                })
+            })
+            .collect();
+        let mut rank_of_sub = vec![u32::MAX; added];
+        for (rank, c) in sccs.topological_order().enumerate() {
+            rank_of_sub[c as usize] = rank as u32;
+        }
+        for (node, &kind) in node_kinds.iter().enumerate() {
+            let c = new_ids[rank_of_sub[sccs.component_of(node as NodeId) as usize] as usize];
+            match kind {
+                NodeKind::Atom(a) => {
+                    self.atom_comp[a.index()] = c;
+                    self.comp_atoms[c as usize].push(a);
+                }
+                NodeKind::Rule(r) => {
+                    self.rule_comp[r.index()] = c;
+                    self.comp_rules[c as usize].push(r);
+                }
+            }
+        }
+        for &a in &cone_atoms {
+            self.node_of_atom[a.index()] = NO_NODE; // reset scratch
+            if !closer.atom_alive(a) {
+                continue;
+            }
+            let c = self.atom_comp[a.index()];
+            for &r in graph.heads_of(a) {
+                if closer.rule_alive(r) {
+                    self.comp_head_rules[c as usize].push(r);
+                }
+            }
+        }
+
+        // New order: retained components in place, cone components after
+        // (their in-edges all come from retained components or from
+        // earlier cone components), in cone-topological order.
+        self.order.retain(|&c| !is_retired[c as usize]);
+        self.order.extend(new_ids.iter().copied());
+
+        self.rebuild_groups(closer);
+        ConePatch {
+            retired: retired.len(),
+            added,
+            new_components: new_ids,
+        }
+    }
+
+    /// Recomputes branch groups (weak connectivity of the condensation)
+    /// from the current component assignment and aliveness, numbering
+    /// groups by first appearance in topological order — the same
+    /// numbering rule as [`UnfoundedEngine::build`].
+    fn rebuild_groups(&mut self, closer: &Closer<'_>) {
+        let graph = closer.graph();
+        let n_comps = self.comp_atoms.len();
+        let mut uf: Vec<u32> = (0..n_comps as u32).collect();
+        fn find(uf: &mut [u32], mut x: u32) -> u32 {
+            while uf[x as usize] != x {
+                uf[x as usize] = uf[uf[x as usize] as usize];
+                x = uf[x as usize];
+            }
+            x
+        }
+        for (i, rule) in graph.rules().iter().enumerate() {
+            let cr = self.rule_comp[i];
+            if cr == NO_COMP || !closer.rule_alive(RuleId(i as u32)) {
+                continue;
+            }
+            let link = |ca: u32, uf: &mut Vec<u32>| {
+                if ca != NO_COMP && ca != cr {
+                    let (ra, rr) = (find(uf, ca), find(uf, cr));
+                    if ra != rr {
+                        uf[ra as usize] = rr;
+                    }
+                }
+            };
+            if closer.atom_alive(rule.head) {
+                link(self.atom_comp[rule.head.index()], &mut uf);
+            }
+            for &(a, _) in rule.body.iter() {
+                if closer.atom_alive(a) {
+                    link(self.atom_comp[a.index()], &mut uf);
+                }
+            }
+        }
+        self.comp_group = vec![u32::MAX; n_comps];
+        let mut group_of_root: Vec<u32> = vec![u32::MAX; n_comps];
+        self.group_comps = Vec::new();
+        for i in 0..self.order.len() {
+            let c = self.order[i];
+            let root = find(&mut uf, c);
+            let g = if group_of_root[root as usize] == u32::MAX {
+                let g = self.group_comps.len() as u32;
+                group_of_root[root as usize] = g;
+                self.group_comps.push(Vec::new());
+                g
+            } else {
+                group_of_root[root as usize]
+            };
+            self.comp_group[c as usize] = g;
+            self.group_comps[g as usize].push(c);
+        }
     }
 
     /// Number of branch groups (weakly connected families of components).
@@ -592,6 +807,184 @@ mod tests {
             .map(|g| engine.group_components(g as u32).len())
             .sum();
         assert_eq!(total, engine.component_count());
+    }
+
+    /// Flip one fact, splice the cone through close + engine, and check
+    /// the patched condensation against a freshly built engine on the
+    /// same (mutated) state: identical component partition, identical
+    /// group partition, topologically valid order.
+    fn assert_patch_matches_fresh(program_src: &str, db_src: &str, flip: (&str, &[&str])) {
+        let p = parse_program(program_src).unwrap();
+        let d = parse_database(db_src).unwrap();
+        let g = ground(&p, &d, &GroundConfig::default()).unwrap();
+        let (mut closer, mut model) = run_close(&g, &p, &d);
+        let mut engine = UnfoundedEngine::build(&closer);
+
+        let fact = datalog_ast::GroundAtom::from_texts(flip.0, flip.1);
+        let id = g.atoms().id_of(&fact).expect("fact in atom space");
+        let mut d2 = d.clone();
+        if !d2.remove(&fact) {
+            d2.insert(fact).unwrap();
+        }
+        let initial = PartialModel::initial(&p, &d2, g.atoms());
+        let cone = g.forward_cone([id], []);
+        closer.reopen_cone(&mut model, &initial, &cone);
+        closer.run(&mut model).unwrap();
+        engine.patch_cone(&closer, &cone);
+
+        let fresh = UnfoundedEngine::build(&closer);
+        assert_eq!(engine.component_count(), fresh.component_count());
+        assert_eq!(engine.group_count(), fresh.group_count());
+        // Same partition: two alive atoms share a patched component iff
+        // they share a fresh one, ditto groups.
+        let alive: Vec<AtomId> = closer.alive_atoms().collect();
+        for &a in &alive {
+            for &b in &alive {
+                assert_eq!(
+                    engine.component_of_atom(a) == engine.component_of_atom(b),
+                    fresh.component_of_atom(a) == fresh.component_of_atom(b),
+                    "component partition differs at ({}, {})",
+                    g.atoms().decode(a),
+                    g.atoms().decode(b)
+                );
+                let pg = |e: &UnfoundedEngine, x: AtomId| {
+                    e.component_of_atom(x).map(|c| e.group_of_component(c))
+                };
+                assert_eq!(
+                    pg(&engine, a) == pg(&engine, b),
+                    pg(&fresh, a) == pg(&fresh, b),
+                    "group partition differs"
+                );
+            }
+        }
+        // Defined atoms carry no component.
+        for id in g.atoms().ids() {
+            if !closer.atom_alive(id) {
+                assert_eq!(engine.component_of_atom(id), None);
+            }
+        }
+        // The patched order is a topological order: walking it with
+        // unfounded falsification must reach the same fixpoint as the
+        // fresh engine (exactness of downstream evaluation).
+        let run_wf = |eng: &mut UnfoundedEngine, closer: &Closer<'_>, model: &PartialModel| {
+            let mut c = closer.clone();
+            let mut m = model.clone();
+            for comp in eng.order().to_vec() {
+                loop {
+                    let u = eng.local_unfounded(&c, comp);
+                    if u.is_empty() {
+                        break;
+                    }
+                    for &a in &u {
+                        c.define(&mut m, a, TruthValue::False);
+                    }
+                    c.run(&mut m).unwrap();
+                }
+            }
+            m
+        };
+        let mut fresh = fresh;
+        assert_eq!(
+            run_wf(&mut engine, &closer, &model),
+            run_wf(&mut fresh, &closer, &model),
+            "wf fixpoint differs between patched and fresh engines"
+        );
+    }
+
+    #[test]
+    fn patched_condensation_matches_fresh_build() {
+        // A chain of pockets: mutating the source pocket's edge touches a
+        // small cone; downstream components must keep their identity.
+        assert_patch_matches_fresh(
+            "win(X) :- move(X, Y), not win(Y).",
+            "move(a, b).\nmove(b, a).\nmove(c, d).\nmove(d, c).\nmove(a, c).",
+            ("move", &["b", "a"]),
+        );
+        // Guarded positive loops + an independent tie.
+        assert_patch_matches_fresh(
+            "p :- p, not q, e.\nq :- q, not p.\na :- not b.\nb :- not a.",
+            "e.",
+            ("e", &[]),
+        );
+        // Unfounded chain: mutation revives upstream support.
+        assert_patch_matches_fresh(
+            "a0 :- a0.\na0 :- g.\nb0 :- not a0.\na1 :- a1.\na1 :- b0.\nb1 :- not a1.",
+            "g.",
+            ("g", &[]),
+        );
+    }
+
+    #[test]
+    fn patch_merges_and_splits_branch_groups() {
+        // Two pockets bridged by a rule guarded on e: with e the groups
+        // merge, without it they split — the patch must track both ways.
+        let p = parse_program(
+            "p :- not q.\nq :- not p.\na :- not b.\nb :- not a.\nr :- not p, not a, e.",
+        )
+        .unwrap();
+        let d = parse_database("e.").unwrap();
+        let g = ground(&p, &d, &GroundConfig::default()).unwrap();
+        let (mut closer, mut model) = run_close(&g, &p, &d);
+        let mut engine = UnfoundedEngine::build(&closer);
+        assert_eq!(engine.group_count(), 1, "bridge rule merges the pockets");
+
+        let e = g
+            .atoms()
+            .id_of(&datalog_ast::GroundAtom::from_texts("e", &[]))
+            .unwrap();
+        let d2 = datalog_ast::Database::new();
+        let initial = PartialModel::initial(&p, &d2, g.atoms());
+        let cone = g.forward_cone([e], []);
+        closer.reopen_cone(&mut model, &initial, &cone);
+        closer.run(&mut model).unwrap();
+        engine.patch_cone(&closer, &cone);
+        assert_eq!(engine.group_count(), 2, "retraction splits the groups");
+        assert_eq!(
+            engine.group_count(),
+            UnfoundedEngine::build(&closer).group_count()
+        );
+    }
+
+    #[test]
+    fn repeated_patches_recycle_component_slots() {
+        // Flapping one fact forever must not grow the component tables:
+        // retired ids are recycled before fresh ones append.
+        let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let d0 = parse_database("move(a, b).\nmove(b, a).\nmove(c, d).\nmove(d, c).").unwrap();
+        let g = ground(&p, &d0, &GroundConfig::default()).unwrap();
+        let (mut closer, mut model) = run_close(&g, &p, &d0);
+        let mut engine = UnfoundedEngine::build(&closer);
+        let fact = datalog_ast::GroundAtom::from_texts("move", &["b", "a"]);
+        let id = g.atoms().id_of(&fact).unwrap();
+
+        let mut db = d0.clone();
+        let mut table_sizes = Vec::new();
+        for _ in 0..6 {
+            for _ in 0..2 {
+                if !db.remove(&fact) {
+                    db.insert(fact.clone()).unwrap();
+                }
+                let initial = PartialModel::initial(&p, &db, g.atoms());
+                let cone = g.forward_cone([id], []);
+                closer.reopen_cone(&mut model, &initial, &cone);
+                closer.run(&mut model).unwrap();
+                let patch = engine.patch_cone(&closer, &cone);
+                // Recycled ids are reported as newly assigned.
+                for c in &patch.new_components {
+                    assert!(engine.order().contains(c));
+                }
+            }
+            table_sizes.push(engine.comp_atoms.len());
+            // Steady state: same live partition as a fresh build.
+            assert_eq!(
+                engine.component_count(),
+                UnfoundedEngine::build(&closer).component_count()
+            );
+        }
+        assert!(
+            table_sizes.windows(2).all(|w| w[0] == w[1]),
+            "component tables grew under flapping: {table_sizes:?}"
+        );
     }
 
     #[test]

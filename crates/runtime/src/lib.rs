@@ -26,11 +26,22 @@
 //!   join in branch order, so models, outcome sets, and
 //!   [`tiebreak_core::RunStats`] counters are **bit-identical across
 //!   thread counts** (see `tests/runtime_parallel.rs`).
-//! * **Copy-on-write outcome enumeration.** [`Solver::all_outcomes`]
-//!   forks each tie script off the shared post-close snapshot — a few
-//!   `memcpy`s — instead of re-running `close` from scratch per script,
-//!   turning enumeration from O(scripts × close) into
-//!   O(close + scripts × residual).
+//! * **Copy-on-write outcome enumeration, parallel across scripts.**
+//!   [`Solver::all_outcomes`] forks each tie script off the shared
+//!   post-close snapshot — a few `memcpy`s — instead of re-running
+//!   `close` from scratch per script, turning enumeration from
+//!   O(scripts × close) into O(close + scripts × residual), and farms
+//!   the independent forks onto the worker pool in deterministic waves
+//!   (identical outcome sets *and model order* across thread counts).
+//! * **Incremental mutation.** [`Solver::insert_fact`],
+//!   [`Solver::retract_fact`], and [`Solver::apply`] mutate the database
+//!   *in place*: delta grounding appends the newly supportable rule
+//!   instances, `close` is re-derived only over the mutation's forward
+//!   cone, the condensation is patched cone-wise, and untouched branches
+//!   keep their cached well-founded results — each batch bumps
+//!   [`Solver::epoch`] and reports a [`PrepareDelta`]. Exactness (wf
+//!   models, outcome sets, totality identical to a fresh solver on the
+//!   mutated database) is asserted by `tests/session_mutation.rs`.
 //!
 //! Tie choices are the only nondeterministic points (the tie scripts are
 //! game-like choice moves; everything else is forced), which is exactly
@@ -66,4 +77,4 @@ mod session;
 
 pub use policy::{uniform, PolicyFactory, UniformPolicy};
 pub use session::{Solver, SolverError};
-pub use tiebreak_core::RuntimeConfig;
+pub use tiebreak_core::{Mutation, PrepareDelta, RuntimeConfig, SessionConfig};

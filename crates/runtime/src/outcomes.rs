@@ -1,4 +1,4 @@
-//! Copy-on-write outcome enumeration.
+//! Copy-on-write outcome enumeration, parallel across scripts.
 //!
 //! `tiebreak_core::semantics::outcomes::all_outcomes` explores the tie
 //! choice tree by running a full interpreter per script: every run
@@ -10,19 +10,32 @@
 //! `memcpy`s), clone the post-close model, and walk only the residual
 //! condensation — O(close + scripts × residual).
 //!
-//! The choice-tree driver itself —
-//! [`tiebreak_core::semantics::outcomes::explore_scripts`] — is shared
-//! with the core enumerator; only the per-script runner differs, so the
-//! exploration order, branching rule, and deduplication are structurally
-//! identical and the outcome *sets* coincide (asserted by this crate's
-//! tests and `tests/runtime_parallel.rs`).
+//! Forked scripts are mutually independent, so the choice tree is
+//! explored in **waves**: the frontier of pending script prefixes is
+//! evaluated concurrently on the session's worker pool, then integrated
+//! — children queued, models deduplicated — strictly in frontier order.
+//! The traversal (a breadth-first walk of the same choice tree the core
+//! enumerator walks depth-first), the dedup sequence, and hence
+//! `OutcomeSet::models` order are functions of the prepared state alone:
+//! **bit-identical across thread counts and schedules**. The outcome
+//! *set* equals the core enumerator's — both drivers branch identically,
+//! flipping every defaulted choice exactly once — which
+//! `crates/runtime/tests/solver.rs` and `tests/runtime_parallel.rs`
+//! assert.
 
-use datalog_ground::Closer;
-use tiebreak_core::semantics::outcomes::{explore_scripts, OutcomeSet};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use datalog_ground::{Closer, PartialModel};
+use tiebreak_core::semantics::outcomes::OutcomeSet;
 use tiebreak_core::semantics::{process_components, ComponentPass, SemanticsError};
 use tiebreak_core::{RunStats, ScriptedPolicy};
 
 use crate::session::Solver;
+
+/// One evaluated script: its final model and how many choices it took.
+type ScriptResult = Result<(PartialModel, usize), SemanticsError>;
 
 /// Explores every tie script of one interpreter flavour against the
 /// prepared state, stopping after `max_runs` forks.
@@ -32,27 +45,103 @@ pub(crate) fn all_outcomes(
     max_runs: usize,
 ) -> Result<OutcomeSet, SemanticsError> {
     let order: Vec<u32> = solver.engine.order().to_vec();
-    let mut engine = solver.engine.clone();
+    let threads = solver.config.runtime.resolved_threads().max(1);
 
-    explore_scripts(max_runs, |prefix| {
-        // The copy-on-write fork: state snapshot in, script-delta out.
-        let mut closer = Closer::from_state(&solver.graph, &solver.base_close);
-        let mut model = solver.base_model.clone();
-        let mut policy = ScriptedPolicy::new(prefix.to_vec(), false);
-        let mut stats = RunStats::default();
-        let mut pass = ComponentPass {
-            use_unfounded: !pure,
-            detailed: false,
-            policy: Some(&mut policy),
+    // One copy-on-write fork: state snapshot in, script-delta out.
+    let run_prefix =
+        |prefix: &[bool], engine: &mut datalog_ground::UnfoundedEngine| -> ScriptResult {
+            let mut closer = Closer::from_state(&solver.graph, &solver.base_close);
+            let mut model = solver.base_model.clone();
+            let mut policy = ScriptedPolicy::new(prefix.to_vec(), false);
+            let mut stats = RunStats::default();
+            let mut pass = ComponentPass {
+                use_unfounded: !pure,
+                detailed: false,
+                policy: Some(&mut policy),
+            };
+            process_components(
+                &mut closer,
+                &mut model,
+                engine,
+                &order,
+                &mut pass,
+                &mut stats,
+            )?;
+            Ok((model, policy.consumed()))
         };
-        process_components(
-            &mut closer,
-            &mut model,
-            &mut engine,
-            &order,
-            &mut pass,
-            &mut stats,
-        )?;
-        Ok((model, policy.consumed()))
+
+    let mut models: Vec<PartialModel> = Vec::new();
+    let mut frontier: VecDeque<Vec<bool>> = VecDeque::from([Vec::new()]);
+    let mut runs = 0usize;
+    let mut truncated = false;
+    // One engine clone per worker, reused across scripts and waves, and
+    // grown lazily to the widest wave actually seen — a chain-shaped
+    // choice tree (every wave a single script) clones exactly once.
+    let mut worker_engines: Vec<datalog_ground::UnfoundedEngine> = vec![solver.engine.clone()];
+
+    while !frontier.is_empty() {
+        if runs >= max_runs {
+            truncated = true;
+            break;
+        }
+        let take = frontier.len().min(max_runs - runs);
+        let batch: Vec<Vec<bool>> = frontier.drain(..take).collect();
+
+        // Evaluate the wave — concurrently when it pays — into slots
+        // indexed by frontier position.
+        let mut results: Vec<Option<ScriptResult>> = (0..batch.len()).map(|_| None).collect();
+        if threads <= 1 || batch.len() <= 1 {
+            let engine = &mut worker_engines[0];
+            for (slot, prefix) in results.iter_mut().zip(&batch) {
+                *slot = Some(run_prefix(prefix, engine));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<ScriptResult>>> =
+                (0..batch.len()).map(|_| Mutex::new(None)).collect();
+            let workers = threads.min(batch.len());
+            while worker_engines.len() < workers {
+                worker_engines.push(solver.engine.clone());
+            }
+            std::thread::scope(|scope| {
+                let (cursor, slots, batch, run_prefix) = (&cursor, &slots, &batch, &run_prefix);
+                for engine in worker_engines.iter_mut().take(workers) {
+                    scope.spawn(move || loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= batch.len() {
+                            break;
+                        }
+                        let r = run_prefix(&batch[i], engine);
+                        *slots[i].lock().expect("slot lock") = Some(r);
+                    });
+                }
+            });
+            for (slot, cell) in results.iter_mut().zip(slots) {
+                *slot = cell.into_inner().expect("slot lock");
+            }
+        }
+
+        // Integrate strictly in frontier order: child scripts flip every
+        // defaulted (false) answer exactly once — the same branching rule
+        // as the core driver — and models dedup in wave order.
+        for (prefix, result) in batch.iter().zip(results) {
+            runs += 1;
+            let (model, consumed) = result.expect("every slot evaluated")?;
+            for flip_at in prefix.len()..consumed {
+                let mut next = prefix.clone();
+                next.extend(std::iter::repeat_n(false, flip_at - prefix.len()));
+                next.push(true);
+                frontier.push_back(next);
+            }
+            if !models.contains(&model) {
+                models.push(model);
+            }
+        }
+    }
+
+    Ok(OutcomeSet {
+        models,
+        runs,
+        truncated,
     })
 }

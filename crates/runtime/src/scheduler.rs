@@ -2,11 +2,12 @@
 //!
 //! One evaluation = one walk of the residual condensation. The walk
 //! splits into *branches* (weakly connected component families,
-//! [`UnfoundedEngine::group_count`]): `close` propagation follows graph
-//! edges, so no assignment made inside one branch can ever reach
-//! another — branches are causally independent and every dependency a
-//! component has lies inside its own branch, upstream in the branch's
-//! topological component order. Scheduling therefore reduces to:
+//! [`UnfoundedEngine::group_count`](datalog_ground::UnfoundedEngine::group_count)):
+//! `close` propagation follows graph edges, so no assignment made inside
+//! one branch can ever reach another — branches are causally independent
+//! and every dependency a component has lies inside its own branch,
+//! upstream in the branch's topological component order. Scheduling
+//! therefore reduces to:
 //!
 //! 1. workers pull branch ids from a shared atomic cursor;
 //! 2. each worker forks a private copy of the post-close state (model +
@@ -18,6 +19,16 @@
 //! 3. finished branches record their atom assignments and a private
 //!    [`RunStats`] partial; the join merges both **in branch-id order**.
 //!
+//! **Branch cache.** Plain well-founded evaluation is policy-free and
+//! deterministic per branch, so the session memoizes each branch's
+//! `(assignments, stats)` in [`Solver::wf_cache`]. A cached branch is
+//! *replayed* instead of re-evaluated — its stats partial is merged
+//! exactly as if it had run, so every aggregate counter is identical;
+//! only [`RunStats::branches_reused`] records the serving difference.
+//! Mutations invalidate exactly the branches whose component lists the
+//! cone patch changed (see [`Solver::apply`]), which is what turns a
+//! mutation + re-query cycle into cone-sized work end to end.
+//!
 //! Determinism: which worker evaluates a branch, and when, affects
 //! nothing — branch results depend only on the shared prepared state and
 //! the branch-keyed policy, and the merge order is fixed. Models, outcome
@@ -26,6 +37,7 @@
 //! state), so memory is O(threads × graph), not O(branches × graph).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use datalog_ground::{AtomId, Closer, TruthValue};
 use tiebreak_core::semantics::{process_components, ComponentPass, SemanticsError};
@@ -34,11 +46,18 @@ use tiebreak_core::{InterpreterRun, RunStats, TiePolicy};
 use crate::policy::PolicyFactory;
 use crate::session::Solver;
 
+/// A memoized branch result of the plain well-founded evaluation.
+#[derive(Clone, Debug)]
+pub(crate) struct BranchWf {
+    /// Values the branch decided for its own atoms (stuck atoms simply
+    /// stay out — the base model is already undefined there).
+    pub(crate) assignments: Vec<(AtomId, TruthValue)>,
+    pub(crate) stats: RunStats,
+}
+
 /// What one branch evaluation produced.
 struct BranchOutcome {
     branch: u32,
-    /// Values the branch decided for its own atoms (stuck atoms simply
-    /// stay out — the base model is already undefined there).
     assignments: Vec<(AtomId, TruthValue)>,
     stats: RunStats,
 }
@@ -56,6 +75,14 @@ pub(crate) fn run_session<F: PolicyFactory>(
     let branches = solver.engine.group_count();
     let threads = solver.effective_threads();
     let detailed = solver.config.eval.detailed_stats;
+    // Only the policy-free well-founded flavour is memoizable: a tie
+    // policy makes branch results run-dependent.
+    let caching = factory.is_none() && use_unfounded && !detailed;
+    let cached: Vec<Option<Arc<BranchWf>>> = if caching {
+        solver.wf_cache.lock().expect("wf cache lock").clone()
+    } else {
+        vec![None; branches]
+    };
 
     // The base close is shared by every evaluation of the session; its
     // one propagation round is part of each run's accounting so session
@@ -68,6 +95,7 @@ pub(crate) fn run_session<F: PolicyFactory>(
 
     if branches > 0 {
         let cursor = AtomicUsize::new(0);
+        let cached_ref = &cached;
         let worker = || -> Result<Vec<BranchOutcome>, SemanticsError> {
             let mut closer = Closer::from_state(&solver.graph, &solver.base_close);
             let mut fork_model = solver.base_model.clone();
@@ -77,6 +105,9 @@ pub(crate) fn run_session<F: PolicyFactory>(
                 let b = cursor.fetch_add(1, Ordering::Relaxed);
                 if b >= branches {
                     break;
+                }
+                if cached_ref[b].is_some() {
+                    continue; // replayed at merge time
                 }
                 let branch = b as u32;
                 let comps = solver.engine.group_components(branch);
@@ -131,13 +162,35 @@ pub(crate) fn run_session<F: PolicyFactory>(
             all
         };
 
-        // Deterministic join: branch-id order, whatever the schedule was.
-        partials.sort_by_key(|p| p.branch);
-        for partial in &partials {
-            for &(atom, value) in &partial.assignments {
-                model.set(atom, value);
+        if caching {
+            let mut guard = solver.wf_cache.lock().expect("wf cache lock");
+            for partial in &partials {
+                guard[partial.branch as usize] = Some(Arc::new(BranchWf {
+                    assignments: partial.assignments.clone(),
+                    stats: partial.stats.clone(),
+                }));
             }
-            stats.merge(&partial.stats);
+        }
+
+        // Deterministic join: branch-id order, whatever the schedule
+        // was, with cached branches replayed in place.
+        partials.sort_by_key(|p| p.branch);
+        let mut fresh = partials.iter().peekable();
+        for (b, slot) in cached.iter().enumerate() {
+            if let Some(hit) = slot {
+                for &(atom, value) in &hit.assignments {
+                    model.set(atom, value);
+                }
+                stats.merge(&hit.stats);
+                stats.branches_reused += 1;
+            } else {
+                let partial = fresh.next().expect("every uncached branch ran");
+                debug_assert_eq!(partial.branch as usize, b);
+                for &(atom, value) in &partial.assignments {
+                    model.set(atom, value);
+                }
+                stats.merge(&partial.stats);
+            }
         }
     }
 

@@ -1,15 +1,21 @@
-//! The [`Solver`] session: prepared-once state serving many evaluations.
+//! The [`Solver`] session: prepared-once state serving many evaluations,
+//! mutable in place between them.
 
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
-use datalog_ast::{AstError, Database, Program};
-use datalog_ground::{ground, CloseState, Closer, GroundGraph, PartialModel, UnfoundedEngine};
+use datalog_ast::{AstError, ConstSym, Database, FxHashMap, FxHashSet, GroundAtom, Program};
+use datalog_ground::{
+    AtomId, CloseState, Closer, GroundGraph, GroundMode, PartialModel, RuleId, SessionGrounder,
+    TruthValue, UnfoundedEngine,
+};
 use tiebreak_core::engine::EvalOutcome;
 use tiebreak_core::semantics::outcomes::OutcomeSet;
 use tiebreak_core::semantics::SemanticsError;
-use tiebreak_core::{EngineConfig, InterpreterRun};
+use tiebreak_core::{EngineConfig, InterpreterRun, Mutation, PrepareDelta};
 
 use crate::policy::{PolicyFactory, UniformPolicy};
+use crate::scheduler::BranchWf;
 use crate::{outcomes, scheduler};
 
 /// Errors from building a [`Solver`] out of source text.
@@ -44,17 +50,66 @@ impl From<SemanticsError> for SolverError {
     }
 }
 
+/// The prepared state of one epoch: everything [`Solver::apply`] swaps
+/// out on a full re-prepare.
+struct Prepared {
+    graph: GroundGraph,
+    grounder: SessionGrounder,
+    /// M₀ for the *current* database (maintained under mutation).
+    m0: PartialModel,
+    base_model: PartialModel,
+    base_close: CloseState,
+    engine: UnfoundedEngine,
+}
+
+fn prepare(
+    program: &Program,
+    database: &Database,
+    config: &EngineConfig,
+) -> Result<Prepared, SemanticsError> {
+    let (graph, grounder) = SessionGrounder::build(program, database, &config.ground)?;
+    let m0 = PartialModel::initial(program, database, graph.atoms());
+    let mut base_model = m0.clone();
+    let mut closer = Closer::new(&graph);
+    closer.bootstrap(&base_model);
+    closer.run(&mut base_model)?;
+    let engine = UnfoundedEngine::build(&closer);
+    let base_close = closer.snapshot();
+    drop(closer);
+    Ok(Prepared {
+        graph,
+        grounder,
+        m0,
+        base_model,
+        base_close,
+        engine,
+    })
+}
+
 /// A persistent solver session over one program/database instance.
 ///
 /// Construction grounds the instance, runs the first `close(M₀, G)`,
 /// snapshots the quiescent deletion state, and condenses the residual
 /// graph — **once**. Every evaluation afterwards works against this
-/// immutable prepared state: parallel branch dispatch for single runs,
-/// copy-on-write forks for outcome enumeration. See the crate docs for
-/// the architecture.
+/// prepared state: parallel branch dispatch for single runs,
+/// copy-on-write forks for outcome enumeration.
+///
+/// The database is **mutable in place**: [`Solver::insert_fact`],
+/// [`Solver::retract_fact`], and [`Solver::apply`] update the prepared
+/// state *incrementally* — delta grounding extends the graph with the
+/// newly supportable instances, the `close` state is re-derived only
+/// over the mutation's forward cone, the condensation is patched in the
+/// cone, and only the branches whose components the cone touched lose
+/// their cached evaluations. The result is provably identical to
+/// re-preparing from scratch on the mutated database (the fallback the
+/// session takes automatically when a mutation moves the universe of
+/// constants, and which [`tiebreak_core::SessionConfig`] can force).
+/// Each state-changing batch bumps [`Solver::epoch`] and reports a
+/// [`PrepareDelta`].
 ///
 /// The session honours [`EngineConfig::ground`] (grounding mode and
-/// budgets), [`EngineConfig::runtime`] (worker threads), and
+/// budgets), [`EngineConfig::runtime`] (worker threads),
+/// [`EngineConfig::session`] (incremental serving), and
 /// `EngineConfig::eval.detailed_stats`. `EngineConfig::eval.mode` is
 /// ignored: a session is inherently condensation-driven — the sequential
 /// `EvalMode::Global` loop exists only on the `Engine` facade.
@@ -63,9 +118,20 @@ pub struct Solver {
     pub(crate) database: Database,
     pub(crate) config: EngineConfig,
     pub(crate) graph: GroundGraph,
+    grounder: SessionGrounder,
+    m0: PartialModel,
     pub(crate) base_model: PartialModel,
     pub(crate) base_close: CloseState,
     pub(crate) engine: UnfoundedEngine,
+    /// Occurrences of each constant across current database facts (the
+    /// universe guard; program constants are permanent).
+    const_refs: FxHashMap<ConstSym, usize>,
+    program_consts: FxHashSet<ConstSym>,
+    epoch: u64,
+    /// Per-branch well-founded results, invalidated cone-wise on
+    /// mutation (see [`crate::scheduler`]).
+    pub(crate) wf_cache: Mutex<Vec<Option<Arc<BranchWf>>>>,
+    last_delta: Option<PrepareDelta>,
 }
 
 impl Solver {
@@ -88,21 +154,30 @@ impl Solver {
         database: Database,
         config: EngineConfig,
     ) -> Result<Self, SemanticsError> {
-        let graph = ground(&program, &database, &config.ground)?;
-        let mut base_model = PartialModel::initial(&program, &database, graph.atoms());
-        let mut closer = Closer::new(&graph);
-        closer.bootstrap(&base_model);
-        closer.run(&mut base_model)?;
-        let engine = UnfoundedEngine::build(&closer);
-        let base_close = closer.snapshot();
+        let prepared = prepare(&program, &database, &config)?;
+        let mut const_refs: FxHashMap<ConstSym, usize> = FxHashMap::default();
+        for fact in database.facts() {
+            for &c in fact.args.iter() {
+                *const_refs.entry(c).or_insert(0) += 1;
+            }
+        }
+        let program_consts: FxHashSet<ConstSym> = program.constants().into_iter().collect();
+        let branches = prepared.engine.group_count();
         Ok(Solver {
             program,
             database,
             config,
-            graph,
-            base_model,
-            base_close,
-            engine,
+            graph: prepared.graph,
+            grounder: prepared.grounder,
+            m0: prepared.m0,
+            base_model: prepared.base_model,
+            base_close: prepared.base_close,
+            engine: prepared.engine,
+            const_refs,
+            program_consts,
+            epoch: 0,
+            wf_cache: Mutex::new(vec![None; branches]),
+            last_delta: None,
         })
     }
 
@@ -122,7 +197,7 @@ impl Solver {
         &self.program
     }
 
-    /// The database.
+    /// The current database (reflects every applied mutation).
     pub fn database(&self) -> &Database {
         &self.database
     }
@@ -135,6 +210,17 @@ impl Solver {
     /// The prepared ground graph.
     pub fn graph(&self) -> &GroundGraph {
         &self.graph
+    }
+
+    /// The mutation epoch: 0 at preparation, +1 per state-changing
+    /// [`Solver::apply`] (or single-fact convenience call).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The [`PrepareDelta`] of the most recent state-changing mutation.
+    pub fn last_delta(&self) -> Option<&PrepareDelta> {
+        self.last_delta.as_ref()
     }
 
     /// Atoms left alive (undefined) by the shared base `close`.
@@ -164,8 +250,380 @@ impl Solver {
             .max(1)
     }
 
+    /// Inserts one fact (see [`Solver::apply`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Solver::apply`].
+    pub fn insert_fact(&mut self, fact: GroundAtom) -> Result<PrepareDelta, SolverError> {
+        self.apply(vec![Mutation::Insert(fact)])
+    }
+
+    /// Retracts one fact (see [`Solver::apply`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Solver::apply`].
+    pub fn retract_fact(&mut self, fact: GroundAtom) -> Result<PrepareDelta, SolverError> {
+        self.apply(vec![Mutation::Retract(fact)])
+    }
+
+    /// Applies a batch of mutations to the database and splices the
+    /// prepared state incrementally:
+    ///
+    /// 1. **delta grounding** — newly supportable rule instances (and
+    ///    their atoms) are appended to the graph
+    ///    ([`datalog_ground::SessionGrounder`]); retractions retire
+    ///    nothing — their stale instances die in the re-close;
+    /// 2. **cone re-close** — the `close` state is re-derived only over
+    ///    the mutation's forward cone
+    ///    ([`datalog_ground::Closer::reopen_cone`]), the rest is frozen;
+    /// 3. **condensation patch** — components intersecting the cone are
+    ///    re-condensed in place
+    ///    ([`datalog_ground::UnfoundedEngine::patch_cone`]); untouched
+    ///    branches keep their cached well-founded results.
+    ///
+    /// Mutations that move the universe of constants (or sessions
+    /// configured non-incremental / with `prune_decided` grounding) fall
+    /// back to a full re-prepare; either way the resulting state is
+    /// indistinguishable from a fresh [`Solver`] on the mutated database
+    /// (wf models, outcome sets, totality — see the differential
+    /// suites). A batch that nets out to no change returns an empty
+    /// delta without bumping the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Arity conflicts with the program or existing relations (nothing
+    /// is applied), and grounding-budget overflows (the session
+    /// re-prepares on the old database and reports the error).
+    pub fn apply(&mut self, mutations: Vec<Mutation>) -> Result<PrepareDelta, SolverError> {
+        // Net effect, last mutation per fact wins.
+        let mut staged: Vec<(GroundAtom, bool)> = Vec::new();
+        let mut staged_index: FxHashMap<GroundAtom, usize> = FxHashMap::default();
+        for m in &mutations {
+            let present = matches!(m, Mutation::Insert(_));
+            match staged_index.get(m.fact()) {
+                Some(&i) => staged[i].1 = present,
+                None => {
+                    staged_index.insert(m.fact().clone(), staged.len());
+                    staged.push((m.fact().clone(), present));
+                }
+            }
+        }
+        let mut inserts: Vec<GroundAtom> = Vec::new();
+        let mut retracts: Vec<GroundAtom> = Vec::new();
+        for (fact, present) in staged {
+            if self.database.contains(&fact) != present {
+                if present {
+                    inserts.push(fact);
+                } else {
+                    retracts.push(fact);
+                }
+            }
+        }
+        inserts.sort_unstable();
+        retracts.sort_unstable();
+        if inserts.is_empty() && retracts.is_empty() {
+            return Ok(PrepareDelta {
+                epoch: self.epoch,
+                branches_total: self.branch_count(),
+                residual_atoms: self.residual_atom_count(),
+                ..PrepareDelta::default()
+            });
+        }
+
+        // Validate arities up front so the database mutation cannot fail
+        // halfway: against the program signature, existing relations, and
+        // within the batch for brand-new predicates.
+        let mut batch_arity: FxHashMap<datalog_ast::PredSym, usize> = FxHashMap::default();
+        for fact in &inserts {
+            let expected = self
+                .program
+                .arity(fact.pred)
+                .or_else(|| self.database.relation(fact.pred).map(|r| r.arity()))
+                .or_else(|| batch_arity.get(&fact.pred).copied());
+            if let Some(expected) = expected {
+                if expected != fact.args.len() {
+                    return Err(SolverError::Semantics(SemanticsError::Ground(
+                        datalog_ground::GroundError::Validation(
+                            datalog_ast::ValidationError::ArityMismatch {
+                                pred: fact.pred,
+                                first: expected,
+                                second: fact.args.len(),
+                            },
+                        ),
+                    )));
+                }
+            } else {
+                batch_arity.insert(fact.pred, fact.args.len());
+            }
+        }
+
+        // Commit the database change and the universe refcounts.
+        for fact in &inserts {
+            self.database
+                .insert(fact.clone())
+                .expect("arities pre-validated");
+            for &c in fact.args.iter() {
+                *self.const_refs.entry(c).or_insert(0) += 1;
+            }
+        }
+        for fact in &retracts {
+            self.database.remove(fact);
+            for &c in fact.args.iter() {
+                if let Some(n) = self.const_refs.get_mut(&c) {
+                    *n = n.saturating_sub(1);
+                }
+            }
+        }
+
+        self.epoch += 1;
+        let mut delta = PrepareDelta {
+            epoch: self.epoch,
+            inserted: inserts.len(),
+            retracted: retracts.len(),
+            ..PrepareDelta::default()
+        };
+
+        // Incremental preconditions.
+        let mut rebuild_reason: Option<String> = None;
+        if !self.config.session.incremental {
+            rebuild_reason = Some("incremental serving disabled".to_owned());
+        } else if self.config.ground.prune_decided {
+            rebuild_reason = Some("prune_decided grounding prunes against M₀".to_owned());
+        } else {
+            for fact in &inserts {
+                if let Some(&c) = fact
+                    .args
+                    .iter()
+                    .find(|&&c| self.graph.atoms().const_index(c).is_none())
+                {
+                    rebuild_reason = Some(format!("constant {c} enters the universe"));
+                    break;
+                }
+            }
+            if rebuild_reason.is_none() {
+                for fact in &retracts {
+                    if let Some(&c) = fact.args.iter().find(|&&c| {
+                        self.const_refs.get(&c).copied().unwrap_or(0) == 0
+                            && !self.program_consts.contains(&c)
+                    }) {
+                        rebuild_reason = Some(format!("constant {c} leaves the universe"));
+                        break;
+                    }
+                }
+            }
+        }
+
+        if let Some(reason) = rebuild_reason {
+            self.rebuild_in_place()?;
+            self.finish_rebuild_delta(&mut delta, reason);
+            self.last_delta = Some(delta.clone());
+            return Ok(delta);
+        }
+
+        match self.apply_incremental(&inserts, &retracts, &mut delta) {
+            Ok(()) => {
+                self.last_delta = Some(delta.clone());
+                Ok(delta)
+            }
+            Err(e) => {
+                // The incremental splice failed midway (e.g. a budget
+                // overflow while extending the graph): recover by
+                // re-preparing on the mutated database so the session
+                // stays consistent either way.
+                match self.rebuild_in_place() {
+                    Ok(()) => {
+                        self.finish_rebuild_delta(
+                            &mut delta,
+                            format!("incremental path failed: {e}"),
+                        );
+                        self.last_delta = Some(delta.clone());
+                        Ok(delta)
+                    }
+                    Err(rebuild_err) => {
+                        // Even the fresh prepare fails on the mutated
+                        // database (the mutation busted a budget): undo
+                        // the database change, restore the old prepared
+                        // state, and surface the error.
+                        for fact in &inserts {
+                            self.database.remove(fact);
+                            for &c in fact.args.iter() {
+                                if let Some(n) = self.const_refs.get_mut(&c) {
+                                    *n = n.saturating_sub(1);
+                                }
+                            }
+                        }
+                        for fact in &retracts {
+                            self.database
+                                .insert(fact.clone())
+                                .expect("fact was present before");
+                            for &c in fact.args.iter() {
+                                *self.const_refs.entry(c).or_insert(0) += 1;
+                            }
+                        }
+                        self.epoch -= 1;
+                        self.rebuild_in_place()?;
+                        Err(SolverError::Semantics(rebuild_err))
+                    }
+                }
+            }
+        }
+    }
+
+    /// The incremental splice (see [`Solver::apply`]).
+    fn apply_incremental(
+        &mut self,
+        inserts: &[GroundAtom],
+        retracts: &[GroundAtom],
+        delta: &mut PrepareDelta,
+    ) -> Result<(), SemanticsError> {
+        // 1. Delta grounding (no-op in Full mode, whose graph is
+        //    universe-complete).
+        let dg = self.grounder.delta_insert(
+            &mut self.graph,
+            &self.program,
+            &self.config.ground,
+            inserts,
+        )?;
+        delta.new_atoms = dg.new_atoms;
+        delta.new_rules = dg.new_rules;
+        delta.delta_supportable = dg.delta_supportable;
+
+        let (atom_count, rule_count) = (self.graph.atom_count(), self.graph.rule_count());
+        self.m0.grow(atom_count);
+        self.base_model.grow(atom_count);
+        self.base_close.grow(atom_count, rule_count);
+
+        // 2. M₀ maintenance: fresh values for appended atoms, flips for
+        //    the mutated facts.
+        for i in dg.first_new_atom..atom_count {
+            let id = AtomId(i as u32);
+            let ga = self.graph.atoms().decode(id);
+            let value = if self.database.contains(&ga) {
+                TruthValue::True
+            } else if self.program.is_idb(ga.pred) {
+                TruthValue::Undefined
+            } else {
+                TruthValue::False
+            };
+            self.m0.set(id, value);
+        }
+        let mut seed_atoms: Vec<AtomId> = Vec::new();
+        for fact in inserts {
+            // Facts of predicates the program never mentions have no atom
+            // (and no semantic effect — the universe guard covered their
+            // constants).
+            if let Some(id) = self.graph.atoms().id_of(fact) {
+                self.m0.set(id, TruthValue::True);
+                seed_atoms.push(id);
+            }
+        }
+        for fact in retracts {
+            if let Some(id) = self.graph.atoms().id_of(fact) {
+                let value = if self.program.is_idb(fact.pred) {
+                    TruthValue::Undefined
+                } else {
+                    TruthValue::False
+                };
+                self.m0.set(id, value);
+                seed_atoms.push(id);
+            }
+        }
+
+        // 3. The forward cone: flipped atoms plus everything delta
+        //    grounding appended.
+        let new_atoms = (dg.first_new_atom..atom_count).map(|i| AtomId(i as u32));
+        let new_rules = (dg.first_new_rule..rule_count).map(|i| RuleId(i as u32));
+        let cone = self
+            .graph
+            .forward_cone(seed_atoms.into_iter().chain(new_atoms), new_rules);
+        delta.cone_atoms = cone.atoms.len();
+        delta.cone_rules = cone.rules.len();
+
+        // 4. Cone re-close against the frozen remainder.
+        let mut closer = Closer::from_state(&self.graph, &self.base_close);
+        closer.reopen_cone(&mut self.base_model, &self.m0, &cone);
+        closer.run(&mut self.base_model)?;
+        self.base_close = closer.snapshot();
+
+        // 5. Condensation patch + branch-cache carry-over: a branch
+        //    whose component list is unchanged keeps its cached state.
+        //    Component ids get recycled by the patch, so a branch
+        //    containing any *newly assigned* id is never carried — its
+        //    ids no longer denote what they did before the patch.
+        let old_groups: Vec<Vec<u32>> = (0..self.engine.group_count())
+            .map(|g| self.engine.group_components(g as u32).to_vec())
+            .collect();
+        let patch = self.engine.patch_cone(&closer, &cone);
+        drop(closer);
+        delta.components_removed = patch.retired;
+        delta.components_added = patch.added;
+        let reassigned: FxHashSet<u32> = patch.new_components.iter().copied().collect();
+
+        let old_cache = std::mem::take(
+            self.wf_cache
+                .get_mut()
+                .expect("no evaluation runs during mutation"),
+        );
+        let old_index: FxHashMap<&[u32], usize> = old_groups
+            .iter()
+            .enumerate()
+            .map(|(i, comps)| (comps.as_slice(), i))
+            .collect();
+        let branches = self.engine.group_count();
+        let mut new_cache: Vec<Option<Arc<BranchWf>>> = Vec::with_capacity(branches);
+        let mut invalidated = 0usize;
+        for g in 0..branches {
+            let comps = self.engine.group_components(g as u32);
+            let carried = comps.iter().all(|c| !reassigned.contains(c));
+            match old_index.get(comps).filter(|_| carried) {
+                Some(&old) => new_cache.push(old_cache[old].clone()),
+                None => {
+                    invalidated += 1;
+                    new_cache.push(None);
+                }
+            }
+        }
+        *self
+            .wf_cache
+            .get_mut()
+            .expect("no evaluation runs during mutation") = new_cache;
+        delta.branches_invalidated = invalidated;
+        delta.branches_total = branches;
+        delta.residual_atoms = self.base_close.alive_atom_count();
+        Ok(())
+    }
+
+    /// Re-prepares everything from the current (already mutated)
+    /// database.
+    fn rebuild_in_place(&mut self) -> Result<(), SemanticsError> {
+        let prepared = prepare(&self.program, &self.database, &self.config)?;
+        let branches = prepared.engine.group_count();
+        self.graph = prepared.graph;
+        self.grounder = prepared.grounder;
+        self.m0 = prepared.m0;
+        self.base_model = prepared.base_model;
+        self.base_close = prepared.base_close;
+        self.engine = prepared.engine;
+        *self
+            .wf_cache
+            .get_mut()
+            .expect("no evaluation runs during mutation") = vec![None; branches];
+        Ok(())
+    }
+
+    fn finish_rebuild_delta(&self, delta: &mut PrepareDelta, reason: String) {
+        delta.rebuilt = true;
+        delta.rebuild_reason = Some(reason);
+        delta.branches_total = self.branch_count();
+        delta.branches_invalidated = self.branch_count();
+        delta.residual_atoms = self.residual_atom_count();
+    }
+
     /// Algorithm Well-Founded against the prepared state, branches in
-    /// parallel. Identical model to `tiebreak_core`'s interpreters.
+    /// parallel (untouched branches replay their cached result after a
+    /// mutation). Identical model to `tiebreak_core`'s interpreters.
     ///
     /// # Errors
     ///
@@ -229,15 +687,33 @@ impl Solver {
     /// Explores every tie script of the chosen interpreter flavour
     /// (`pure` selects Pure Tie-Breaking; otherwise Well-Founded
     /// Tie-Breaking), forking each script copy-on-write off the shared
-    /// post-close snapshot. Identical outcome set to
+    /// post-close snapshot and farming the forks onto the worker pool.
+    /// Identical outcome set to
     /// `tiebreak_core::semantics::outcomes::all_outcomes`, but
-    /// O(close + scripts × residual) instead of O(scripts × close).
+    /// O(close + scripts × residual) instead of O(scripts × close), and
+    /// parallel across scripts (deterministic dedup and model order for
+    /// every thread count).
     ///
     /// # Errors
     ///
     /// As for [`Solver::well_founded`].
     pub fn all_outcomes(&self, pure: bool, max_runs: usize) -> Result<OutcomeSet, SemanticsError> {
         outcomes::all_outcomes(self, pure, max_runs)
+    }
+
+    /// Whether the session currently serves mutations incrementally.
+    pub fn is_incremental(&self) -> bool {
+        self.config.session.incremental && !self.config.ground.prune_decided
+    }
+
+    /// The size of the maintained supportable set (`Relevant` grounding;
+    /// 0 in `Full` mode where the graph is universe-complete).
+    pub fn supportable_len(&self) -> usize {
+        if self.grounder.mode() == GroundMode::Relevant {
+            self.grounder.supportable_len()
+        } else {
+            0
+        }
     }
 
     /// Decodes an interpreter run into sorted fact lists (the shared

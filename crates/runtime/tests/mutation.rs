@@ -1,0 +1,322 @@
+//! Session mutation semantics: epochs, [`PrepareDelta`] bookkeeping,
+//! rebuild fallbacks, and branch-cache invalidation.
+//!
+//! The cross-mode/cross-thread *exactness* sweeps (mutated solver ≡
+//! fresh solver after random churn) live in the root suite
+//! (`tests/session_mutation.rs`); here the API contract is pinned on
+//! hand-picked instances.
+
+use datalog_ast::{parse_database, parse_program, GroundAtom};
+use tiebreak_core::{EngineConfig, GroundMode, Mutation, RootTruePolicy, RuntimeConfig};
+use tiebreak_runtime::{uniform, Solver};
+
+fn solver(program: &str, db: &str, mode: GroundMode, threads: usize) -> Solver {
+    Solver::with_config(
+        parse_program(program).unwrap(),
+        parse_database(db).unwrap(),
+        EngineConfig::default()
+            .with_ground_mode(mode)
+            .with_runtime(RuntimeConfig::with_threads(threads)),
+    )
+    .unwrap()
+}
+
+fn fresh_like(solver: &Solver) -> Solver {
+    Solver::with_config(
+        solver.program().clone(),
+        solver.database().clone(),
+        *solver.config(),
+    )
+    .unwrap()
+}
+
+fn assert_matches_fresh(mutated: &Solver) {
+    let fresh = fresh_like(mutated);
+    let a = mutated.well_founded().unwrap();
+    let b = fresh.well_founded().unwrap();
+    assert_eq!(a.true_facts, b.true_facts, "wf true facts diverge");
+    assert_eq!(a.undefined, b.undefined, "wf undefined facts diverge");
+    assert_eq!(a.total, b.total, "totality diverges");
+}
+
+const WIN: &str = "win(X) :- move(X, Y), not win(Y).";
+
+#[test]
+fn epochs_and_deltas_track_mutations() {
+    let mut s = solver(
+        WIN,
+        "move(a, b). move(b, a). move(c, d). move(d, c).",
+        GroundMode::Relevant,
+        2,
+    );
+    assert_eq!(s.epoch(), 0);
+    assert!(s.last_delta().is_none());
+    assert_eq!(s.branch_count(), 2);
+
+    // Retract one pocket's back-edge: its branch collapses, the other
+    // survives untouched.
+    let delta = s
+        .retract_fact(GroundAtom::from_texts("move", &["b", "a"]))
+        .unwrap();
+    assert_eq!(s.epoch(), 1);
+    assert_eq!((delta.inserted, delta.retracted), (0, 1));
+    assert!(!delta.rebuilt, "in-universe retraction stays incremental");
+    assert!(delta.cone_atoms > 0 && delta.cone_rules > 0);
+    assert_eq!(delta.branches_total, 1, "the a/b pocket resolved");
+    assert!(delta.branches_invalidated <= 1, "c/d branch carried over");
+    assert_eq!(s.last_delta(), Some(&delta));
+    assert_matches_fresh(&s);
+
+    // Re-insert: the graph already holds the instance, so delta
+    // grounding appends nothing — pure model surgery.
+    let delta = s
+        .insert_fact(GroundAtom::from_texts("move", &["b", "a"]))
+        .unwrap();
+    assert_eq!(s.epoch(), 2);
+    assert!(!delta.rebuilt);
+    assert_eq!(delta.new_rules, 0, "stale instance reused");
+    assert_eq!(delta.branches_total, 2);
+    assert_matches_fresh(&s);
+}
+
+#[test]
+fn noop_batches_do_not_bump_the_epoch() {
+    let mut s = solver(WIN, "move(a, b).", GroundMode::Relevant, 1);
+    // Already present / already absent.
+    let d1 = s
+        .insert_fact(GroundAtom::from_texts("move", &["a", "b"]))
+        .unwrap();
+    let d2 = s
+        .retract_fact(GroundAtom::from_texts("move", &["x", "y"]))
+        .unwrap();
+    // Insert+retract of the same fact cancels.
+    let d3 = s
+        .apply(vec![
+            Mutation::Insert(GroundAtom::from_texts("move", &["b", "a"])),
+            Mutation::Retract(GroundAtom::from_texts("move", &["b", "a"])),
+        ])
+        .unwrap();
+    assert_eq!(s.epoch(), 0);
+    for d in [d1, d2, d3] {
+        assert_eq!((d.inserted, d.retracted), (0, 0));
+        assert!(!d.rebuilt);
+    }
+}
+
+#[test]
+fn new_constants_force_a_rebuild() {
+    for mode in [GroundMode::Full, GroundMode::Relevant] {
+        let mut s = solver(WIN, "move(a, b).", mode, 1);
+        let delta = s
+            .insert_fact(GroundAtom::from_texts("move", &["b", "zz"]))
+            .unwrap();
+        assert!(delta.rebuilt, "constant zz is outside the universe");
+        assert!(delta
+            .rebuild_reason
+            .as_deref()
+            .unwrap()
+            .contains("enters the universe"));
+        assert_matches_fresh(&s);
+
+        // Once rebuilt, zz is in the universe: further zz churn is
+        // incremental again.
+        let delta = s
+            .insert_fact(GroundAtom::from_texts("move", &["zz", "a"]))
+            .unwrap();
+        assert!(!delta.rebuilt, "{mode:?}");
+        assert_matches_fresh(&s);
+
+        // Retracting the last zz fact drops it from the universe.
+        let delta = s
+            .apply(vec![
+                Mutation::Retract(GroundAtom::from_texts("move", &["b", "zz"])),
+                Mutation::Retract(GroundAtom::from_texts("move", &["zz", "a"])),
+            ])
+            .unwrap();
+        assert!(delta.rebuilt);
+        assert!(delta
+            .rebuild_reason
+            .as_deref()
+            .unwrap()
+            .contains("leaves the universe"));
+        assert_matches_fresh(&s);
+    }
+}
+
+#[test]
+fn program_constants_never_leave_the_universe() {
+    // `a` also occurs in the program, so retracting its last fact keeps
+    // the universe intact — no rebuild.
+    let mut s = solver(
+        "p(a) :- e(a).\nq(X) :- e(X).",
+        "e(a).",
+        GroundMode::Relevant,
+        1,
+    );
+    let delta = s.retract_fact(GroundAtom::from_texts("e", &["a"])).unwrap();
+    assert!(!delta.rebuilt);
+    assert_matches_fresh(&s);
+}
+
+#[test]
+fn incremental_can_be_disabled() {
+    let mut s = Solver::with_config(
+        parse_program(WIN).unwrap(),
+        parse_database("move(a, b). move(b, a).").unwrap(),
+        EngineConfig::default().with_incremental(false),
+    )
+    .unwrap();
+    assert!(!s.is_incremental());
+    let delta = s
+        .insert_fact(GroundAtom::from_texts("move", &["a", "a"]))
+        .unwrap();
+    assert!(delta.rebuilt);
+    assert_eq!(
+        delta.rebuild_reason.as_deref(),
+        Some("incremental serving disabled")
+    );
+    assert_matches_fresh(&s);
+}
+
+#[test]
+fn arity_conflicts_reject_the_whole_batch() {
+    let mut s = solver(WIN, "move(a, b).", GroundMode::Relevant, 1);
+    let err = s.apply(vec![
+        Mutation::Insert(GroundAtom::from_texts("move", &["a", "b", "c"])),
+        Mutation::Insert(GroundAtom::from_texts("move", &["b", "a"])),
+    ]);
+    assert!(err.is_err(), "arity mismatch with the program signature");
+    assert_eq!(s.epoch(), 0, "nothing applied");
+    assert!(!s
+        .database()
+        .contains(&GroundAtom::from_texts("move", &["b", "a"])));
+}
+
+#[test]
+fn delta_grounding_appends_supportable_instances() {
+    let mut s = solver(
+        WIN,
+        "move(a, b). move(b, c). move(c, a).",
+        GroundMode::Relevant,
+        1,
+    );
+    let rules0 = s.graph().rule_count();
+    let delta = s
+        .insert_fact(GroundAtom::from_texts("move", &["c", "b"]))
+        .unwrap();
+    assert!(!delta.rebuilt);
+    assert_eq!(delta.new_rules, 1, "one newly supportable instance");
+    assert!(delta.delta_supportable >= 1);
+    assert_eq!(s.graph().rule_count(), rules0 + 1);
+    assert_matches_fresh(&s);
+}
+
+#[test]
+fn guarded_positive_cycles_resurrect_exactly() {
+    // The p/q cycle turns supportable only when e arrives (the scoped
+    // gfp refresh), and pure tie-breaking can then break it — a fresh
+    // solver and the mutated one must agree on the whole outcome set.
+    for mode in [GroundMode::Full, GroundMode::Relevant] {
+        let mut s = solver("p :- q, e.\nq :- p.", "", mode, 1);
+        s.insert_fact(GroundAtom::from_texts("e", &[])).unwrap();
+        assert_matches_fresh(&s);
+        let fresh = fresh_like(&s);
+        for pure in [false, true] {
+            let a = s.all_outcomes(pure, 256).unwrap();
+            let b = fresh.all_outcomes(pure, 256).unwrap();
+            assert_eq!(a.models.len(), b.models.len(), "{mode:?} pure={pure}");
+        }
+    }
+}
+
+#[test]
+fn wf_cache_replays_untouched_branches() {
+    let mut s = solver(
+        WIN,
+        "move(a, b). move(b, a). move(c, d). move(d, c). move(e, f). move(f, e).",
+        GroundMode::Relevant,
+        2,
+    );
+    assert_eq!(s.branch_count(), 3);
+    let first = s.well_founded().unwrap();
+    assert_eq!(first.stats.branches_reused, 0, "cold cache");
+    let again = s.well_founded().unwrap();
+    assert_eq!(again.stats.branches_reused, 3, "everything replays");
+    assert_eq!(again.true_facts, first.true_facts);
+    assert_eq!(again.undefined, first.undefined);
+    // Aggregate counters are identical whether replayed or recomputed.
+    assert_eq!(again.stats.close_rounds, first.stats.close_rounds);
+    assert_eq!(again.stats.unfounded_rounds, first.stats.unfounded_rounds);
+    assert_eq!(
+        again.stats.components_processed,
+        first.stats.components_processed
+    );
+
+    // Mutating one pocket invalidates only its branch.
+    s.retract_fact(GroundAtom::from_texts("move", &["d", "c"]))
+        .unwrap();
+    let after = s.well_founded().unwrap();
+    assert_eq!(after.stats.branches_reused, 2, "two branches replayed");
+    assert_matches_fresh(&s);
+}
+
+#[test]
+fn killed_delta_rules_never_replay_as_fired() {
+    // Regression: a rule instance appended by delta grounding in epoch 1
+    // (h(c) :- e(c), not b(c)) is killed during the cone re-close —
+    // b(c) is true on the frozen boundary. Its grown placeholder
+    // pending count was 0; if the kill leaves it there, epoch 2 (whose
+    // cone contains h(c) but not that dead rule) misreads it as *fired*
+    // and forces h(c) true. A fresh solver on the final database says
+    // false.
+    for mode in [GroundMode::Full, GroundMode::Relevant] {
+        let mut s = solver(
+            "h(X) :- e(X), not b(X).\nh(X) :- f(X), not g(X).",
+            "b(c). g(c).",
+            mode,
+            1,
+        );
+        s.insert_fact(GroundAtom::from_texts("e", &["c"])).unwrap();
+        assert_matches_fresh(&s);
+        s.insert_fact(GroundAtom::from_texts("f", &["c"])).unwrap();
+        assert_matches_fresh(&s);
+        let wf = s.well_founded().unwrap();
+        assert!(
+            !wf.true_facts.iter().any(|f| f.to_string() == "h(c)"),
+            "{mode:?}: killed rule replayed as fired"
+        );
+    }
+}
+
+#[test]
+fn mutation_sequences_stay_exact_across_thread_counts() {
+    let script = [
+        Mutation::Retract(GroundAtom::from_texts("move", &["b", "a"])),
+        Mutation::Insert(GroundAtom::from_texts("move", &["c", "c"])),
+        Mutation::Insert(GroundAtom::from_texts("move", &["b", "a"])),
+        Mutation::Retract(GroundAtom::from_texts("move", &["a", "b"])),
+        Mutation::Insert(GroundAtom::from_texts("move", &["d", "a"])),
+    ];
+    for mode in [GroundMode::Full, GroundMode::Relevant] {
+        for threads in [1usize, 4] {
+            let mut s = solver(
+                WIN,
+                "move(a, b). move(b, a). move(c, d). move(d, c).",
+                mode,
+                threads,
+            );
+            for m in &script {
+                s.apply(vec![m.clone()]).unwrap();
+                assert_matches_fresh(&s);
+                let fresh = fresh_like(&s);
+                let a = s
+                    .well_founded_tie_breaking(&uniform(RootTruePolicy))
+                    .unwrap();
+                let b = fresh
+                    .well_founded_tie_breaking(&uniform(RootTruePolicy))
+                    .unwrap();
+                assert_eq!(a.true_facts, b.true_facts, "{mode:?} t={threads}");
+            }
+        }
+    }
+}

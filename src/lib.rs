@@ -63,6 +63,9 @@ pub mod prelude {
         well_founded_tie_breaking, well_founded_tie_breaking_stratified, RandomPolicy,
         RootFalsePolicy, RootTruePolicy, ScriptedPolicy, TiePolicy,
     };
-    pub use tiebreak_core::{Engine, EngineConfig, EvalMode, EvalOptions, RuntimeConfig};
+    pub use tiebreak_core::{
+        Engine, EngineConfig, EvalMode, EvalOptions, Mutation, PrepareDelta, RuntimeConfig,
+        SessionConfig,
+    };
     pub use tiebreak_runtime::{uniform, PolicyFactory, Solver};
 }
