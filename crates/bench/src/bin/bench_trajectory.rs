@@ -13,6 +13,9 @@
 //!   condensation patch) must be ≥ 3× faster than full re-preparation
 //!   on the small-cone churn workload (n = 4096 tie chain, source-pocket
 //!   edge flapping);
+//! * the serving tier's shared-LRU registry must be ≥ 3× faster than a
+//!   per-request full re-prepare over 8 repeated opens of one
+//!   program+db key;
 //! * on a wide tie forest (64 independent branches) evaluation at
 //!   `threads = 4` must be ≥ 2× faster than `threads = 1` when the
 //!   machine has ≥ 4 cores (≥ 1.2× on 2–3 cores; the gate is skipped —
@@ -51,6 +54,9 @@ const RUNS: usize = 3;
 /// Tie-chain sizes for the session-churn workload; the churn gate reads
 /// its `n` from the maximum, so entries and gate stay coupled.
 const CHURN_SIZES: &[usize] = &[1024, 4096];
+
+/// Tie-chain size for the serving-tier LRU workload (and its gate).
+const SERVER_LRU_N: usize = 2048;
 
 struct Entry {
     bench: &'static str,
@@ -332,6 +338,79 @@ fn session_churn_entries(entries: &mut Vec<Entry>, sizes: &[usize], churn: usize
     }
 }
 
+/// The serving-tier workload: `OPENS_PER_KEY` requests for the *same*
+/// program + database key, served (a) from the shared LRU registry —
+/// one prepare, then registry hits — and (b) by re-preparing a fresh
+/// solver per request, which is what every request costs without the
+/// serving tier. Each open also answers one query so the entries time
+/// serving, not just registry bookkeeping. The registry is rebuilt
+/// inside the timed closure, so the LRU side honestly pays its one
+/// cold-start miss.
+fn server_lru_entries(entries: &mut Vec<Entry>, n: usize, opens: usize) {
+    use tiebreak_server::{RegistryConfig, SessionRegistry};
+
+    let program_src = "win(X) :- move(X, Y), not win(Y).";
+    let db_src = {
+        let db = generators::tie_chain_move_db(n);
+        let mut src = String::new();
+        for fact in db.facts() {
+            let _ = writeln!(src, "{fact}.");
+        }
+        src
+    };
+    let query = "? win(a0)\n";
+    let run_script = |session: &mut tiebreak_server::ScriptSession| {
+        let mut out = Vec::new();
+        session
+            .process_line(1, query, &mut out)
+            .expect("query runs");
+        assert!(!out.is_empty(), "query answered");
+    };
+
+    let (wall_ms, (atoms, rules)) = best_of(|| {
+        let registry = SessionRegistry::new(RegistryConfig::default());
+        let mut shape = (0, 0);
+        for _ in 0..opens {
+            let opened = registry.open(program_src, &db_src).expect("opens");
+            let mut session = opened.entry.lock();
+            run_script(&mut session);
+            let fp = session.solver().footprint();
+            shape = (fp.atoms, fp.rules);
+        }
+        shape
+    });
+    entries.push(Entry {
+        bench: "server_lru",
+        n,
+        mode: "lru".to_owned(),
+        wall_ms,
+        atoms,
+        rules,
+        stats: RunStats::default(),
+    });
+
+    let (wall_ms, (atoms, rules)) = best_of(|| {
+        let mut shape = (0, 0);
+        for _ in 0..opens {
+            let solver = Solver::from_sources(program_src, &db_src).expect("prepares");
+            let mut session = tiebreak_server::ScriptSession::new(solver, false);
+            run_script(&mut session);
+            let fp = session.solver().footprint();
+            shape = (fp.atoms, fp.rules);
+        }
+        shape
+    });
+    entries.push(Entry {
+        bench: "server_lru",
+        n,
+        mode: "reprepare".to_owned(),
+        wall_ms,
+        atoms,
+        rules,
+        stats: RunStats::default(),
+    });
+}
+
 struct Gate {
     name: String,
     pass: bool,
@@ -415,6 +494,20 @@ fn gates(entries: &[Entry], sizes: &[usize], forest_chains: usize, scripts: usiz
         detail: format!(
             "speedup {:.1}x (incremental {incremental:.3}ms, reprepare {reprepare:.3}ms)",
             reprepare / incremental.max(f64::MIN_POSITIVE)
+        ),
+    });
+
+    // Serving tier: repeated opens of one program+db key through the
+    // shared LRU (one prepare + hits) vs a fresh prepare per request.
+    // Single-threaded, same-process ratio.
+    let reprepare = wall_of(entries, "server_lru", SERVER_LRU_N, "reprepare");
+    let lru = wall_of(entries, "server_lru", SERVER_LRU_N, "lru");
+    gates.push(Gate {
+        name: format!("server_lru_3x_n{SERVER_LRU_N}"),
+        pass: lru * 3.0 <= reprepare,
+        detail: format!(
+            "speedup {:.1}x (lru {lru:.3}ms, reprepare {reprepare:.3}ms)",
+            reprepare / lru.max(f64::MIN_POSITIVE)
         ),
     });
     gates
@@ -577,6 +670,7 @@ fn main() {
     runtime_forest_entries(&mut entries, forest_chains, 8);
     outcomes_cow_entries(&mut entries, 4096, 6); // 2^6 = 64 scripts
     session_churn_entries(&mut entries, CHURN_SIZES, 8);
+    server_lru_entries(&mut entries, SERVER_LRU_N, 8);
 
     let gates = gates(&entries, &tie_sizes, forest_chains, cow_scripts);
     let json = to_json(&sha, &entries, &gates, &baseline);

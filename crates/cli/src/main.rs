@@ -13,6 +13,10 @@
 //! datalog totality <program.dl> [--nonuniform]          (propositional only)
 //! datalog session  <program.dl> [database.dl] [--script FILE] [--semantics tb|pure-tb]
 //!                  [--threads N]
+//! datalog serve    [--addr HOST:PORT] [--semantics tb|pure-tb] [--threads N]
+//!                  [--max-sessions N] [--max-resident-atoms N]
+//! datalog client   <program.dl> [database.dl] --addr HOST:PORT [--script FILE]
+//! datalog client   --addr HOST:PORT --shutdown
 //! ```
 //!
 //! `session` holds **one long-lived solver** and streams a mutation
@@ -23,6 +27,18 @@
 //! `? stats` reports the session state. Every applied batch prints a
 //! `% epoch …` line describing the incremental work (cone size, delta
 //! grounding, branch invalidation) or the re-prepare fallback.
+//! Malformed lines do **not** tear the session down: the error is
+//! reported as `! line N: …`, the staged-but-unapplied batch is
+//! discarded, and processing continues; the exit status reports whether
+//! any line failed.
+//!
+//! `serve` exposes the same session machinery over TCP: a long-lived
+//! process managing many prepared sessions behind an LRU keyed by
+//! program + database source, so repeated opens of the same pair skip
+//! the ground → close → condense preparation entirely. `client` drives
+//! a served session with the same script language (and `--shutdown`
+//! stops the server). See the `tiebreak-server` crate docs for the wire
+//! protocol.
 //!
 //! Every command that grounds accepts `--ground-mode full|relevant`:
 //! `relevant` (the production default) builds the join-based relevant
@@ -58,6 +74,7 @@ use tiebreak_core::engine::EvalOutcome;
 use tiebreak_core::semantics::{RandomPolicy, RootFalsePolicy, RootTruePolicy, TiePolicy};
 use tiebreak_core::{Engine, EngineConfig, EvalMode, GroundMode, RuntimeConfig};
 use tiebreak_runtime::{uniform, PolicyFactory, Solver};
+use tiebreak_server::{Client, LineOutcome, RegistryConfig, ScriptSession, Server, ServerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,7 +88,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  datalog analyze <program.dl>\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N] [--threads N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb] [--threads N]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N] [--threads N]\n  datalog totality <program.dl> [--nonuniform]\n  datalog session <program.dl> [db.dl] [--script FILE] [--semantics tb|pure-tb] [--threads N]\n\nGrounding commands also accept --ground-mode full|relevant (default: relevant).\nEvaluating commands also accept --eval-mode global|stratified (default: stratified).\n--threads N (N >= 1) routes run/outcomes/explain through the parallel session\nruntime; omit the flag for automatic selection via TIEBREAK_THREADS or the\nmachine's parallelism.\nsession scripts: '+fact.' insert, '-fact.' retract, '? wf', '?fact.',\n'? outcomes [N]', '? stats', '#' comments; reads stdin without --script."
+    "usage:\n  datalog analyze <program.dl>\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N] [--threads N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb] [--threads N]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N] [--threads N]\n  datalog totality <program.dl> [--nonuniform]\n  datalog session <program.dl> [db.dl] [--script FILE] [--semantics tb|pure-tb] [--threads N]\n  datalog serve [--addr HOST:PORT] [--semantics tb|pure-tb] [--threads N] [--max-sessions N] [--max-resident-atoms N]\n  datalog client <program.dl> [db.dl] --addr HOST:PORT [--script FILE]\n  datalog client --addr HOST:PORT --shutdown\n\nGrounding commands also accept --ground-mode full|relevant (default: relevant).\nEvaluating commands also accept --eval-mode global|stratified (default: stratified).\n--threads N (N >= 1) routes run/outcomes/explain through the parallel session\nruntime; omit the flag for automatic selection via TIEBREAK_THREADS or the\nmachine's parallelism.\nsession scripts: '+fact.' insert, '-fact.' retract, '? wf', '?fact.',\n'? outcomes [N]', '? stats', '#' comments; reads stdin without --script.\nserve listens for client connections and keeps prepared sessions resident\nbehind an LRU; client opens (or reuses) a server-side session and streams a\nscript against it."
         .to_owned()
 }
 
@@ -88,6 +105,10 @@ struct Options {
     eval_mode: EvalMode,
     threads: Option<usize>,
     script: Option<String>,
+    addr: Option<String>,
+    max_sessions: usize,
+    max_resident_atoms: u64,
+    shutdown: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -104,6 +125,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         eval_mode: EvalMode::Stratified,
         threads: None,
         script: None,
+        addr: None,
+        max_sessions: 0,
+        max_resident_atoms: 0,
+        shutdown: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -167,6 +192,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--script" => {
                 opts.script = Some(it.next().ok_or("--script needs a file path")?.clone());
             }
+            "--addr" => {
+                opts.addr = Some(it.next().ok_or("--addr needs HOST:PORT")?.clone());
+            }
+            "--max-sessions" => {
+                opts.max_sessions = it
+                    .next()
+                    .ok_or("--max-sessions needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad session cap: {e}"))?;
+            }
+            "--max-resident-atoms" => {
+                opts.max_resident_atoms = it
+                    .next()
+                    .ok_or("--max-resident-atoms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad resident-atom budget: {e}"))?;
+            }
+            "--shutdown" => opts.shutdown = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -494,12 +537,12 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "session" => {
-            let mut solver = load_solver(&opts)?;
+            let solver = load_solver(&opts)?;
             match &opts.script {
                 Some(path) => {
                     let script = std::fs::read_to_string(path)
                         .map_err(|e| format!("cannot read {path}: {e}"))?;
-                    run_session_lines(&mut solver, script.lines().map(|l| Ok(l.to_owned())), &opts)
+                    run_session_lines(solver, script.lines().map(|l| Ok(l.to_owned())), &opts)
                 }
                 None => {
                     // Line-streamed so the session can be driven
@@ -509,7 +552,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     use std::io::BufRead as _;
                     let stdin = std::io::stdin();
                     run_session_lines(
-                        &mut solver,
+                        solver,
                         stdin
                             .lock()
                             .lines()
@@ -519,145 +562,150 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
             }
         }
+        "serve" => run_serve(&opts),
+        "client" => run_client(&opts),
         other => Err(format!("unknown command {other}\n{}", usage())),
     }
 }
 
-/// Parses one `pred(c1, …).` line of a session script (the trailing dot
-/// is optional).
-fn parse_session_fact(src: &str, lineno: usize) -> Result<datalog_ast::GroundAtom, String> {
-    let src = src.trim();
-    let src = src.strip_suffix('.').unwrap_or(src).trim();
-    let db = datalog_ast::parse_database(&format!("{src}."))
-        .map_err(|e| format!("line {}: bad fact {src:?}: {e}", lineno + 1))?;
-    let mut facts: Vec<datalog_ast::GroundAtom> = db.facts().collect();
-    if facts.len() != 1 {
-        return Err(format!(
-            "line {}: expected exactly one ground fact",
-            lineno + 1
-        ));
-    }
-    Ok(facts.pop().expect("one fact"))
-}
-
-/// One line summarizing what a mutation batch did to the prepared state.
-fn describe_delta(delta: &tiebreak_core::PrepareDelta) -> String {
-    if delta.rebuilt {
-        format!(
-            "% epoch {}: +{} -{} | re-prepared ({})",
-            delta.epoch,
-            delta.inserted,
-            delta.retracted,
-            delta.rebuild_reason.as_deref().unwrap_or("unspecified"),
-        )
-    } else {
-        format!(
-            "% epoch {}: +{} -{} | cone {} atoms / {} rules | grounded +{} atoms +{} rules | \
-             branches {}/{} invalidated | residual {}",
-            delta.epoch,
-            delta.inserted,
-            delta.retracted,
-            delta.cone_atoms,
-            delta.cone_rules,
-            delta.new_atoms,
-            delta.new_rules,
-            delta.branches_invalidated,
-            delta.branches_total,
-            delta.residual_atoms,
-        )
-    }
-}
-
-/// Streams mutation-script lines against one long-lived [`Solver`],
-/// flushing stdout after every processed line so a pipe driver gets
-/// each answer before the next read blocks.
+/// Streams mutation-script lines against one long-lived [`Solver`]
+/// through the shared [`ScriptSession`] interpreter, flushing stdout
+/// after every processed line so a pipe driver gets each answer before
+/// the next read blocks.
+///
+/// A malformed line does not tear the session down: the interpreter
+/// reports `! line N: …` on stdout, discards the staged batch, and
+/// keeps going. The exit status still reflects whether anything failed.
 fn run_session_lines(
-    solver: &mut Solver,
+    solver: Solver,
     lines: impl Iterator<Item = Result<String, String>>,
     opts: &Options,
 ) -> Result<(), String> {
     use std::io::Write as _;
-    use tiebreak_core::Mutation;
 
-    let mut staged: Vec<Mutation> = Vec::new();
-    let flush = |solver: &mut Solver, staged: &mut Vec<Mutation>| -> Result<(), String> {
-        if staged.is_empty() {
-            return Ok(());
-        }
-        let delta = solver
-            .apply(std::mem::take(staged))
-            .map_err(|e| e.to_string())?;
-        println!("{}", describe_delta(&delta));
-        Ok(())
-    };
-
-    for (lineno, raw) in lines.enumerate() {
-        let raw = raw?;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix('+') {
-            staged.push(Mutation::Insert(parse_session_fact(rest, lineno)?));
-        } else if let Some(rest) = line.strip_prefix('-') {
-            staged.push(Mutation::Retract(parse_session_fact(rest, lineno)?));
-        } else if let Some(rest) = line.strip_prefix('?') {
-            flush(solver, &mut staged)?;
-            let query = rest.trim();
-            if query == "wf" {
-                let outcome = solver.well_founded().map_err(|e| e.to_string())?;
-                for fact in &outcome.true_facts {
-                    println!("{fact}.");
-                }
-                if !outcome.total {
-                    println!(
-                        "% partial model: {} atoms left undefined",
-                        outcome.undefined.len()
-                    );
-                }
-            } else if query == "stats" {
-                println!(
-                    "% epoch {} | {} branches | {} components | {} residual atoms | db {} facts",
-                    solver.epoch(),
-                    solver.branch_count(),
-                    solver.component_count(),
-                    solver.residual_atom_count(),
-                    solver.database().len(),
-                );
-                if let Some(delta) = solver.last_delta() {
-                    println!("{}", describe_delta(delta));
-                }
-            } else if let Some(limit) = query.strip_prefix("outcomes") {
-                let limit = limit.trim();
-                let max_runs = if limit.is_empty() {
-                    256
-                } else {
-                    limit
-                        .parse()
-                        .map_err(|e| format!("line {}: bad outcome limit: {e}", lineno + 1))?
-                };
-                let pure = opts.semantics == "pure-tb";
-                let set = solver
-                    .all_outcomes(pure, max_runs)
-                    .map_err(|e| e.to_string())?;
-                print_outcomes(&set, solver.graph().atoms());
-            } else {
-                let fact = parse_session_fact(query, lineno)?;
-                let run = solver.well_founded_run().map_err(|e| e.to_string())?;
-                match solver.graph().atoms().id_of(&fact) {
-                    Some(id) => println!("{fact}: {}", run.model.get(id)),
-                    None => println!("{fact}: false (not in the ground atom space)"),
-                }
-            }
-        } else {
-            return Err(format!(
-                "line {}: expected '+fact.', '-fact.', or '?query', got {line:?}",
-                lineno + 1
-            ));
-        }
-        std::io::stdout().flush().ok();
+    // Surface the thread-resolution diagnostic (e.g. an unusable
+    // TIEBREAK_THREADS) once per session, on stderr like every other
+    // CLI diagnostic.
+    if let Some(diag) = solver.thread_diagnostic() {
+        eprintln!("{diag}");
     }
-    flush(solver, &mut staged)
+    let mut session = ScriptSession::new(solver, opts.semantics == "pure-tb");
+    let mut stdout = std::io::stdout();
+    let mut errors = 0usize;
+    let mut first_error: Option<usize> = None;
+    for (idx, raw) in lines.enumerate() {
+        let raw = raw?;
+        let lineno = idx + 1;
+        let outcome = session
+            .process_line(lineno, &raw, &mut stdout)
+            .map_err(|e| format!("cannot write stdout: {e}"))?;
+        if outcome == LineOutcome::Error {
+            errors += 1;
+            first_error.get_or_insert(lineno);
+        }
+        stdout.flush().ok();
+    }
+    if session
+        .finish(&mut stdout)
+        .map_err(|e| format!("cannot write stdout: {e}"))?
+        == LineOutcome::Error
+    {
+        errors += 1;
+    }
+    stdout.flush().ok();
+    match (errors, first_error) {
+        (0, _) => Ok(()),
+        (n, Some(line)) => Err(format!(
+            "session completed with {n} script error(s), first at line {line}"
+        )),
+        (n, None) => Err(format!(
+            "session completed with {n} script error(s) in the final batch"
+        )),
+    }
+}
+
+/// `datalog serve`: a long-lived multi-session server over the LRU
+/// session registry.
+fn run_serve(opts: &Options) -> Result<(), String> {
+    use std::io::Write as _;
+
+    let addr = opts.addr.as_deref().unwrap_or("127.0.0.1:4545");
+    let mut registry = RegistryConfig {
+        engine: engine_config(opts),
+        pure: opts.semantics == "pure-tb",
+        ..RegistryConfig::default()
+    };
+    if opts.max_sessions > 0 {
+        registry.max_sessions = opts.max_sessions;
+    }
+    if opts.max_resident_atoms > 0 {
+        registry.max_resident_atoms = opts.max_resident_atoms;
+    }
+    let server = Server::bind(
+        addr,
+        ServerConfig {
+            registry,
+            max_frame_bytes: 0,
+        },
+    )
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "listening on {}",
+        server.local_addr().map_err(|e| e.to_string())?
+    );
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// `datalog client`: opens (or reuses) a server-side session and
+/// streams a script against it; `--shutdown` stops the server instead.
+fn run_client(opts: &Options) -> Result<(), String> {
+    let addr = opts
+        .addr
+        .as_deref()
+        .ok_or("client needs --addr HOST:PORT")?;
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if opts.shutdown {
+        let response = client.shutdown().map_err(|e| e.to_string())?;
+        println!("% {}", response.status);
+        return Ok(());
+    }
+    let (program_src, db_src) = load_sources(opts)?;
+    let response = client
+        .open(&program_src, &db_src)
+        .map_err(|e| e.to_string())?;
+    println!("% {}", response.status);
+    // The body carries server-side diagnostics (e.g. the
+    // TIEBREAK_THREADS fallback warning) — show them.
+    if !response.body.is_empty() {
+        println!("{}", response.body);
+    }
+    let script = match &opts.script {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+        None => {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+    };
+    let response = client.script(&script).map_err(|e| e.to_string())?;
+    print!("{}", response.body);
+    let _ = client.bye();
+    let errors: usize = response
+        .status
+        .strip_prefix("errors=")
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if errors > 0 {
+        return Err(format!("server reported {errors} script error(s)"));
+    }
+    Ok(())
 }
 
 /// Prints an outcome set in the shared `outcomes` format.
@@ -665,25 +713,8 @@ fn print_outcomes(
     set: &tiebreak_core::semantics::outcomes::OutcomeSet,
     atoms: &datalog_ground::AtomTable,
 ) {
-    println!(
-        "% {} distinct outcome(s) over {} run(s){}",
-        set.models.len(),
-        set.runs,
-        if set.truncated { " (truncated)" } else { "" }
-    );
-    for (i, model) in set.models.iter().enumerate() {
-        let facts: Vec<String> = model
-            .true_atoms(atoms)
-            .iter()
-            .map(|f| f.to_string())
-            .collect();
-        println!(
-            "% outcome {} ({}): {{{}}}",
-            i + 1,
-            if model.is_total() { "total" } else { "partial" },
-            facts.join(", ")
-        );
-    }
+    let mut stdout = std::io::stdout();
+    tiebreak_server::script::write_outcomes(&mut stdout, set, atoms).expect("stdout");
 }
 
 /// Justifies and renders one atom against a computed model.

@@ -62,31 +62,45 @@ impl RuntimeConfig {
     /// `TIEBREAK_THREADS` environment variable, else available
     /// parallelism (at least 1).
     ///
-    /// A set-but-unusable `TIEBREAK_THREADS` (non-numeric, or `0`) is a
-    /// configuration mistake, not a request for the default: it prints a
-    /// one-time diagnostic to stderr and then falls back to the
-    /// machine's parallelism instead of silently ignoring the variable.
+    /// Resolution is silent; a set-but-unusable `TIEBREAK_THREADS` falls
+    /// back to the machine's parallelism and the misconfiguration is
+    /// reported by [`RuntimeConfig::threads_diagnostic`], which each
+    /// front-end surfaces in its own channel (CLI stderr, one line per
+    /// session start; the network server in every `open` response) — a
+    /// long-lived server must warn *every* misconfigured session, not
+    /// just the first one a process-global `Once` would cover.
     pub fn resolved_threads(&self) -> usize {
+        self.resolve_threads().0
+    }
+
+    /// The diagnostic for a set-but-unusable `TIEBREAK_THREADS`
+    /// (non-numeric, or `0`): a configuration mistake, not a request for
+    /// the default. `None` when the variable is absent, usable, or
+    /// overridden by an explicit [`RuntimeConfig::threads`].
+    pub fn threads_diagnostic(&self) -> Option<String> {
+        self.resolve_threads().1
+    }
+
+    fn resolve_threads(&self) -> (usize, Option<String>) {
         if self.threads > 0 {
-            return self.threads;
+            return (self.threads, None);
         }
+        let mut diagnostic = None;
         if let Ok(raw) = std::env::var("TIEBREAK_THREADS") {
             match raw.trim().parse::<usize>() {
-                Ok(n) if n > 0 => return n,
+                Ok(n) if n > 0 => return (n, None),
                 _ => {
-                    static WARNED: std::sync::Once = std::sync::Once::new();
-                    WARNED.call_once(|| {
-                        eprintln!(
-                            "warning: TIEBREAK_THREADS={raw:?} is not a positive integer; \
-                             falling back to the machine's available parallelism"
-                        );
-                    });
+                    diagnostic = Some(format!(
+                        "warning: TIEBREAK_THREADS={raw:?} is not a positive integer; \
+                         falling back to the machine's available parallelism"
+                    ));
                 }
             }
         }
-        std::thread::available_parallelism()
+        let threads = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+            .unwrap_or(1);
+        (threads, diagnostic)
     }
 }
 
@@ -681,6 +695,10 @@ mod tests {
         // at least one worker whatever the environment says.
         assert_eq!(RuntimeConfig::with_threads(3).resolved_threads(), 3);
         assert!(RuntimeConfig::default().resolved_threads() >= 1);
+        // An explicit count never warns — the env var is not consulted.
+        // (The unusable-env diagnostic itself is pinned by the CLI and
+        // server suites, which control the variable per subprocess.)
+        assert_eq!(RuntimeConfig::with_threads(3).threads_diagnostic(), None);
     }
 
     #[test]

@@ -63,6 +63,21 @@ pub struct Cone {
     pub rule_in: Vec<bool>,
 }
 
+/// Resident-size accounting for one prepared [`GroundGraph`] — what a
+/// serving tier's admission control and LRU eviction budget against.
+/// See [`GroundGraph::footprint`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphFootprint {
+    /// Atom (predicate) nodes.
+    pub atoms: usize,
+    /// Rule nodes.
+    pub rules: usize,
+    /// Graph edges (head + body).
+    pub edges: usize,
+    /// Approximate resident bytes of the graph's dominant allocations.
+    pub approx_bytes: usize,
+}
+
 /// The ground graph: atoms (via the table) plus rule nodes and their
 /// incidence lists.
 #[derive(Clone, Debug)]
@@ -134,6 +149,30 @@ impl GroundGraph {
     /// Total number of edges (head edges + body edges).
     pub fn edge_count(&self) -> usize {
         self.rules.len() + self.rules.iter().map(|r| r.body.len()).sum::<usize>()
+    }
+
+    /// The graph's resident-size accounting: node/edge counts plus an
+    /// approximate byte estimate of the dominant allocations (rule
+    /// bodies and substitutions, incidence lists, atom-table spines).
+    ///
+    /// This is the unit a serving tier budgets prepared sessions in —
+    /// the same graph the ground budgets ([`crate::GroundConfig`]) cap
+    /// at build time, re-measured as delta grounding grows it.
+    pub fn footprint(&self) -> GraphFootprint {
+        let atoms = self.atom_count();
+        let rules = self.rule_count();
+        let edges = self.edge_count();
+        let subst_consts: usize = self.rules.iter().map(|r| r.subst.len()).sum();
+        // Per atom: decode entry + index slot + two adjacency spines.
+        // Per rule: the GroundRule header + two boxed-slice headers.
+        // Per edge: a body slot plus its incidence-list mirror.
+        let approx_bytes = atoms * 64 + rules * 72 + edges * 16 + subst_consts * 4;
+        GraphFootprint {
+            atoms,
+            rules,
+            edges,
+            approx_bytes,
+        }
     }
 
     /// Interns a new atom into a sparse table (see

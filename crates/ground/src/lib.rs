@@ -51,7 +51,7 @@ pub mod unfounded;
 pub use atoms::{AtomId, AtomInterner, AtomSpaceOverflow, AtomTable};
 pub use close::{CloseConflict, CloseState, Closer, NodeKind, RemainingGraph};
 pub use delta::{DeltaGround, SessionGrounder};
-pub use graph::{Cone, GroundGraph, GroundRule, RuleId};
+pub use graph::{Cone, GraphFootprint, GroundGraph, GroundRule, RuleId};
 pub use grounder::{ground, GroundConfig, GroundError, GroundMode};
 pub use model::{PartialModel, TruthValue};
 pub use reference::{naive_close, naive_largest_unfounded, ResidualGraph};

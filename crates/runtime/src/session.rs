@@ -228,6 +228,22 @@ impl Solver {
         self.base_close.alive_atom_count()
     }
 
+    /// Resident-size accounting of the prepared ground graph (grows under
+    /// delta grounding, shrinks on re-prepare) — what a serving tier's
+    /// admission control and LRU eviction budget against.
+    pub fn footprint(&self) -> datalog_ground::GraphFootprint {
+        self.graph.footprint()
+    }
+
+    /// The diagnostic for a set-but-unusable `TIEBREAK_THREADS` under
+    /// this session's config (see
+    /// [`tiebreak_core::RuntimeConfig::threads_diagnostic`]). Front-ends
+    /// surface it once per session or connection — a long-lived server
+    /// must report every misconfigured session, not only the first.
+    pub fn thread_diagnostic(&self) -> Option<String> {
+        self.config.runtime.threads_diagnostic()
+    }
+
     /// Components of the residual condensation.
     pub fn component_count(&self) -> usize {
         self.engine.component_count()
@@ -416,10 +432,20 @@ impl Solver {
         }
 
         if let Some(reason) = rebuild_reason {
-            self.rebuild_in_place()?;
-            self.finish_rebuild_delta(&mut delta, reason);
-            self.last_delta = Some(delta.clone());
-            return Ok(delta);
+            return match self.rebuild_in_place() {
+                Ok(()) => {
+                    self.finish_rebuild_delta(&mut delta, reason);
+                    self.last_delta = Some(delta.clone());
+                    Ok(delta)
+                }
+                // The fresh prepare fails on the mutated database (the
+                // mutation busted a budget): roll everything back. Before
+                // this path existed, the database and epoch kept the
+                // mutation while the prepared state kept serving the old
+                // instance — `? stats` reported a rolled-back epoch over
+                // a graph that matched neither database.
+                Err(rebuild_err) => Err(self.revert_failed_batch(&inserts, &retracts, rebuild_err)),
+            };
         }
 
         match self.apply_incremental(&inserts, &retracts, &mut delta) {
@@ -442,32 +468,49 @@ impl Solver {
                         Ok(delta)
                     }
                     Err(rebuild_err) => {
-                        // Even the fresh prepare fails on the mutated
-                        // database (the mutation busted a budget): undo
-                        // the database change, restore the old prepared
-                        // state, and surface the error.
-                        for fact in &inserts {
-                            self.database.remove(fact);
-                            for &c in fact.args.iter() {
-                                if let Some(n) = self.const_refs.get_mut(&c) {
-                                    *n = n.saturating_sub(1);
-                                }
-                            }
-                        }
-                        for fact in &retracts {
-                            self.database
-                                .insert(fact.clone())
-                                .expect("fact was present before");
-                            for &c in fact.args.iter() {
-                                *self.const_refs.entry(c).or_insert(0) += 1;
-                            }
-                        }
-                        self.epoch -= 1;
-                        self.rebuild_in_place()?;
-                        Err(SolverError::Semantics(rebuild_err))
+                        Err(self.revert_failed_batch(&inserts, &retracts, rebuild_err))
                     }
                 }
             }
+        }
+    }
+
+    /// Rolls a failed batch back: undoes the database change and the
+    /// universe refcounts, restores the epoch, and re-prepares on the
+    /// restored database so every observable (`epoch`, `last_delta`,
+    /// graph, stats, query results) describes the pre-batch state again.
+    fn revert_failed_batch(
+        &mut self,
+        inserts: &[GroundAtom],
+        retracts: &[GroundAtom],
+        cause: SemanticsError,
+    ) -> SolverError {
+        for fact in inserts {
+            self.database.remove(fact);
+            for &c in fact.args.iter() {
+                if let Some(n) = self.const_refs.get_mut(&c) {
+                    *n = n.saturating_sub(1);
+                }
+            }
+        }
+        for fact in retracts {
+            self.database
+                .insert(fact.clone())
+                .expect("fact was present before");
+            for &c in fact.args.iter() {
+                *self.const_refs.entry(c).or_insert(0) += 1;
+            }
+        }
+        self.epoch -= 1;
+        match self.rebuild_in_place() {
+            // The restored database prepared before, so it prepares
+            // again; the rolled-back session serves exactly as it did
+            // before the batch (asserted by the regression suite).
+            Ok(()) => SolverError::Semantics(cause),
+            // Re-preparing the previously working instance cannot fail
+            // deterministically; surface the fresher error if it somehow
+            // does.
+            Err(e) => SolverError::Semantics(e),
         }
     }
 

@@ -193,6 +193,93 @@ fn arity_conflicts_reject_the_whole_batch() {
 }
 
 #[test]
+fn budget_failure_on_rebuild_reverts_epoch_and_database() {
+    // A universe-moving insert forces the full re-prepare path; a rule
+    // budget sized to the current instance makes that re-prepare fail.
+    // Regression: this used to leave the mutated database and bumped
+    // epoch behind while the prepared state still described the old
+    // instance — `? stats` reported the rolled-back epoch.
+    let db = "move(a, b). move(b, a). move(c, d). move(d, c).";
+    let mut config = EngineConfig::default().with_ground_mode(GroundMode::Relevant);
+    let probe = Solver::with_config(
+        parse_program(WIN).unwrap(),
+        parse_database(db).unwrap(),
+        config,
+    )
+    .unwrap();
+    // Tight but sufficient for the seed instance: the universe grows on
+    // the bad insert and the fresh grounding overflows.
+    config.ground.max_rule_instances = probe.graph().rule_count() as u64;
+    let mut s = Solver::with_config(
+        parse_program(WIN).unwrap(),
+        parse_database(db).unwrap(),
+        config,
+    )
+    .unwrap();
+    let before_wf = s.well_founded().unwrap();
+    let before_rules = s.graph().rule_count();
+
+    let bad = GroundAtom::from_texts("move", &["zz", "a"]);
+    let err = s.insert_fact(bad.clone());
+    assert!(err.is_err(), "the grown universe busts the rule budget");
+
+    // Everything observable rolled back.
+    assert_eq!(s.epoch(), 0, "epoch restored");
+    assert!(s.last_delta().is_none(), "no delta for a failed batch");
+    assert!(!s.database().contains(&bad), "database restored");
+    assert_eq!(s.graph().rule_count(), before_rules, "graph restored");
+    let after_wf = s.well_founded().unwrap();
+    assert_eq!(after_wf.true_facts, before_wf.true_facts);
+    assert_eq!(after_wf.undefined, before_wf.undefined);
+    assert_matches_fresh(&s);
+
+    // The rolled-back session still serves further (in-budget) batches.
+    let delta = s
+        .retract_fact(GroundAtom::from_texts("move", &["b", "a"]))
+        .unwrap();
+    assert_eq!(delta.epoch, 1);
+    assert_eq!(s.epoch(), 1);
+    assert_matches_fresh(&s);
+}
+
+#[test]
+fn budget_failure_after_successful_epochs_keeps_delta_consistent() {
+    // Same revert, but with history: the failed batch must not disturb
+    // the last successful epoch's PrepareDelta report.
+    let db = "move(a, b). move(b, a).";
+    let mut config = EngineConfig::default().with_ground_mode(GroundMode::Relevant);
+    let probe = Solver::with_config(
+        parse_program(WIN).unwrap(),
+        parse_database(db).unwrap(),
+        config,
+    )
+    .unwrap();
+    config.ground.max_rule_instances = probe.graph().rule_count() as u64 + 1;
+    let mut s = Solver::with_config(
+        parse_program(WIN).unwrap(),
+        parse_database(db).unwrap(),
+        config,
+    )
+    .unwrap();
+
+    // One successful in-universe epoch first.
+    let good = s
+        .insert_fact(GroundAtom::from_texts("move", &["a", "a"]))
+        .unwrap();
+    assert_eq!(good.epoch, 1);
+
+    let err = s.insert_fact(GroundAtom::from_texts("move", &["qq", "qq"]));
+    assert!(err.is_err(), "universe growth over the tightened budget");
+    assert_eq!(s.epoch(), 1, "epoch restored to the last success");
+    assert_eq!(
+        s.last_delta().map(|d| d.epoch),
+        Some(1),
+        "last_delta still reports the last successful epoch"
+    );
+    assert_matches_fresh(&s);
+}
+
+#[test]
 fn delta_grounding_appends_supportable_instances() {
     let mut s = solver(
         WIN,

@@ -1,0 +1,171 @@
+//! A blocking client for the serving-tier wire protocol.
+//!
+//! One request frame out, one response frame back. Responses whose
+//! first line starts with `error` surface as
+//! [`ClientError::Server`]; everything after the `ok …` status line is
+//! returned as the response body.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{read_frame, write_frame, WireError, DEFAULT_MAX_FRAME_BYTES};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Wire(WireError),
+    /// The server closed the connection instead of answering.
+    Disconnected,
+    /// The server answered with an in-band `error …` line.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// A successful exchange: the `ok …` status line and the body after it.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The status line, without the leading `ok ` (e.g.
+    /// `opened key=… reused=true …`).
+    pub status: String,
+    /// Everything after the status line (script output, warnings).
+    pub body: String,
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame: u32,
+}
+
+impl Client {
+    /// Connects with the default frame cap.
+    ///
+    /// # Errors
+    ///
+    /// Socket connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let write_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            max_frame: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Opens (or reuses) the server-side session for a program +
+    /// database pair.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] on parse/prepare/admission refusal;
+    /// transport errors otherwise.
+    pub fn open(&mut self, program: &str, database: &str) -> Result<Response, ClientError> {
+        let mut payload = format!("open {}\n", program.len()).into_bytes();
+        payload.extend_from_slice(program.as_bytes());
+        payload.extend_from_slice(database.as_bytes());
+        self.call(&payload)
+    }
+
+    /// Runs session-script lines against the open session. The body of
+    /// the response carries the interpreter's output, including any
+    /// `! line N: …` diagnostics; the status line reports
+    /// `errors=<count>`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when no session is open; transport
+    /// errors otherwise.
+    pub fn script(&mut self, lines: &str) -> Result<Response, ClientError> {
+        let mut payload = b"script\n".to_vec();
+        payload.extend_from_slice(lines.as_bytes());
+        self.call(&payload)
+    }
+
+    /// Fetches registry counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        self.call(b"stats")
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn ping(&mut self) -> Result<Response, ClientError> {
+        self.call(b"ping")
+    }
+
+    /// Says goodbye; the server closes the connection afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn bye(&mut self) -> Result<Response, ClientError> {
+        self.call(b"bye")
+    }
+
+    /// Asks the server process to stop accepting and exit its run loop.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.call(b"shutdown")
+    }
+
+    /// Sends one raw frame and decodes the `ok`/`error` status line.
+    /// Public so fuzz/compat tests can speak the protocol directly.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn call(&mut self, payload: &[u8]) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, payload)?;
+        let Some(raw) = read_frame(&mut self.reader, self.max_frame)? else {
+            return Err(ClientError::Disconnected);
+        };
+        let text = String::from_utf8_lossy(&raw).into_owned();
+        let (status_line, body) = match text.split_once('\n') {
+            Some((s, b)) => (s.to_owned(), b.to_owned()),
+            None => (text, String::new()),
+        };
+        if let Some(msg) = status_line.strip_prefix("error") {
+            return Err(ClientError::Server(msg.trim_start().to_owned()));
+        }
+        let status = status_line
+            .strip_prefix("ok")
+            .map(|s| s.trim_start().to_owned())
+            .unwrap_or(status_line);
+        Ok(Response { status, body })
+    }
+}

@@ -1,0 +1,449 @@
+//! LRU registry of prepared sessions, keyed by program + database
+//! source text.
+//!
+//! Preparing a session (ground → close → condense) is the expensive
+//! part of serving; the registry makes it a shared, reusable artifact.
+//! Two clients opening the same program+db pair get the *same*
+//! [`ScriptSession`] (serialized by its mutex), so the second open is a
+//! registry hit that skips preparation entirely.
+//!
+//! Memory discipline has two knobs, both tied to the existing grounding
+//! budgets rather than a new accounting scheme:
+//!
+//! * **capacity** — at most [`RegistryConfig::max_sessions`] resident
+//!   sessions; opening past that evicts the least-recently-used entry;
+//! * **admission** — the sum of resident ground-graph footprints (in
+//!   atoms, the same unit as [`GroundConfig::max_atoms`]) must stay
+//!   under [`RegistryConfig::max_resident_atoms`]. An open that would
+//!   exceed it evicts LRU entries first; if the new session *alone*
+//!   busts the budget it is refused outright
+//!   ([`OpenError::AdmissionDenied`]).
+//!
+//! Eviction is graceful degradation, not failure: an evicted key's next
+//! open simply falls back to a full re-prepare. Entries checked out by
+//! a connection when evicted stay alive (the connection holds an `Arc`)
+//! and are dropped when the last user finishes.
+//!
+//! Preparation runs **outside** the registry lock — a slow ground of
+//! one program must not block hits on other keys. The cost is a benign
+//! race: two connections may prepare the same key concurrently; the
+//! loser discards its solver and adopts the winner's entry.
+//!
+//! [`GroundConfig::max_atoms`]: tiebreak_core::GroundConfig
+
+use std::collections::HashMap;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use tiebreak_core::EngineConfig;
+use tiebreak_runtime::Solver;
+
+use crate::script::ScriptSession;
+
+/// Registry sizing and the engine configuration shared by every session
+/// it prepares.
+#[derive(Clone, Copy, Debug)]
+pub struct RegistryConfig {
+    /// Engine configuration applied to every prepared session.
+    pub engine: EngineConfig,
+    /// `? outcomes` semantics for prepared sessions (`pure-tb` vs
+    /// wf-tb).
+    pub pure: bool,
+    /// Maximum resident sessions before LRU eviction.
+    pub max_sessions: usize,
+    /// Total resident ground-atom budget across all sessions — same
+    /// unit as the grounder's per-session `max_atoms` budget.
+    pub max_resident_atoms: u64,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        let engine = EngineConfig::default();
+        RegistryConfig {
+            engine,
+            pure: false,
+            max_sessions: 64,
+            // Default pool: four sessions' worth of the per-session
+            // grounding budget.
+            max_resident_atoms: engine.ground.max_atoms.saturating_mul(4),
+        }
+    }
+}
+
+/// One resident prepared session.
+pub struct SessionEntry {
+    key: u64,
+    /// The interpreter; connections serialize on this mutex.
+    session: Mutex<ScriptSession>,
+    /// Ground-graph atom count, refreshed by [`SessionEntry::sync_footprint`]
+    /// after mutations. Read lock-free by the admission check.
+    resident_atoms: AtomicUsize,
+    /// LRU stamp from the registry's logical clock.
+    last_used: AtomicU64,
+}
+
+impl SessionEntry {
+    /// The registry key (FxHash of program + database source).
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Locks the interpreter. Poisoning is survivable: the solver
+    /// rolls back failed batches itself, so a panicking connection
+    /// leaves the session consistent.
+    pub fn lock(&self) -> MutexGuard<'_, ScriptSession> {
+        self.session.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Re-reads the ground-graph footprint into the lock-free counter.
+    /// Call after running script batches: incremental grounding can
+    /// grow the graph, and admission control should see that growth.
+    pub fn sync_footprint(&self, session: &ScriptSession) {
+        self.resident_atoms
+            .store(session.solver().footprint().atoms, Ordering::Relaxed);
+    }
+
+    fn atoms(&self) -> usize {
+        self.resident_atoms.load(Ordering::Relaxed)
+    }
+}
+
+/// Why an open was refused.
+#[derive(Debug)]
+pub enum OpenError {
+    /// The program/database failed to parse or prepare.
+    Prepare(String),
+    /// The prepared session alone exceeds the resident-atom budget;
+    /// admitting it could not be fixed by evicting others.
+    AdmissionDenied {
+        /// Ground atoms the new session would pin.
+        atoms: u64,
+        /// The configured pool budget.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::Prepare(msg) => write!(f, "prepare failed: {msg}"),
+            OpenError::AdmissionDenied { atoms, budget } => write!(
+                f,
+                "admission denied: session needs {atoms} resident ground atoms, pool budget is \
+                 {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+/// A successful open: the (possibly shared) entry plus what it cost.
+pub struct OpenOutcome {
+    /// The resident session; clone-shared with every other connection
+    /// on the same key.
+    pub entry: Arc<SessionEntry>,
+    /// Registry hit — preparation was skipped.
+    pub reused: bool,
+    /// Sessions evicted to admit this one.
+    pub evicted: usize,
+}
+
+/// Point-in-time registry counters (the server's `stats` verb).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegistryStats {
+    /// Resident sessions.
+    pub sessions: usize,
+    /// Sum of resident ground-graph atom counts.
+    pub resident_atoms: u64,
+    /// Opens served from the registry.
+    pub hits: u64,
+    /// Opens that prepared a new session.
+    pub misses: u64,
+    /// Sessions evicted (capacity or admission pressure).
+    pub evictions: u64,
+    /// Opens refused by admission control.
+    pub rejected: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    rejected: u64,
+}
+
+/// The shared LRU session registry.
+pub struct SessionRegistry {
+    config: RegistryConfig,
+    inner: Mutex<Inner>,
+    /// Logical clock for LRU stamps.
+    clock: AtomicU64,
+}
+
+struct Inner {
+    entries: HashMap<u64, Arc<SessionEntry>>,
+    counters: Counters,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new(config: RegistryConfig) -> Self {
+        SessionRegistry {
+            config,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                counters: Counters::default(),
+            }),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration the registry was built with.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    /// The registry key for a program + database source pair.
+    pub fn key_of(program: &str, database: &str) -> u64 {
+        let mut h = datalog_ast::fxhash::FxHasher::default();
+        h.write(program.as_bytes());
+        // Disambiguate the boundary so ("ab","c") != ("a","bc").
+        h.write_u8(0xff);
+        h.write(database.as_bytes());
+        h.finish()
+    }
+
+    /// Opens (or reuses) the session for a program + database pair.
+    ///
+    /// Preparation happens outside the registry lock; see the module
+    /// docs for the hit/miss/eviction protocol.
+    ///
+    /// # Errors
+    ///
+    /// [`OpenError::Prepare`] when the sources don't prepare;
+    /// [`OpenError::AdmissionDenied`] when the session alone exceeds
+    /// the resident-atom budget.
+    pub fn open(&self, program: &str, database: &str) -> Result<OpenOutcome, OpenError> {
+        let key = Self::key_of(program, database);
+
+        if let Some(entry) = self.lookup(key) {
+            return Ok(OpenOutcome {
+                entry,
+                reused: true,
+                evicted: 0,
+            });
+        }
+
+        // Miss: prepare outside the lock.
+        let solver = Solver::with_config(
+            datalog_ast::parse_program(program).map_err(|e| OpenError::Prepare(e.to_string()))?,
+            datalog_ast::parse_database(database).map_err(|e| OpenError::Prepare(e.to_string()))?,
+            self.config.engine,
+        )
+        .map_err(|e| OpenError::Prepare(e.to_string()))?;
+        let atoms = solver.footprint().atoms;
+
+        if atoms as u64 > self.config.max_resident_atoms {
+            let mut inner = self.lock_inner();
+            inner.counters.rejected += 1;
+            return Err(OpenError::AdmissionDenied {
+                atoms: atoms as u64,
+                budget: self.config.max_resident_atoms,
+            });
+        }
+
+        let entry = Arc::new(SessionEntry {
+            key,
+            session: Mutex::new(ScriptSession::new(solver, self.config.pure)),
+            resident_atoms: AtomicUsize::new(atoms),
+            last_used: AtomicU64::new(self.tick()),
+        });
+
+        let mut inner = self.lock_inner();
+        // Benign race: someone may have registered this key while we
+        // were preparing. Their entry wins; our solver is dropped.
+        if let Some(existing) = inner.entries.get(&key) {
+            let existing = Arc::clone(existing);
+            existing.last_used.store(self.tick(), Ordering::Relaxed);
+            inner.counters.hits += 1;
+            return Ok(OpenOutcome {
+                entry: existing,
+                reused: true,
+                evicted: 0,
+            });
+        }
+
+        let evicted = self.make_room(&mut inner, atoms as u64);
+        inner.counters.misses += 1;
+        inner.counters.evictions += evicted as u64;
+        inner.entries.insert(key, Arc::clone(&entry));
+        Ok(OpenOutcome {
+            entry,
+            reused: false,
+            evicted,
+        })
+    }
+
+    /// Drops the entry for a key (used by tests and explicit client
+    /// resets). Connections holding the `Arc` keep using it; the next
+    /// open re-prepares.
+    pub fn evict(&self, key: u64) -> bool {
+        let mut inner = self.lock_inner();
+        let removed = inner.entries.remove(&key).is_some();
+        if removed {
+            inner.counters.evictions += 1;
+        }
+        removed
+    }
+
+    /// Current registry counters.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.lock_inner();
+        RegistryStats {
+            sessions: inner.entries.len(),
+            resident_atoms: inner.entries.values().map(|e| e.atoms() as u64).sum(),
+            hits: inner.counters.hits,
+            misses: inner.counters.misses,
+            evictions: inner.counters.evictions,
+            rejected: inner.counters.rejected,
+        }
+    }
+
+    fn lookup(&self, key: u64) -> Option<Arc<SessionEntry>> {
+        let mut inner = self.lock_inner();
+        if let Some(entry) = inner.entries.get(&key) {
+            let entry = Arc::clone(entry);
+            entry.last_used.store(self.tick(), Ordering::Relaxed);
+            inner.counters.hits += 1;
+            return Some(entry);
+        }
+        None
+    }
+
+    /// Evicts LRU entries until both the capacity and the resident-atom
+    /// budget can absorb a new `incoming_atoms`-sized session. Returns
+    /// how many entries were evicted.
+    fn make_room(&self, inner: &mut Inner, incoming_atoms: u64) -> usize {
+        let mut evicted = 0;
+        loop {
+            let resident: u64 = inner.entries.values().map(|e| e.atoms() as u64).sum();
+            let over_capacity = inner.entries.len() >= self.config.max_sessions;
+            let over_budget = resident + incoming_atoms > self.config.max_resident_atoms;
+            if (!over_capacity && !over_budget) || inner.entries.is_empty() {
+                return evicted;
+            }
+            let lru_key = inner
+                .entries
+                .values()
+                .min_by_key(|e| e.last_used.load(Ordering::Relaxed))
+                .map(|e| e.key)
+                .expect("non-empty");
+            inner.entries.remove(&lru_key);
+            evicted += 1;
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROG: &str = "win(X) :- move(X, Y), not win(Y).";
+
+    fn registry(max_sessions: usize, max_resident_atoms: u64) -> SessionRegistry {
+        SessionRegistry::new(RegistryConfig {
+            max_sessions,
+            max_resident_atoms,
+            ..RegistryConfig::default()
+        })
+    }
+
+    #[test]
+    fn second_open_is_a_hit_sharing_the_entry() {
+        let reg = registry(8, u64::MAX >> 1);
+        let a = reg.open(PROG, "move(a, b).").unwrap();
+        assert!(!a.reused);
+        let b = reg.open(PROG, "move(a, b).").unwrap();
+        assert!(b.reused);
+        assert!(Arc::ptr_eq(&a.entry, &b.entry));
+        let stats = reg.stats();
+        assert_eq!((stats.hits, stats.misses, stats.sessions), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_databases_get_distinct_sessions() {
+        let reg = registry(8, u64::MAX >> 1);
+        let a = reg.open(PROG, "move(a, b).").unwrap();
+        let b = reg.open(PROG, "move(b, a).").unwrap();
+        assert!(!Arc::ptr_eq(&a.entry, &b.entry));
+        assert_eq!(reg.stats().sessions, 2);
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_lru() {
+        let reg = registry(2, u64::MAX >> 1);
+        let first = reg.open(PROG, "move(a, b).").unwrap();
+        reg.open(PROG, "move(b, c).").unwrap();
+        // Touch the first so the second is LRU.
+        reg.open(PROG, "move(a, b).").unwrap();
+        let third = reg.open(PROG, "move(c, d).").unwrap();
+        assert_eq!(third.evicted, 1);
+        // The first key survived; its next open is still a hit.
+        let again = reg.open(PROG, "move(a, b).").unwrap();
+        assert!(again.reused);
+        assert!(Arc::ptr_eq(&first.entry, &again.entry));
+        // The evicted key re-prepares: a miss, not a failure.
+        let evicted_again = reg.open(PROG, "move(b, c).").unwrap();
+        assert!(!evicted_again.reused);
+    }
+
+    #[test]
+    fn admission_denies_sessions_bigger_than_the_pool() {
+        let reg = registry(8, 1);
+        match reg.open(PROG, "move(a, b).") {
+            Err(OpenError::AdmissionDenied { atoms, budget }) => {
+                assert!(atoms > 1);
+                assert_eq!(budget, 1);
+            }
+            other => panic!("expected AdmissionDenied, got {:?}", other.map(|_| ())),
+        }
+        assert_eq!(reg.stats().rejected, 1);
+    }
+
+    #[test]
+    fn budget_pressure_evicts_before_admitting() {
+        let reg = registry(64, u64::MAX >> 1);
+        let probe = reg.open(PROG, "move(a, b).").unwrap();
+        let per_session = probe.entry.atoms() as u64;
+        drop(probe);
+
+        // Pool fits two sessions of this shape, not three.
+        let reg = registry(64, per_session * 2);
+        reg.open(PROG, "move(a, b).").unwrap();
+        reg.open(PROG, "move(b, c).").unwrap();
+        let third = reg.open(PROG, "move(c, d).").unwrap();
+        assert_eq!(third.evicted, 1);
+        let stats = reg.stats();
+        assert_eq!(stats.sessions, 2);
+        assert!(stats.resident_atoms <= per_session * 2);
+    }
+
+    #[test]
+    fn key_disambiguates_program_database_boundary() {
+        assert_ne!(
+            SessionRegistry::key_of("ab", "c"),
+            SessionRegistry::key_of("a", "bc")
+        );
+    }
+}

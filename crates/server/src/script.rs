@@ -1,0 +1,417 @@
+//! The session-script interpreter shared by the CLI `session` loop and
+//! the network server.
+//!
+//! One [`ScriptSession`] holds one long-lived [`Solver`] and interprets
+//! the mutation-script line language against it:
+//!
+//! ```text
+//! +fact.          stage an insertion
+//! -fact.          stage a retraction
+//! ? wf            apply staged mutations, print the well-founded model
+//! ?fact.          apply staged mutations, print one atom's truth value
+//! ? outcomes [N]  apply staged mutations, enumerate tie outcomes
+//! ? stats         apply staged mutations, report the session state
+//! # …  /  % …     comment (blank lines are skipped too)
+//! ```
+//!
+//! Consecutive mutations batch into one epoch; every applied batch
+//! prints a `% epoch …` line describing the incremental work.
+//!
+//! **Robustness contract** (what makes the interpreter safe to drive
+//! from a socket): a malformed line *never* poisons the session. The
+//! error is reported on the output sink as `! line N: …` — with the
+//! line number the driver supplied, so a streaming client can correlate
+//! — and processing continues with the next line. Any mutations staged
+//! by the batch the bad line belonged to are **discarded**, not leaked
+//! into the next `apply`: a batch is all-or-nothing even when the
+//! failure is a parse error on its last line. Evaluation and `apply`
+//! errors (e.g. a grounding-budget overflow) are reported the same way;
+//! the solver itself rolls failed batches back (see
+//! [`Solver::apply`]), so the session keeps serving afterwards.
+
+use std::io::{self, Write};
+
+use datalog_ast::GroundAtom;
+use tiebreak_core::semantics::outcomes::OutcomeSet;
+use tiebreak_core::{Mutation, PrepareDelta};
+use tiebreak_runtime::Solver;
+
+/// Default cap on `? outcomes` enumeration when the script names none.
+pub const DEFAULT_OUTCOME_RUNS: usize = 256;
+
+/// What processing one line did — drivers use this to count per-session
+/// diagnostics (the exit status of a file-driven CLI session, a
+/// connection's error tally on the server).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// The line was interpreted (or skipped as blank/comment).
+    Ok,
+    /// The line (or the batch it completed) failed; the error was
+    /// reported on the sink and the session is ready for the next line.
+    Error,
+}
+
+/// A long-lived script interpreter over one [`Solver`].
+pub struct ScriptSession {
+    solver: Solver,
+    /// `? outcomes` enumerates pure tie-breaking instead of wf-tb.
+    pure: bool,
+    staged: Vec<Mutation>,
+}
+
+impl ScriptSession {
+    /// Wraps a prepared solver. `pure` selects Pure Tie-Breaking for
+    /// `? outcomes` (the CLI's `--semantics pure-tb`).
+    pub fn new(solver: Solver, pure: bool) -> Self {
+        ScriptSession {
+            solver,
+            pure,
+            staged: Vec::new(),
+        }
+    }
+
+    /// The underlying solver.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Mutations staged but not yet applied (batching in progress).
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Processes one script line against the session, writing every
+    /// response line to `out`. `lineno` is 1-based and caller-supplied
+    /// so the driver's numbering (file line, connection stream position)
+    /// shows up verbatim in diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Only sink I/O errors. Malformed lines and failed
+    /// applies/evaluations are reported *into the sink* and the session
+    /// stays usable — see the module docs for the discard semantics.
+    pub fn process_line(
+        &mut self,
+        lineno: usize,
+        raw: &str,
+        out: &mut dyn Write,
+    ) -> io::Result<LineOutcome> {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            return Ok(LineOutcome::Ok);
+        }
+        match self.interpret(lineno, line, out) {
+            Ok(()) => Ok(LineOutcome::Ok),
+            Err(Failure::Io(e)) => Err(e),
+            Err(Failure::Script(msg)) => {
+                // The failed batch is discarded whole: staged-but-
+                // unapplied mutations must not leak into the next apply.
+                let dropped = self.staged.len();
+                self.staged.clear();
+                writeln!(out, "! line {lineno}: {msg}")?;
+                if dropped > 0 {
+                    writeln!(
+                        out,
+                        "! line {lineno}: discarded {dropped} staged mutation(s) from the failed \
+                         batch"
+                    )?;
+                }
+                Ok(LineOutcome::Error)
+            }
+        }
+    }
+
+    /// Applies any trailing staged mutations (end-of-script flush).
+    ///
+    /// # Errors
+    ///
+    /// Sink I/O errors only; apply failures are reported into the sink.
+    pub fn finish(&mut self, out: &mut dyn Write) -> io::Result<LineOutcome> {
+        match self.flush_staged(out) {
+            Ok(()) => Ok(LineOutcome::Ok),
+            Err(Failure::Io(e)) => Err(e),
+            Err(Failure::Script(msg)) => {
+                self.staged.clear();
+                writeln!(out, "! end of script: {msg}")?;
+                Ok(LineOutcome::Error)
+            }
+        }
+    }
+
+    fn interpret(&mut self, lineno: usize, line: &str, out: &mut dyn Write) -> Result<(), Failure> {
+        if let Some(rest) = line.strip_prefix('+') {
+            let fact = parse_fact(rest)?;
+            self.staged.push(Mutation::Insert(fact));
+        } else if let Some(rest) = line.strip_prefix('-') {
+            let fact = parse_fact(rest)?;
+            self.staged.push(Mutation::Retract(fact));
+        } else if let Some(rest) = line.strip_prefix('?') {
+            self.flush_staged(out)?;
+            self.query(rest.trim(), out)?;
+        } else {
+            return Err(Failure::Script(format!(
+                "expected '+fact.', '-fact.', or '?query', got {line:?}"
+            )));
+        }
+        let _ = lineno;
+        Ok(())
+    }
+
+    fn flush_staged(&mut self, out: &mut dyn Write) -> Result<(), Failure> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        let delta = self
+            .solver
+            .apply(std::mem::take(&mut self.staged))
+            .map_err(|e| Failure::Script(format!("apply failed: {e}")))?;
+        writeln!(out, "{}", describe_delta(&delta))?;
+        Ok(())
+    }
+
+    fn query(&mut self, query: &str, out: &mut dyn Write) -> Result<(), Failure> {
+        if query == "wf" {
+            let outcome = self
+                .solver
+                .well_founded()
+                .map_err(|e| Failure::Script(e.to_string()))?;
+            for fact in &outcome.true_facts {
+                writeln!(out, "{fact}.")?;
+            }
+            if !outcome.total {
+                writeln!(
+                    out,
+                    "% partial model: {} atoms left undefined",
+                    outcome.undefined.len()
+                )?;
+            }
+        } else if query == "stats" {
+            let fp = self.solver.footprint();
+            writeln!(
+                out,
+                "% epoch {} | {} branches | {} components | {} residual atoms | db {} facts | \
+                 graph {} atoms / {} rules / ~{} KiB",
+                self.solver.epoch(),
+                self.solver.branch_count(),
+                self.solver.component_count(),
+                self.solver.residual_atom_count(),
+                self.solver.database().len(),
+                fp.atoms,
+                fp.rules,
+                fp.approx_bytes / 1024,
+            )?;
+            if let Some(delta) = self.solver.last_delta() {
+                writeln!(out, "{}", describe_delta(delta))?;
+            }
+        } else if let Some(limit) = query.strip_prefix("outcomes") {
+            let limit = limit.trim();
+            let max_runs = if limit.is_empty() {
+                DEFAULT_OUTCOME_RUNS
+            } else {
+                limit
+                    .parse()
+                    .map_err(|e| Failure::Script(format!("bad outcome limit: {e}")))?
+            };
+            let set = self
+                .solver
+                .all_outcomes(self.pure, max_runs)
+                .map_err(|e| Failure::Script(e.to_string()))?;
+            write_outcomes(out, &set, self.solver.graph().atoms())?;
+        } else {
+            let fact = parse_fact(query)?;
+            let run = self
+                .solver
+                .well_founded_run()
+                .map_err(|e| Failure::Script(e.to_string()))?;
+            match self.solver.graph().atoms().id_of(&fact) {
+                Some(id) => writeln!(out, "{fact}: {}", run.model.get(id))?,
+                None => writeln!(out, "{fact}: false (not in the ground atom space)")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Interpreter failure plumbing: sink errors abort the driver, script
+/// errors are reported and survived.
+enum Failure {
+    Io(io::Error),
+    Script(String),
+}
+
+impl From<io::Error> for Failure {
+    fn from(e: io::Error) -> Self {
+        Failure::Io(e)
+    }
+}
+
+/// Parses one `pred(c1, …).` session-script fact (trailing dot
+/// optional).
+fn parse_fact(src: &str) -> Result<GroundAtom, Failure> {
+    let src = src.trim();
+    let stripped = src.strip_suffix('.').unwrap_or(src).trim();
+    let db = datalog_ast::parse_database(&format!("{stripped}."))
+        .map_err(|e| Failure::Script(format!("bad fact {stripped:?}: {e}")))?;
+    let mut facts: Vec<GroundAtom> = db.facts().collect();
+    if facts.len() != 1 {
+        return Err(Failure::Script("expected exactly one ground fact".into()));
+    }
+    Ok(facts.pop().expect("one fact"))
+}
+
+/// One line summarizing what a mutation batch did to the prepared state
+/// (the `% epoch …` report shared by the CLI and the server).
+pub fn describe_delta(delta: &PrepareDelta) -> String {
+    if delta.rebuilt {
+        format!(
+            "% epoch {}: +{} -{} | re-prepared ({})",
+            delta.epoch,
+            delta.inserted,
+            delta.retracted,
+            delta.rebuild_reason.as_deref().unwrap_or("unspecified"),
+        )
+    } else {
+        format!(
+            "% epoch {}: +{} -{} | cone {} atoms / {} rules | grounded +{} atoms +{} rules | \
+             branches {}/{} invalidated | residual {}",
+            delta.epoch,
+            delta.inserted,
+            delta.retracted,
+            delta.cone_atoms,
+            delta.cone_rules,
+            delta.new_atoms,
+            delta.new_rules,
+            delta.branches_invalidated,
+            delta.branches_total,
+            delta.residual_atoms,
+        )
+    }
+}
+
+/// Writes an outcome set in the shared `outcomes` format.
+///
+/// # Errors
+///
+/// Sink I/O errors.
+pub fn write_outcomes(
+    out: &mut dyn Write,
+    set: &OutcomeSet,
+    atoms: &datalog_ground::AtomTable,
+) -> io::Result<()> {
+    writeln!(
+        out,
+        "% {} distinct outcome(s) over {} run(s){}",
+        set.models.len(),
+        set.runs,
+        if set.truncated { " (truncated)" } else { "" }
+    )?;
+    for (i, model) in set.models.iter().enumerate() {
+        let facts: Vec<String> = model
+            .true_atoms(atoms)
+            .iter()
+            .map(|f| f.to_string())
+            .collect();
+        writeln!(
+            out,
+            "% outcome {} ({}): {{{}}}",
+            i + 1,
+            if model.is_total() { "total" } else { "partial" },
+            facts.join(", ")
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(program: &str, db: &str) -> ScriptSession {
+        ScriptSession::new(Solver::from_sources(program, db).unwrap(), false)
+    }
+
+    fn drive(s: &mut ScriptSession, lines: &[&str]) -> (String, usize) {
+        let mut out = Vec::new();
+        let mut errors = 0;
+        for (i, line) in lines.iter().enumerate() {
+            if s.process_line(i + 1, line, &mut out).unwrap() == LineOutcome::Error {
+                errors += 1;
+            }
+        }
+        if s.finish(&mut out).unwrap() == LineOutcome::Error {
+            errors += 1;
+        }
+        (String::from_utf8(out).unwrap(), errors)
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_and_survived() {
+        let mut s = session("win(X) :- move(X, Y), not win(Y).", "move(a, b).");
+        let (out, errors) = drive(
+            &mut s,
+            &[
+                "? win(a)",
+                "this is not a command",
+                "? win(a)",
+                "+ bad fact here (",
+                "? win(b)",
+            ],
+        );
+        assert_eq!(errors, 2, "{out}");
+        assert!(out.contains("! line 2: expected '+fact.'"), "{out}");
+        assert!(out.contains("! line 4: bad fact"), "{out}");
+        // Both queries around the failures answered.
+        assert_eq!(out.matches("win(a): true").count(), 2, "{out}");
+        assert!(out.contains("win(b): false"), "{out}");
+    }
+
+    #[test]
+    fn failed_batch_discards_staged_mutations() {
+        let mut s = session("win(X) :- move(X, Y), not win(Y).", "move(a, b).");
+        // The staged insert precedes the malformed line: it must NOT be
+        // applied by the later query's flush.
+        let (out, errors) = drive(
+            &mut s,
+            &["+ move(b, a).", "garbage after staging", "? stats", "? wf"],
+        );
+        assert_eq!(errors, 1, "{out}");
+        assert!(out.contains("discarded 1 staged mutation(s)"), "{out}");
+        assert!(out.contains("% epoch 0 |"), "{out}");
+        assert!(!out.contains("% epoch 1"), "{out}");
+        assert!(
+            !s.solver()
+                .database()
+                .contains(&GroundAtom::from_texts("move", &["b", "a"])),
+            "staged mutation leaked into the database"
+        );
+    }
+
+    #[test]
+    fn trailing_staged_mutations_flush_at_finish() {
+        let mut s = session("win(X) :- move(X, Y), not win(Y).", "move(a, b).");
+        let (out, errors) = drive(&mut s, &["+ move(b, a)."]);
+        assert_eq!(errors, 0, "{out}");
+        assert!(out.contains("% epoch 1: +1 -0"), "{out}");
+        assert_eq!(s.solver().epoch(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let mut s = session("p :- not q.\nq :- not p.", "");
+        let (out, errors) = drive(
+            &mut s,
+            &["# comment", "% also a comment", "", "? outcomes 8"],
+        );
+        assert_eq!(errors, 0, "{out}");
+        assert!(out.contains("% 2 distinct outcome(s)"), "{out}");
+    }
+
+    #[test]
+    fn bad_outcome_limit_is_survivable() {
+        let mut s = session("p :- not q.\nq :- not p.", "");
+        let (out, errors) = drive(&mut s, &["? outcomes nope", "? outcomes 4"]);
+        assert_eq!(errors, 1, "{out}");
+        assert!(out.contains("! line 1: bad outcome limit"), "{out}");
+        assert!(out.contains("% 2 distinct outcome(s)"), "{out}");
+    }
+}

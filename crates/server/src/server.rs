@@ -1,0 +1,393 @@
+//! The multi-session TCP server.
+//!
+//! One [`Server`] owns a [`SessionRegistry`] and serves many concurrent
+//! connections, thread-per-connection. Each request is one
+//! [wire](crate::wire) frame whose UTF-8 payload starts with a verb
+//! line:
+//!
+//! ```text
+//! open <prog_byte_len>\n<program bytes><database bytes>
+//! script\n<session-script lines>
+//! stats
+//! ping
+//! bye
+//! shutdown
+//! ```
+//!
+//! Every response frame starts with `ok …` or `error …`. A protocol
+//! error (unknown verb, bad `open` header, admission denial, malformed
+//! script lines) is reported in-band and the connection **keeps
+//! serving** — only transport-level failures (truncated or oversized
+//! frames, which desynchronize the stream) close it. One misbehaving
+//! client never disturbs the others: its session lives in the shared
+//! registry, but the script interpreter discards failed batches and the
+//! solver rolls back failed applies, so the entry other connections
+//! share stays consistent.
+//!
+//! `script` frames are transactional per frame: the frame's lines run
+//! under the session lock and any trailing staged mutations are flushed
+//! before the lock is released. Batches therefore cannot span frames —
+//! necessary because the session may be shared with other connections,
+//! which must never observe (or accidentally commit) another client's
+//! half-staged batch.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::registry::{RegistryConfig, SessionEntry, SessionRegistry};
+use crate::script::LineOutcome;
+use crate::wire::{read_frame, write_frame, WireError, DEFAULT_MAX_FRAME_BYTES};
+
+/// Server tuning.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerConfig {
+    /// Session registry sizing and engine configuration.
+    pub registry: RegistryConfig,
+    /// Per-frame payload cap (0 = [`DEFAULT_MAX_FRAME_BYTES`]).
+    pub max_frame_bytes: u32,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<SessionRegistry>,
+    max_frame: u32,
+    state: Arc<SharedState>,
+}
+
+/// State shared with connection threads: the stop flag plus one
+/// `try_clone` of every live connection so shutdown can unblock their
+/// readers.
+struct SharedState {
+    stopping: AtomicBool,
+    next_conn: AtomicU64,
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+impl SharedState {
+    fn track(&self, stream: &TcpStream) -> Option<u64> {
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let clone = stream.try_clone().ok()?;
+        self.conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((id, clone));
+        Some(id)
+    }
+
+    fn untrack(&self, id: u64) {
+        self.conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|(cid, _)| *cid != id);
+    }
+
+    /// Half-closes every live connection so blocked `read_frame` calls
+    /// return and their threads can join.
+    fn disconnect_all(&self) {
+        for (_, stream) in self
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Server {
+    /// Binds a listener. Use port 0 to let the OS pick (tests).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let max_frame = if config.max_frame_bytes == 0 {
+            DEFAULT_MAX_FRAME_BYTES
+        } else {
+            config.max_frame_bytes
+        };
+        Ok(Server {
+            listener,
+            registry: Arc::new(SessionRegistry::new(config.registry)),
+            max_frame,
+            state: Arc::new(SharedState {
+                stopping: AtomicBool::new(false),
+                next_conn: AtomicU64::new(0),
+                conns: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// The bound address (read the OS-assigned port after `bind(…:0)`).
+    ///
+    /// # Errors
+    ///
+    /// Socket introspection failures.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The registry backing this server (tests and stats).
+    pub fn registry(&self) -> &Arc<SessionRegistry> {
+        &self.registry
+    }
+
+    /// Accepts and serves connections until a client sends `shutdown`.
+    /// Blocks; run it on a dedicated thread if the caller needs to keep
+    /// working. On shutdown every live connection is disconnected and
+    /// every connection thread joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept-loop failures (per-connection errors are contained
+    /// in their threads).
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let mut workers = Vec::new();
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if self.state.stopping.load(Ordering::SeqCst) => {
+                    let _ = e;
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if self.state.stopping.load(Ordering::SeqCst) {
+                // The wake-up connection (or a client racing shutdown).
+                drop(stream);
+                break;
+            }
+            let registry = Arc::clone(&self.registry);
+            let state = Arc::clone(&self.state);
+            let max_frame = self.max_frame;
+            workers.push(std::thread::spawn(move || {
+                let id = state.track(&stream);
+                serve_connection(stream, &registry, &state, addr, max_frame);
+                if let Some(id) = id {
+                    state.untrack(id);
+                }
+            }));
+        }
+        self.state.disconnect_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// What a request handler wants done with the connection afterwards.
+enum Next {
+    Continue,
+    CloseConnection,
+    ShutdownServer,
+}
+
+/// Per-connection loop: one frame in, one frame out, until the peer
+/// hangs up, the stream desynchronizes, or the server stops.
+fn serve_connection(
+    stream: TcpStream,
+    registry: &SessionRegistry,
+    state: &SharedState,
+    server_addr: std::net::SocketAddr,
+    max_frame: u32,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    // Connection-scoped session state: which registry entry is open,
+    // and the running script line number (counts across `script`
+    // frames so diagnostics name the line in the connection's stream).
+    let mut entry: Option<Arc<SessionEntry>> = None;
+    let mut lineno: usize = 0;
+
+    loop {
+        let payload = match read_frame(&mut reader, max_frame) {
+            Ok(Some(payload)) => payload,
+            // Peer hung up cleanly (or shutdown disconnected us).
+            Ok(None) => return,
+            Err(WireError::Oversized { len, max }) => {
+                // The payload was never consumed: the stream is
+                // desynchronized, so report and close.
+                let msg = format!("error frame of {len} bytes exceeds the {max}-byte cap");
+                let _ = write_frame(&mut writer, msg.as_bytes());
+                return;
+            }
+            Err(WireError::Io(_)) => return,
+        };
+        let mut response = Vec::new();
+        let next = handle_request(&payload, registry, &mut entry, &mut lineno, &mut response);
+        if write_frame(&mut writer, &response).is_err() {
+            return;
+        }
+        match next {
+            Next::Continue => {}
+            Next::CloseConnection => return,
+            Next::ShutdownServer => {
+                state.stopping.store(true, Ordering::SeqCst);
+                // Wake the blocking accept with a throwaway connection.
+                let _ = TcpStream::connect(server_addr);
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches one request frame. Writes the response into `response`;
+/// infallible from the transport's point of view (in-band errors).
+fn handle_request(
+    payload: &[u8],
+    registry: &SessionRegistry,
+    entry: &mut Option<Arc<SessionEntry>>,
+    lineno: &mut usize,
+    response: &mut Vec<u8>,
+) -> Next {
+    let Ok(text) = std::str::from_utf8(payload) else {
+        let _ = write!(response, "error request frame is not valid UTF-8");
+        return Next::Continue;
+    };
+    let (verb_line, body) = match text.split_once('\n') {
+        Some((v, b)) => (v.trim_end_matches('\r'), b),
+        None => (text, ""),
+    };
+    match verb_line.split_whitespace().next().unwrap_or("") {
+        "open" => {
+            handle_open(verb_line, body, registry, entry, lineno, response);
+            Next::Continue
+        }
+        "script" => {
+            handle_script(body, entry.as_deref(), lineno, response);
+            Next::Continue
+        }
+        "stats" => {
+            let s = registry.stats();
+            let _ = write!(
+                response,
+                "ok sessions={} resident_atoms={} hits={} misses={} evictions={} rejected={}",
+                s.sessions, s.resident_atoms, s.hits, s.misses, s.evictions, s.rejected
+            );
+            Next::Continue
+        }
+        "ping" => {
+            let _ = write!(response, "ok pong");
+            Next::Continue
+        }
+        "bye" => {
+            let _ = write!(response, "ok bye");
+            Next::CloseConnection
+        }
+        "shutdown" => {
+            let _ = write!(response, "ok shutting down");
+            Next::ShutdownServer
+        }
+        other => {
+            let _ = write!(
+                response,
+                "error unknown verb {other:?} (expected open, script, stats, ping, bye, or \
+                 shutdown)"
+            );
+            Next::Continue
+        }
+    }
+}
+
+/// `open <prog_byte_len>\n<program><database>` — the byte length avoids
+/// any in-band separator the sources themselves could contain.
+fn handle_open(
+    verb_line: &str,
+    body: &str,
+    registry: &SessionRegistry,
+    entry: &mut Option<Arc<SessionEntry>>,
+    lineno: &mut usize,
+    response: &mut Vec<u8>,
+) {
+    let mut parts = verb_line.split_whitespace();
+    let _verb = parts.next();
+    let Some(len) = parts.next().and_then(|s| s.parse::<usize>().ok()) else {
+        let _ = write!(
+            response,
+            "error open needs a program byte length: open <prog_byte_len>\\n<program><database>"
+        );
+        return;
+    };
+    let Some(program) = body.get(..len) else {
+        let _ = write!(
+            response,
+            "error program byte length {len} exceeds the {} body bytes (or splits a UTF-8 \
+             character)",
+            body.len()
+        );
+        return;
+    };
+    let database = &body[len..];
+    match registry.open(program, database) {
+        Ok(outcome) => {
+            let session = outcome.entry.lock();
+            let threads = session.solver().effective_threads();
+            let diagnostic = session.solver().thread_diagnostic();
+            let _ = write!(
+                response,
+                "ok opened key={:016x} reused={} evicted={} atoms={} threads={}",
+                outcome.entry.key(),
+                outcome.reused,
+                outcome.evicted,
+                session.solver().footprint().atoms,
+                threads,
+            );
+            // Surface the TIEBREAK_THREADS fallback diagnostic to every
+            // connection that opens a session — not just whichever one
+            // happened to arrive first in the process's lifetime.
+            if let Some(diag) = diagnostic {
+                let _ = write!(response, "\n% {diag}");
+            }
+            drop(session);
+            *entry = Some(outcome.entry);
+            *lineno = 0;
+        }
+        Err(e) => {
+            let _ = write!(response, "error {e}");
+        }
+    }
+}
+
+/// `script\n<lines>` — runs the frame's lines under the session lock,
+/// flushing trailing staged mutations before releasing it.
+fn handle_script(
+    body: &str,
+    entry: Option<&SessionEntry>,
+    lineno: &mut usize,
+    response: &mut Vec<u8>,
+) {
+    let Some(entry) = entry else {
+        let _ = write!(response, "error no session open (send an open frame first)");
+        return;
+    };
+    let mut out = Vec::new();
+    let mut errors: usize = 0;
+    let mut session = entry.lock();
+    for line in body.lines() {
+        *lineno += 1;
+        match session.process_line(*lineno, line, &mut out) {
+            Ok(LineOutcome::Ok) => {}
+            Ok(LineOutcome::Error) => errors += 1,
+            // Writes to a Vec cannot fail; treat defensively anyway.
+            Err(_) => errors += 1,
+        }
+    }
+    if matches!(session.finish(&mut out), Ok(LineOutcome::Error) | Err(_)) {
+        errors += 1;
+    }
+    entry.sync_footprint(&session);
+    drop(session);
+    let _ = writeln!(response, "ok errors={errors}");
+    response.extend_from_slice(&out);
+}

@@ -1,0 +1,174 @@
+//! Length-prefixed framing for the session wire protocol.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! payload bytes. Requests and responses use the same framing; payloads
+//! are UTF-8 text (the server validates and answers `error …` on
+//! anything else, without trusting the bytes).
+//!
+//! The length prefix is the only thing read before validation, so the
+//! parser's failure modes are exactly three and all are cheap:
+//!
+//! * clean EOF between frames — the peer closed, [`read_frame`] returns
+//!   `Ok(None)`;
+//! * a truncated frame (EOF inside the header or payload) — an
+//!   [`WireError::Io`] with `UnexpectedEof`;
+//! * an oversized length — [`WireError::Oversized`] *before* any
+//!   allocation or payload read. The stream is desynchronized at that
+//!   point (the payload was never consumed), so the connection must be
+//!   closed; a malicious 4 GiB length costs four bytes of reading and
+//!   no memory.
+
+use std::io::{self, Read, Write};
+
+/// Default cap on a single frame's payload (4 MiB) — generous for
+/// program + database sources, small enough that a hostile length
+/// prefix cannot balloon server memory.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 4 << 20;
+
+/// Errors reading a frame off the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed (including truncated frames).
+    Io(io::Error),
+    /// The peer announced a payload larger than the configured cap. The
+    /// payload was not consumed: the stream is desynchronized and the
+    /// connection should be closed after reporting the error.
+    Oversized {
+        /// The announced payload length.
+        len: u32,
+        /// The configured cap.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte frame cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+///
+/// # Errors
+///
+/// Transport errors; payloads over `u32::MAX` bytes are a caller bug
+/// and reported as `InvalidInput` rather than silently truncated.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload over u32::MAX"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF **between** frames (the
+/// peer hung up); EOF inside a frame is an error.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the announced length exceeds `max`
+/// (nothing beyond the 4-byte header has been consumed);
+/// [`WireError::Io`] on transport failures and truncation.
+pub fn read_frame(r: &mut impl Read, max: u32) -> Result<Option<Vec<u8>>, WireError> {
+    let mut header = [0u8; 4];
+    // Distinguish "no more frames" from "frame cut off": only a zero-byte
+    // read at the first header byte is a clean close.
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(header);
+    if len > max {
+        return Err(WireError::Oversized { len, max });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES)
+                .unwrap()
+                .unwrap(),
+            b"hello"
+        );
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES)
+                .unwrap()
+                .unwrap(),
+            b""
+        );
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"junk");
+        let mut r = io::Cursor::new(buf);
+        match read_frame(&mut r, 16) {
+            Err(WireError::Oversized { len, max }) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, 16);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_clean_eof() {
+        // Header promises 10 bytes, stream has 3.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        let mut r = io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(WireError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof
+        ));
+
+        // Header itself cut off.
+        let mut r = io::Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(WireError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof
+        ));
+    }
+}

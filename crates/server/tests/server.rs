@@ -1,0 +1,293 @@
+//! End-to-end tests of the serving tier: many concurrent connections,
+//! result fidelity against fresh single-session solvers, and hostile
+//! input on the wire.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tiebreak_runtime::Solver;
+use tiebreak_server::{
+    read_frame, write_frame, Client, ClientError, LineOutcome, RegistryConfig, ScriptSession,
+    Server, ServerConfig, SessionRegistry, WireError, DEFAULT_MAX_FRAME_BYTES,
+};
+
+const PROG: &str = "win(X) :- move(X, Y), not win(Y).";
+
+/// Starts a server on an OS-assigned port; returns its address, its
+/// registry (for stats assertions), and the run-loop thread handle.
+fn start_server(
+    config: ServerConfig,
+) -> (
+    std::net::SocketAddr,
+    Arc<SessionRegistry>,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let registry = Arc::clone(server.registry());
+    let handle = std::thread::spawn(move || server.run());
+    (addr, registry, handle)
+}
+
+fn stop_server(addr: std::net::SocketAddr, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join").expect("clean run exit");
+}
+
+/// Drives the same script through a fresh single-session solver — the
+/// fidelity oracle the served responses must match byte for byte.
+fn fresh_solver_output(program: &str, database: &str, lines: &[&str]) -> String {
+    let solver = Solver::from_sources(program, database).expect("prepare");
+    let mut session = ScriptSession::new(solver, false);
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let outcome = session.process_line(i + 1, line, &mut out).expect("sink");
+        assert_eq!(outcome, LineOutcome::Ok, "oracle script must be clean");
+    }
+    assert_eq!(session.finish(&mut out).expect("sink"), LineOutcome::Ok);
+    String::from_utf8(out).expect("utf8")
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_results() {
+    let (addr, registry, handle) = start_server(ServerConfig::default());
+
+    // Five clients churn disjoint sessions (each mutates its own
+    // chain); five more share one tie-pocket session, query-only so the
+    // shared state stays deterministic. Ten concurrent connections in
+    // flight at once.
+    let disjoint: Vec<(String, Vec<String>)> = (0..5)
+        .map(|i| {
+            let db = format!("move(a{i}, b{i}).\nmove(b{i}, c{i}).");
+            let script = vec![
+                format!("? win(a{i})"),
+                format!("+ move(c{i}, a{i})."),
+                "? wf".to_owned(),
+                "? stats".to_owned(),
+            ];
+            (db, script)
+        })
+        .collect();
+    let shared_db = "move(p, q).\nmove(q, p).";
+    let shared_script = ["? outcomes 4", "? win(p)", "? stats"];
+
+    let mut expected = Vec::new();
+    for (db, script) in &disjoint {
+        let lines: Vec<&str> = script.iter().map(String::as_str).collect();
+        expected.push(fresh_solver_output(PROG, db, &lines));
+    }
+    let shared_expected = fresh_solver_output(PROG, shared_db, &shared_script);
+
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for (i, (db, script)) in disjoint.iter().enumerate() {
+            let expected = &expected[i];
+            workers.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let open = client.open(PROG, db).expect("open");
+                assert!(open.status.contains("reused=false"), "{}", open.status);
+                let response = client.script(&script.join("\n")).expect("script");
+                assert_eq!(response.status, "errors=0");
+                assert_eq!(&response.body, expected, "disjoint client {i}");
+                client.bye().expect("bye");
+            }));
+        }
+        for i in 0..5 {
+            let shared_expected = &shared_expected;
+            workers.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.open(PROG, shared_db).expect("open");
+                let response = client.script(&shared_script.join("\n")).expect("script");
+                assert_eq!(response.status, "errors=0");
+                assert_eq!(&response.body, shared_expected, "shared client {i}");
+                client.bye().expect("bye");
+            }));
+        }
+        for worker in workers {
+            worker.join().expect("client thread");
+        }
+    });
+
+    // Six distinct keys were prepared exactly once each; the other four
+    // opens of the shared key were registry hits (whether they raced
+    // the preparation or arrived after it).
+    let stats = registry.stats();
+    assert_eq!(stats.sessions, 6, "{stats:?}");
+    assert_eq!(stats.misses, 6, "{stats:?}");
+    assert_eq!(stats.hits, 4, "{stats:?}");
+
+    stop_server(addr, handle);
+}
+
+#[test]
+fn malformed_connection_does_not_disturb_others() {
+    let (addr, _registry, handle) = start_server(ServerConfig::default());
+    let db = "move(a, b).\nmove(b, c).";
+
+    // Client B holds a healthy connection to the same session for the
+    // whole test.
+    let mut healthy = Client::connect(addr).expect("connect");
+    healthy.open(PROG, db).expect("open");
+
+    // Client A misbehaves at every protocol layer.
+    let mut hostile = Client::connect(addr).expect("connect");
+    hostile.open(PROG, db).expect("open");
+    // Unknown verb: in-band error, connection stays up.
+    match hostile.call(b"frobnicate") {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("unknown verb"), "{msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // Bad open header.
+    match hostile.call(b"open 999999\ntoo short") {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("byte length"), "{msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // Non-UTF-8 request frame.
+    match hostile.call(&[0xff, 0xfe, 0x00, 0x80]) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("UTF-8"), "{msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // Malformed script lines: reported per line, session survives, and
+    // the staged-but-unapplied mutation is discarded.
+    let response = hostile
+        .script("+ move(c, a).\nutter garbage\n? stats")
+        .expect("script");
+    assert_eq!(response.status, "errors=1");
+    assert!(response.body.contains("! line 2:"), "{}", response.body);
+    assert!(
+        response.body.contains("discarded 1 staged mutation(s)"),
+        "{}",
+        response.body
+    );
+    assert!(response.body.contains("% epoch 0 |"), "{}", response.body);
+
+    // Oversized frame: rejected before allocation, connection closed.
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect raw");
+        let mut header = Vec::new();
+        header.extend_from_slice(&u32::MAX.to_be_bytes());
+        header.extend_from_slice(b"junk");
+        std::io::Write::write_all(&mut raw, &header).expect("write");
+        let reply = read_frame(&mut raw, DEFAULT_MAX_FRAME_BYTES)
+            .expect("error frame")
+            .expect("some frame");
+        let text = String::from_utf8_lossy(&reply);
+        assert!(text.starts_with("error"), "{text}");
+        assert!(text.contains("exceeds"), "{text}");
+        assert!(
+            read_frame(&mut raw, DEFAULT_MAX_FRAME_BYTES)
+                .expect("clean close")
+                .is_none(),
+            "server must close a desynchronized connection"
+        );
+    }
+    // Truncated frame: header promises more than the peer sends before
+    // hanging up. The server just drops the connection.
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect raw");
+        std::io::Write::write_all(&mut raw, &100u32.to_be_bytes()).expect("write");
+        std::io::Write::write_all(&mut raw, b"only a little").expect("write");
+        drop(raw);
+    }
+
+    // Through all of it, the healthy connection answers correctly — and
+    // sees none of the hostile client's discarded mutations.
+    let expected = fresh_solver_output(PROG, db, &["? win(a)", "? wf"]);
+    let response = healthy.script("? win(a)\n? wf").expect("script");
+    assert_eq!(response.status, "errors=0");
+    assert_eq!(response.body, expected);
+
+    stop_server(addr, handle);
+}
+
+#[test]
+fn evicted_sessions_reprepare_transparently() {
+    let config = ServerConfig {
+        registry: RegistryConfig {
+            max_sessions: 1,
+            ..RegistryConfig::default()
+        },
+        max_frame_bytes: 0,
+    };
+    let (addr, registry, handle) = start_server(config);
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.open(PROG, "move(a, b).").expect("open a");
+    // Opening a second key evicts the first (capacity 1)…
+    let open = client.open(PROG, "move(x, y).").expect("open b");
+    assert!(open.status.contains("evicted=1"), "{}", open.status);
+    // …and the first key's next open transparently re-prepares.
+    let open = client.open(PROG, "move(a, b).").expect("reopen a");
+    assert!(open.status.contains("reused=false"), "{}", open.status);
+    let response = client.script("? win(a)").expect("script");
+    assert!(response.body.contains("win(a): true"), "{}", response.body);
+    assert!(registry.stats().evictions >= 2, "{:?}", registry.stats());
+
+    stop_server(addr, handle);
+}
+
+#[test]
+fn fuzzed_frames_never_kill_the_server() {
+    let (addr, _registry, handle) = start_server(ServerConfig::default());
+    let mut rng = SmallRng::seed_from_u64(0x5eed_f00d);
+
+    let mut client = Client::connect(addr).expect("connect");
+    for round in 0..200 {
+        let len = rng.gen_range(0..96usize);
+        let payload: Vec<u8> = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.8) {
+                    // Mostly printable ASCII with newlines: exercises the
+                    // verb parser, not just the UTF-8 check.
+                    let c = rng.gen_range(0..64u32);
+                    match c {
+                        0..=2 => b'\n',
+                        3 => b' ',
+                        c => b' ' + (c as u8 % 94),
+                    }
+                } else {
+                    (rng.gen::<u32>() & 0xff) as u8
+                }
+            })
+            .collect();
+        // Every well-framed request gets exactly one response — ok or
+        // in-band error. Disconnections or transport errors fail.
+        match client.call(&payload) {
+            Ok(_) | Err(ClientError::Server(_)) => {}
+            other => panic!("round {round}: server dropped the connection: {other:?}"),
+        }
+    }
+    // The connection (and server) are still healthy.
+    let pong = client.ping().expect("ping");
+    assert_eq!(pong.status, "pong");
+
+    stop_server(addr, handle);
+}
+
+#[test]
+fn fuzzed_byte_streams_never_panic_the_frame_parser() {
+    let mut rng = SmallRng::seed_from_u64(0xfeed_beef);
+    for _ in 0..500 {
+        let len = rng.gen_range(0..256usize);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.gen::<u32>() & 0xff) as u8).collect();
+        let mut cursor = std::io::Cursor::new(bytes);
+        // Drain the stream through the parser with a small cap: every
+        // outcome (frames, oversized, truncation, clean EOF) is fine —
+        // the property under test is "no panic, no infinite loop".
+        for _ in 0..64 {
+            match read_frame(&mut cursor, 64) {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(WireError::Oversized { .. }) | Err(WireError::Io(_)) => break,
+            }
+        }
+    }
+    // Round-trip sanity under the same cap.
+    let mut buf = Vec::new();
+    write_frame(&mut buf, b"ok").expect("write");
+    let mut cursor = std::io::Cursor::new(buf);
+    assert_eq!(read_frame(&mut cursor, 64).unwrap().unwrap(), b"ok");
+}
