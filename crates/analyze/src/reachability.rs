@@ -1,0 +1,145 @@
+//! Reachability lints: dead rules, unreachable predicates, unused EDB.
+//!
+//! All three are computed from one *populated-predicate* fixpoint: a
+//! predicate can hold a fact iff its database relation is non-empty or
+//! it heads a rule whose positive body literals are all populated.
+//! Negative literals never block population (a `not` over an empty
+//! predicate is simply true), so the fixpoint over-approximates the set
+//! of predicates that can ever be derived — a rule or predicate it
+//! rules out is dead for certain.
+
+use datalog_ast::{Database, FxHashSet, PredSym, Program, Sign};
+
+use crate::lint::{Lint, LintCode, Severity};
+
+/// Predicates that can possibly hold a fact for this database.
+fn populated(program: &Program, database: &Database) -> FxHashSet<PredSym> {
+    let mut set: FxHashSet<PredSym> = program
+        .predicates()
+        .iter()
+        .copied()
+        .filter(|&p| database.relation(p).is_some_and(|r| !r.is_empty()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for rule in program.rules() {
+            if set.contains(&rule.head.pred) {
+                continue;
+            }
+            if rule
+                .body_with_sign(Sign::Pos)
+                .all(|l| set.contains(&l.atom.pred))
+            {
+                set.insert(rule.head.pred);
+                changed = true;
+            }
+        }
+        if !changed {
+            return set;
+        }
+    }
+}
+
+/// Emits dead-rule, unreachable-predicate, and unused-edb lints.
+pub(crate) fn lints(program: &Program, database: &Database, out: &mut Vec<Lint>) {
+    let populated = populated(program, database);
+
+    for (i, rule) in program.rules().iter().enumerate() {
+        let dead = rule
+            .body
+            .iter()
+            .enumerate()
+            .find(|(_, l)| l.sign == Sign::Pos && !populated.contains(&l.atom.pred));
+        if let Some((li, lit)) = dead {
+            out.push(Lint {
+                code: LintCode::DeadRule,
+                severity: Severity::Warn,
+                message: format!(
+                    "rule {} can never fire: positive body literal {} is never populated",
+                    i, lit.atom.pred
+                ),
+                rule: Some(i),
+                pos: program.span(i).map(|s| s.literals[li]),
+            });
+        }
+    }
+
+    for &p in program.predicates() {
+        if program.is_idb(p) && !populated.contains(&p) {
+            let defining = program.rules().iter().position(|r| r.head.pred == p);
+            out.push(Lint {
+                code: LintCode::UnreachablePredicate,
+                severity: Severity::Warn,
+                message: format!("predicate {p} can never hold a fact for this database"),
+                rule: defining,
+                pos: defining.and_then(|i| program.span(i).map(|s| s.rule)),
+            });
+        }
+    }
+
+    for p in database.predicates() {
+        if program.pred_info(p).is_none() {
+            out.push(Lint {
+                code: LintCode::UnusedEdb,
+                severity: Severity::Info,
+                message: format!("database relation {p} is not referenced by the program"),
+                rule: None,
+                pos: None,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{parse_database, parse_program};
+
+    fn run(prog: &str, db: &str) -> Vec<Lint> {
+        let p = parse_program(prog).unwrap();
+        let d = parse_database(db).unwrap();
+        let mut out = Vec::new();
+        lints(&p, &d, &mut out);
+        out
+    }
+
+    #[test]
+    fn dead_rule_and_unreachable_predicate_are_flagged() {
+        let out = run(
+            "reach(X) :- edge(X).\nghost(X) :- phantom(X).\n",
+            "edge(a).",
+        );
+        let codes: Vec<_> = out.iter().map(|l| l.code).collect();
+        assert!(codes.contains(&LintCode::DeadRule));
+        assert!(codes.contains(&LintCode::UnreachablePredicate));
+        let dead = out.iter().find(|l| l.code == LintCode::DeadRule).unwrap();
+        assert_eq!(dead.rule, Some(1));
+        assert!(dead.message.contains("phantom"));
+        // The lint points at the offending literal, not the rule head.
+        assert!(dead.pos.is_some());
+    }
+
+    #[test]
+    fn negation_does_not_block_population() {
+        let out = run("p(X) :- e(X), not q(X).", "e(a).");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unused_edb_relation_is_informational() {
+        let out = run("p(X) :- e(X).", "e(a).\nscratch(a, b).");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, LintCode::UnusedEdb);
+        assert_eq!(out[0].severity, Severity::Info);
+        assert!(out[0].message.contains("scratch"));
+    }
+
+    #[test]
+    fn recursion_through_populated_base_is_live() {
+        let out = run(
+            "t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), e(Y, Z).",
+            "e(a, b).",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -195,7 +195,7 @@ impl Database {
         let mut out = Vec::new();
         for rel in self.relations.values() {
             for tuple in rel.iter() {
-                for &c in tuple.iter() {
+                for &c in tuple {
                     if seen.insert(c) {
                         out.push(c);
                     }
@@ -211,7 +211,7 @@ impl Database {
     pub fn idb_is_empty(&self, program: &Program) -> bool {
         program
             .idb_predicates()
-            .all(|p| self.relations.get(&p).is_none_or(|rel| rel.is_empty()))
+            .all(|p| self.relations.get(&p).is_none_or(Relation::is_empty))
     }
 
     /// Validates the database against a program's signature: every fact's

@@ -39,10 +39,10 @@ pub mod term;
 pub use atom::{Atom, GroundAtom, Literal, Sign};
 pub use builder::ProgramBuilder;
 pub use database::{Database, Relation, Tuple};
-pub use error::{AstError, ParseError, ValidationError};
+pub use error::{AstError, ParseError, Pos, ValidationError};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use parser::{parse_database, parse_program};
-pub use program::{PredInfo, Program};
+pub use program::{DuplicateRule, PredInfo, Program, RuleSpan};
 pub use rule::Rule;
 pub use skeleton::{Skeleton, SkeletonRule};
 pub use symbol::{ConstSym, PredSym, Symbol, VarSym};

@@ -17,7 +17,7 @@ use crate::atom::{Atom, Literal};
 use crate::database::Database;
 use crate::error::{AstError, ParseError, Pos};
 use crate::lexer::{lex, Spanned, Token};
-use crate::program::Program;
+use crate::program::{Program, RuleSpan};
 use crate::rule::Rule;
 use crate::term::Term;
 
@@ -112,13 +112,15 @@ impl Parser {
         }
     }
 
-    fn clause(&mut self) -> Result<Rule, ParseError> {
+    fn clause(&mut self) -> Result<(Rule, RuleSpan), ParseError> {
         let head_pos = self.pos();
         let head = self.atom()?;
         let mut body = Vec::new();
+        let mut literal_positions = Vec::new();
         if *self.peek() == Token::Arrow {
             self.bump();
             loop {
+                literal_positions.push(self.pos());
                 body.push(self.literal()?);
                 if *self.peek() == Token::Comma {
                     self.bump();
@@ -134,10 +136,14 @@ impl Parser {
                     format!("{} (clause starting at {head_pos})", e.message),
                 )
             })?;
-        Ok(Rule::new(head, body))
+        let span = RuleSpan {
+            rule: head_pos,
+            literals: literal_positions,
+        };
+        Ok((Rule::new(head, body), span))
     }
 
-    fn program(&mut self) -> Result<Vec<Rule>, ParseError> {
+    fn program(&mut self) -> Result<Vec<(Rule, RuleSpan)>, ParseError> {
         let mut rules = Vec::new();
         while *self.peek() != Token::Eof {
             rules.push(self.clause()?);
@@ -154,7 +160,7 @@ impl Parser {
 /// predicate occurs with inconsistent arities.
 pub fn parse_program(input: &str) -> Result<Program, AstError> {
     let rules = Parser::new(input)?.program()?;
-    Ok(Program::new(rules)?)
+    Ok(Program::with_spans(rules)?)
 }
 
 /// Parses a database (fact file): every clause must be a ground fact.
@@ -168,7 +174,7 @@ pub fn parse_database(input: &str) -> Result<Database, AstError> {
     let mut db = Database::new();
     while *parser.peek() != Token::Eof {
         let pos = parser.pos();
-        let rule = parser.clause()?;
+        let (rule, _span) = parser.clause()?;
         if !rule.is_fact() {
             return Err(ParseError::new(pos, "expected a fact (no `:-` in fact files)").into());
         }
@@ -256,6 +262,31 @@ mod tests {
             panic!("expected parse error")
         };
         assert_eq!(pe.pos.line, 2);
+    }
+
+    #[test]
+    fn parsed_rules_carry_spans() {
+        let p = parse_program("e(a).\nwin(X) :-\n  move(X, Y), not win(Y).").unwrap();
+        let s0 = p.span(0).unwrap();
+        assert_eq!((s0.rule.line, s0.rule.col), (1, 1));
+        assert!(s0.literals.is_empty());
+        let s1 = p.span(1).unwrap();
+        assert_eq!((s1.rule.line, s1.rule.col), (2, 1));
+        assert_eq!(s1.literals.len(), 2);
+        assert_eq!(s1.literals[0].line, 3);
+        // The negated literal's span points at its `not`.
+        assert_eq!(s1.literals[1].line, 3);
+        assert!(s1.literals[1].col > s1.literals[0].col);
+    }
+
+    #[test]
+    fn duplicate_clauses_collapse_with_positions() {
+        let p = parse_program("p :- q.\nr.\np :- q.\n").unwrap();
+        assert_eq!(p.len(), 2);
+        let dups = p.duplicate_rules();
+        assert_eq!(dups.len(), 1);
+        assert_eq!(dups[0].kept, 0);
+        assert_eq!(dups[0].span.as_ref().unwrap().rule.line, 3);
     }
 
     #[test]

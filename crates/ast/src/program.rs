@@ -8,11 +8,37 @@
 use std::fmt;
 
 use crate::atom::Sign;
-use crate::error::ValidationError;
+use crate::error::{Pos, ValidationError};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::rule::Rule;
-use crate::skeleton::Skeleton;
+use crate::skeleton::{Skeleton, SkeletonRule};
 use crate::symbol::{ConstSym, PredSym};
+
+/// Source positions for one rule: where the clause starts (the head atom)
+/// and where each body literal starts, in body order.
+///
+/// Parsed programs carry one span per rule; programmatically built
+/// programs carry none. Spans are presentation metadata: they do not
+/// participate in [`Program`] equality.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RuleSpan {
+    /// Position of the head atom (start of the clause).
+    pub rule: Pos,
+    /// Position of each body literal (at its `not`, if negated).
+    pub literals: Vec<Pos>,
+}
+
+/// A dropped duplicate rule. [`Program::new`] keeps the first occurrence
+/// of each syntactically identical rule and records later occurrences
+/// here, so analyses can report them without the grounder paying for
+/// them twice.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DuplicateRule {
+    /// Index into [`Program::rules`] of the retained first occurrence.
+    pub kept: usize,
+    /// Source position of the dropped occurrence, when parsed.
+    pub span: Option<RuleSpan>,
+}
 
 /// Signature information for one predicate of a program.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -28,16 +54,35 @@ pub struct PredInfo {
 /// A validated Datalog¬ program.
 ///
 /// Construction via [`Program::new`] enforces that every occurrence of a
-/// predicate has the same arity. Rules keep their source order; rule
-/// indices (`usize` positions into [`Program::rules`]) are the stable rule
-/// identities used by the grounder and the analyses.
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// predicate has the same arity. A program is a *set* of rules: later
+/// syntactically identical duplicates are dropped at construction (first
+/// occurrence wins) and recorded in [`Program::duplicate_rules`] — kept,
+/// they would ground twice and inflate every instance count. Retained
+/// rules keep their source order; rule indices (`usize` positions into
+/// [`Program::rules`]) are the stable rule identities used by the
+/// grounder and the analyses.
+///
+/// Equality compares the retained rules only; spans and duplicate
+/// records are source metadata.
+#[derive(Clone, Debug)]
 pub struct Program {
     rules: Vec<Rule>,
     preds: FxHashMap<PredSym, PredInfo>,
     /// Predicates in deterministic first-occurrence order.
     pred_order: Vec<PredSym>,
+    /// One span per rule for parsed programs; empty otherwise.
+    spans: Vec<RuleSpan>,
+    /// Dropped syntactic duplicates, in source order.
+    duplicates: Vec<DuplicateRule>,
 }
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.rules == other.rules
+    }
+}
+
+impl Eq for Program {}
 
 impl Program {
     /// Validates and constructs a program from rules.
@@ -47,7 +92,48 @@ impl Program {
     /// [`ValidationError::ArityMismatch`] if a predicate occurs with two
     /// different arities.
     pub fn new(rules: impl IntoIterator<Item = Rule>) -> Result<Self, ValidationError> {
-        let rules: Vec<Rule> = rules.into_iter().collect();
+        Self::build(rules.into_iter().map(|r| (r, None)))
+    }
+
+    /// Like [`Program::new`], but attaches a source span to every rule
+    /// (the parser's entry point).
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::ArityMismatch`] if a predicate occurs with two
+    /// different arities.
+    pub fn with_spans(
+        rules: impl IntoIterator<Item = (Rule, RuleSpan)>,
+    ) -> Result<Self, ValidationError> {
+        Self::build(rules.into_iter().map(|(r, s)| (r, Some(s))))
+    }
+
+    fn build(
+        spanned: impl IntoIterator<Item = (Rule, Option<RuleSpan>)>,
+    ) -> Result<Self, ValidationError> {
+        let mut seen: FxHashMap<Rule, usize> = FxHashMap::default();
+        let mut rules: Vec<Rule> = Vec::new();
+        let mut spans: Vec<RuleSpan> = Vec::new();
+        let mut duplicates: Vec<DuplicateRule> = Vec::new();
+        let mut all_spanned = true;
+        for (rule, span) in spanned {
+            if let Some(&kept) = seen.get(&rule) {
+                duplicates.push(DuplicateRule { kept, span });
+                continue;
+            }
+            seen.insert(rule.clone(), rules.len());
+            all_spanned &= span.is_some();
+            if let Some(span) = span {
+                spans.push(span);
+            }
+            rules.push(rule);
+        }
+        // Spans are all-or-nothing: a partially spanned input (never
+        // produced by the parser or the builder) degrades to span-less.
+        if !all_spanned {
+            spans.clear();
+        }
+
         let mut preds: FxHashMap<PredSym, PredInfo> = FxHashMap::default();
         let mut pred_order: Vec<PredSym> = Vec::new();
 
@@ -110,6 +196,8 @@ impl Program {
             rules,
             preds,
             pred_order,
+            spans,
+            duplicates,
         })
     }
 
@@ -118,9 +206,19 @@ impl Program {
         Program::new(std::iter::empty()).expect("empty program is valid")
     }
 
-    /// The rules, in source order.
+    /// The rules, in source order (duplicates already dropped).
     pub fn rules(&self) -> &[Rule] {
         &self.rules
+    }
+
+    /// The source span of rule `index`, if this program was parsed.
+    pub fn span(&self, index: usize) -> Option<&RuleSpan> {
+        self.spans.get(index)
+    }
+
+    /// The syntactic duplicates dropped at construction, in source order.
+    pub fn duplicate_rules(&self) -> &[DuplicateRule] {
+        &self.duplicates
     }
 
     /// Number of rules.
@@ -214,8 +312,16 @@ impl Program {
     /// (paper, Section 4 — "programs that only differ in the arity of the
     /// predicates and the names of the variables and constants in each
     /// rule").
+    ///
+    /// Skeletons are compared as *sets* of skeleton rules: programs are
+    /// rule sets, and realizing two same-skeleton rules identically
+    /// collapses them at construction — multiplicity is not part of the
+    /// variant relation.
     pub fn is_alphabetic_variant_of(&self, other: &Program) -> bool {
-        self.skeleton() == other.skeleton()
+        let (sa, sb) = (self.skeleton(), other.skeleton());
+        let a: FxHashSet<&SkeletonRule> = sa.rules.iter().collect();
+        let b: FxHashSet<&SkeletonRule> = sb.rules.iter().collect();
+        a == b
     }
 
     /// Signed predicate-level dependencies: for every rule `Q ← …(¬)P…`,
@@ -262,8 +368,14 @@ mod tests {
     #[test]
     fn idb_edb_split() {
         let p = win_move();
-        let idb: Vec<&str> = p.idb_predicates().map(|p| p.as_str()).collect();
-        let edb: Vec<&str> = p.edb_predicates().map(|p| p.as_str()).collect();
+        let idb: Vec<&str> = p
+            .idb_predicates()
+            .map(super::super::symbol::PredSym::as_str)
+            .collect();
+        let edb: Vec<&str> = p
+            .edb_predicates()
+            .map(super::super::symbol::PredSym::as_str)
+            .collect();
         assert_eq!(idb, vec!["win"]);
         assert_eq!(edb, vec!["move"]);
         assert!(p.is_idb(PredSym::new("win")));
@@ -318,6 +430,49 @@ mod tests {
         assert!(p.is_empty());
         assert_eq!(p.predicates().len(), 0);
         assert!(!p.has_negation());
+    }
+
+    #[test]
+    fn duplicate_rules_collapse_and_are_recorded() {
+        let r = |a: &str, b: &str| {
+            Rule::new(
+                Atom::from_texts(a, &["X"]),
+                vec![Literal::pos(Atom::from_texts(b, &["X"]))],
+            )
+        };
+        let p = Program::new(vec![r("p", "q"), r("s", "q"), r("p", "q")]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.duplicate_rules().len(), 1);
+        assert_eq!(p.duplicate_rules()[0].kept, 0);
+        assert!(p.duplicate_rules()[0].span.is_none());
+        // Equality ignores the duplicate record.
+        let q = Program::new(vec![r("p", "q"), r("s", "q")]).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn variant_relation_ignores_rule_multiplicity() {
+        // Two same-skeleton rules on one side, one on the other: still
+        // alphabetic variants (a realization can collapse them).
+        let two = Program::new(vec![
+            Rule::new(
+                Atom::from_texts("p", &["X"]),
+                vec![Literal::pos(Atom::from_texts("q", &["X"]))],
+            ),
+            Rule::new(
+                Atom::from_texts("p", &["a"]),
+                vec![Literal::pos(Atom::from_texts("q", &["b"]))],
+            ),
+        ])
+        .unwrap();
+        let one = Program::new(vec![Rule::new(
+            Atom::from_texts("p", &[]),
+            vec![Literal::pos(Atom::from_texts("q", &[]))],
+        )])
+        .unwrap();
+        assert_eq!(two.len(), 2);
+        assert!(two.is_alphabetic_variant_of(&one));
+        assert!(one.is_alphabetic_variant_of(&two));
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! The static analyzer at scale: the whole pre-grounding pass (safety
+//! lints, certificates, cost fixpoint, reachability) must stay linear-ish
+//! in the program size — it runs on every strict-mode server open.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datalog_analyze::{analyze, AnalyzeConfig};
+use paper_constructions::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_full_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze_full_pass");
+    group.sample_size(20);
+    for &rules in &[100usize, 1_000, 10_000] {
+        let mut rng = SmallRng::seed_from_u64(rules as u64);
+        let program = generators::random_call_consistent(&mut rng, rules / 4 + 2, rules, 3);
+        let db = generators::random_database(&mut rng, &program, 3, 0.3, true);
+        let config = AnalyzeConfig::default();
+        group.throughput(Throughput::Elements(rules as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rules), &rules, |b, _| {
+            b.iter(|| {
+                let report = analyze(&program, Some(&db), &config);
+                assert!(report.certificate.is_some(), "planted call-consistent");
+                std::hint::black_box(report.lints.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_certificate_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze_certificate_only");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        let program = generators::negation_cycle(n, 2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let report = analyze(&program, None, &AnalyzeConfig::default());
+                std::hint::black_box(report.certificate.is_some())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_pass, bench_certificate_only);
+criterion_main!(benches);

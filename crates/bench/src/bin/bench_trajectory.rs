@@ -449,9 +449,7 @@ fn gates(entries: &[Entry], sizes: &[usize], forest_chains: usize, scripts: usiz
 
     // Parallel scheduling: a wall-time gate only makes sense when the
     // machine can actually run workers concurrently.
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let t1 = wall_of(entries, "runtime_wide_forest", forest_chains, "threads1");
     let t4 = wall_of(entries, "runtime_wide_forest", forest_chains, "threads4");
     let speedup = t1 / t4.max(f64::MIN_POSITIVE);
@@ -570,9 +568,7 @@ fn json_escape(s: &str) -> String {
 }
 
 fn to_json(sha: &str, entries: &[Entry], gates: &[Gate], baseline: &[BaselineEntry]) -> String {
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"schema\": 2,");

@@ -639,7 +639,11 @@ fn exp_corollary2(report: &mut Report) {
             // stable model iff structurally total (for this family the
             // skeleton realization is itself propositional).
             let mut always_stable = true;
-            let preds: Vec<String> = program.predicates().iter().map(|p| p.to_string()).collect();
+            let preds: Vec<String> = program
+                .predicates()
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect();
             for mask in 0u32..(1 << preds.len()) {
                 let mut db = Database::new();
                 for (i, name) in preds.iter().enumerate() {

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! datalog analyze  <program.dl>
+//! datalog check    <program.dl> [database.dl] [--format text|json]
 //! datalog run      <program.dl> [database.dl] [--semantics wf|tb|pure-tb|stratified]
 //!                  [--policy root-true|root-false|random] [--seed N] [--threads N]
 //! datalog models   <program.dl> [database.dl] [--stable] [--limit N]
@@ -14,10 +15,21 @@
 //! datalog session  <program.dl> [database.dl] [--script FILE] [--semantics tb|pure-tb]
 //!                  [--threads N]
 //! datalog serve    [--addr HOST:PORT] [--semantics tb|pure-tb] [--threads N]
-//!                  [--max-sessions N] [--max-resident-atoms N]
+//!                  [--max-sessions N] [--max-resident-atoms N] [--strict]
 //! datalog client   <program.dl> [database.dl] --addr HOST:PORT [--script FILE]
 //! datalog client   --addr HOST:PORT --shutdown
 //! ```
+//!
+//! `check` runs the `datalog-analyze` static pass — safety lints,
+//! totality certificates, grounding cost estimates against the budget,
+//! and reachability lints — without grounding or evaluating anything.
+//! The exit status is non-zero exactly when an error-severity lint
+//! fires (today: an exact full-mode grounding cost over budget), so CI
+//! can gate on it; `--format json` emits the machine-readable report.
+//!
+//! `serve --strict` makes the server run the same pass on every open:
+//! error lints reject the open before preparation is paid for, and the
+//! open response carries a `% analysis: …` summary line.
 //!
 //! `session` holds **one long-lived solver** and streams a mutation
 //! script against it (from `--script FILE`, or stdin): `+fact.` inserts,
@@ -88,10 +100,11 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  datalog analyze <program.dl>\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N] [--threads N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb] [--threads N]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N] [--threads N]\n  datalog totality <program.dl> [--nonuniform]\n  datalog session <program.dl> [db.dl] [--script FILE] [--semantics tb|pure-tb] [--threads N]\n  datalog serve [--addr HOST:PORT] [--semantics tb|pure-tb] [--threads N] [--max-sessions N] [--max-resident-atoms N]\n  datalog client <program.dl> [db.dl] --addr HOST:PORT [--script FILE]\n  datalog client --addr HOST:PORT --shutdown\n\nGrounding commands also accept --ground-mode full|relevant (default: relevant).\nEvaluating commands also accept --eval-mode global|stratified (default: stratified).\n--threads N (N >= 1) routes run/outcomes/explain through the parallel session\nruntime; omit the flag for automatic selection via TIEBREAK_THREADS or the\nmachine's parallelism.\nsession scripts: '+fact.' insert, '-fact.' retract, '? wf', '?fact.',\n'? outcomes [N]', '? stats', '#' comments; reads stdin without --script.\nserve listens for client connections and keeps prepared sessions resident\nbehind an LRU; client opens (or reuses) a server-side session and streams a\nscript against it."
+    "usage:\n  datalog analyze <program.dl>\n  datalog check <program.dl> [db.dl] [--format text|json]\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N] [--threads N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb] [--threads N]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N] [--threads N]\n  datalog totality <program.dl> [--nonuniform]\n  datalog session <program.dl> [db.dl] [--script FILE] [--semantics tb|pure-tb] [--threads N]\n  datalog serve [--addr HOST:PORT] [--semantics tb|pure-tb] [--threads N] [--max-sessions N] [--max-resident-atoms N] [--strict]\n  datalog client <program.dl> [db.dl] --addr HOST:PORT [--script FILE]\n  datalog client --addr HOST:PORT --shutdown\n\nGrounding commands also accept --ground-mode full|relevant (default: relevant).\nEvaluating commands also accept --eval-mode global|stratified (default: stratified).\n--threads N (N >= 1) routes run/outcomes/explain through the parallel session\nruntime; omit the flag for automatic selection via TIEBREAK_THREADS or the\nmachine's parallelism.\nsession scripts: '+fact.' insert, '-fact.' retract, '? wf', '?fact.',\n'? outcomes [N]', '? stats', '#' comments; reads stdin without --script.\nserve listens for client connections and keeps prepared sessions resident\nbehind an LRU; client opens (or reuses) a server-side session and streams a\nscript against it.\ncheck exits non-zero exactly when an error-severity lint fires; serve --strict\nruns the same analysis on every open and rejects error lints before preparing."
         .to_owned()
 }
 
+#[derive(Debug)]
 struct Options {
     files: Vec<String>,
     semantics: String,
@@ -109,6 +122,8 @@ struct Options {
     max_sessions: usize,
     max_resident_atoms: u64,
     shutdown: bool,
+    format: String,
+    strict: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -129,6 +144,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_sessions: 0,
         max_resident_atoms: 0,
         shutdown: false,
+        format: "text".to_owned(),
+        strict: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -210,6 +227,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("bad resident-atom budget: {e}"))?;
             }
             "--shutdown" => opts.shutdown = true,
+            "--strict" => opts.strict = true,
+            "--format" => {
+                let value = it.next().ok_or("--format needs a value")?;
+                match value.as_str() {
+                    "text" | "json" => opts.format = value.clone(),
+                    other => return Err(format!("unknown format {other} (text|json)")),
+                }
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -307,6 +332,29 @@ fn run(args: &[String]) -> Result<(), String> {
             let engine = load_engine(&opts)?;
             let report = engine.analyze().map_err(|e| e.to_string())?;
             print!("{report}");
+            Ok(())
+        }
+        "check" => {
+            let (program_src, db_src) = load_sources(&opts)?;
+            let program = datalog_ast::parse_program(&program_src).map_err(|e| e.to_string())?;
+            let database = match opts.files.get(1) {
+                Some(_) => Some(datalog_ast::parse_database(&db_src).map_err(|e| e.to_string())?),
+                None => None,
+            };
+            let config = datalog_analyze::AnalyzeConfig::for_ground(datalog_ground::GroundConfig {
+                mode: opts.ground_mode,
+                ..datalog_ground::GroundConfig::default()
+            });
+            let report = datalog_analyze::analyze(&program, database.as_ref(), &config);
+            if opts.format == "json" {
+                println!("{}", report.to_json());
+            } else {
+                print!("{report}");
+                println!("% {}", report.summary());
+            }
+            if report.has_errors() {
+                return Err(format!("{} error-level lint(s)", report.error_count()));
+            }
             Ok(())
         }
         "run" => {
@@ -632,6 +680,7 @@ fn run_serve(opts: &Options) -> Result<(), String> {
     let addr = opts.addr.as_deref().unwrap_or("127.0.0.1:4545");
     let mut registry = RegistryConfig {
         engine: engine_config(opts),
+        strict: opts.strict,
         pure: opts.semantics == "pure-tb",
         ..RegistryConfig::default()
     };
@@ -762,13 +811,34 @@ mod tests {
             "--stable",
         ]
         .iter()
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
         let opts = parse_options(&args).unwrap();
         assert_eq!(opts.files, vec!["prog.dl", "db.dl"]);
         assert_eq!(opts.semantics, "wf");
         assert_eq!(opts.seed, 7);
         assert!(opts.stable);
+    }
+
+    #[test]
+    fn check_flags_parse() {
+        let args: Vec<String> = ["prog.dl", "db.dl", "--format", "json", "--strict"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        let opts = parse_options(&args).unwrap();
+        assert_eq!(opts.format, "json");
+        assert!(opts.strict);
+    }
+
+    #[test]
+    fn bad_format_rejected() {
+        let args: Vec<String> = ["--format", "yaml"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        let err = parse_options(&args).unwrap_err();
+        assert!(err.contains("unknown format"));
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Regenerates `examples/dl/` — the textual program/database pairs the
+//! `datalog check` CI matrix runs over, one pair per runnable example.
+//!
+//! ```sh
+//! cargo run -p paper-constructions --bin gen_example_dl
+//! ```
+//!
+//! The sources mirror the instances the `examples/*.rs` binaries build
+//! programmatically (`two_counter` is the paper's pump-and-drain(2)
+//! machine, whose full grounding intentionally blows the default budget
+//! — the CI matrix expects `check --ground-mode full` to fail on it).
+
+use std::io::Write as _;
+use std::path::Path;
+
+use paper_constructions::counter_machine::CounterMachine;
+use paper_constructions::default_logic::{Default, DefaultTheory};
+use paper_constructions::undecidability::{machine_to_program, natural_database};
+use paper_constructions::{generators, Circuit, Gate, MachineOutcome};
+
+fn write_pair(dir: &Path, name: &str, program: &str, database: &str) {
+    let write = |suffix: &str, text: &str| {
+        let path = dir.join(format!("{name}{suffix}.dl"));
+        let mut f = std::fs::File::create(&path).expect("create");
+        f.write_all(text.as_bytes()).expect("write");
+        println!("wrote {}", path.display());
+    };
+    write("", program);
+    write("_db", database);
+}
+
+fn main() {
+    let dir = Path::new("examples/dl");
+    std::fs::create_dir_all(dir).expect("mkdir examples/dl");
+
+    write_pair(
+        dir,
+        "quickstart",
+        "p(X) :- not q(X).\nq(X) :- not p(X).\n",
+        "e(a).\ne(b).\n",
+    );
+
+    write_pair(
+        dir,
+        "win_move",
+        &generators::win_move_program().to_string(),
+        "move(a, b).\nmove(b, c).\nmove(p, q).\nmove(q, p).\nmove(t, p).\n",
+    );
+
+    // The circuit example's anatomy assignment: B(x) = x0 AND (x1 OR x2)
+    // at x = (1, 0, 1), so B(x) = 1 and the reduction keeps its odd
+    // cycle (`check` reports it, CI expects exit 0 — it is a warning).
+    let circuit = Circuit {
+        inputs: 3,
+        gates: vec![
+            Gate::Input(0),
+            Gate::Input(1),
+            Gate::Input(2),
+            Gate::Or(vec![1, 2]),
+            Gate::And(vec![0, 3]),
+        ],
+    };
+    write_pair(
+        dir,
+        "circuit_totality",
+        &circuit.to_program(&[true, false, true]).to_string(),
+        "",
+    );
+
+    let machine = CounterMachine::pump_and_drain(2);
+    let MachineOutcome::Halted(steps) = machine.simulate(1000) else {
+        panic!("pump_and_drain(2) halts");
+    };
+    write_pair(
+        dir,
+        "two_counter",
+        &machine_to_program(&machine).to_string(),
+        &natural_database(steps).to_string(),
+    );
+
+    let theory = DefaultTheory::default()
+        .fact("bird")
+        .default_rule(Default::new(&["bird"], &["grounded"], "flies"))
+        .default_rule(Default::new(&["bird"], &["flies"], "grounded"));
+    let (program, database) = theory.to_program();
+    write_pair(
+        dir,
+        "default_reasoning",
+        &program.to_string(),
+        &database.to_string(),
+    );
+
+    let mut choice = String::new();
+    for i in 0..3 {
+        choice.push_str(&format!("a{i} :- not b{i}.\nb{i} :- not a{i}.\n"));
+    }
+    write_pair(dir, "nondeterministic_choice", &choice, "");
+}

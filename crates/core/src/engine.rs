@@ -97,9 +97,7 @@ impl RuntimeConfig {
                 }
             }
         }
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         (threads, diagnostic)
     }
 }
@@ -203,6 +201,13 @@ pub struct EngineConfig {
     pub runtime: RuntimeConfig,
     /// Incremental-session behaviour for the `tiebreak-runtime` solver.
     pub session: SessionConfig,
+    /// Run the `datalog-analyze` static pass before preparing a session
+    /// (`tiebreak-runtime` solver): error-level lints reject the program
+    /// with [`SemanticsError::Rejected`] before any grounding work, and a
+    /// stratification-grade totality certificate arms
+    /// [`EvalOptions::certified_total`]. Off by default; the sequential
+    /// [`Engine`] facade exposes analysis as an explicit call instead.
+    pub analysis: bool,
 }
 
 impl Default for EngineConfig {
@@ -219,6 +224,7 @@ impl Default for EngineConfig {
             },
             runtime: RuntimeConfig::default(),
             session: SessionConfig::default(),
+            analysis: false,
         }
     }
 }
@@ -234,6 +240,7 @@ impl EngineConfig {
             eval: EvalOptions::default(),
             runtime: RuntimeConfig::default(),
             session: SessionConfig::default(),
+            analysis: false,
         }
     }
 
@@ -272,6 +279,14 @@ impl EngineConfig {
     #[must_use]
     pub fn with_incremental(mut self, incremental: bool) -> Self {
         self.session.incremental = incremental;
+        self
+    }
+
+    /// Enables the pre-prepare static-analysis pass (see
+    /// [`EngineConfig::analysis`]).
+    #[must_use]
+    pub fn with_analysis(mut self, analysis: bool) -> Self {
+        self.analysis = analysis;
         self
     }
 
@@ -446,8 +461,11 @@ impl Engine {
             .ground()
             .ok()
             .map(|g| analysis::locally_stratified(&g).locally_stratified);
-        let mut useless_names: Vec<String> =
-            useless.useless.iter().map(|p| p.to_string()).collect();
+        let mut useless_names: Vec<String> = useless
+            .useless
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         useless_names.sort();
         Ok(AnalysisReport {
             stratified: strat.stratified,

@@ -186,7 +186,7 @@ mod tests {
             false,
         );
         assert_eq!(o.models.len(), 4);
-        assert!(o.models.iter().all(|m| m.is_total()));
+        assert!(o.models.iter().all(datalog_ground::PartialModel::is_total));
         for m in &o.models {
             assert!(is_stable(&g, &p, &d, m));
         }

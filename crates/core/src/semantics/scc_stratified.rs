@@ -327,7 +327,7 @@ mod tests {
     #[test]
     fn tie_orientations_match_global() {
         let (g, p, d) = setup("p :- not q.\nq :- not p.", "");
-        for (policy_true, _) in [(true, ()), (false, ())] {
+        for (policy_true, ()) in [(true, ()), (false, ())] {
             let run = |strat: bool| {
                 if policy_true {
                     let mut pol = RootTruePolicy;

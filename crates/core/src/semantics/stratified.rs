@@ -39,10 +39,10 @@ impl StratifiedRun {
 pub fn stratified(program: &Program, database: &Database) -> Result<StratifiedRun, SemanticsError> {
     let strat = stratify(program);
     if !strat.stratified {
-        let why = strat
-            .witness
-            .map(|w| format!("cycle through negation: {w}"))
-            .unwrap_or_else(|| "program is not stratified".to_owned());
+        let why = strat.witness.map_or_else(
+            || "program is not stratified".to_owned(),
+            |w| format!("cycle through negation: {w}"),
+        );
         return Err(SemanticsError::NotApplicable(why));
     }
 

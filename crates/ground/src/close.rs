@@ -276,7 +276,7 @@ impl<'g> Closer<'g> {
             let rule = self.graph.rule(r);
             let mut pending = 0u32;
             let mut dead = false;
-            for &(a, sign) in rule.body.iter() {
+            for &(a, sign) in &rule.body {
                 if cone.atom_in[a.index()] {
                     pending += 1; // resolved by cone events, if ever
                     continue;
@@ -582,7 +582,7 @@ impl<'g> Closer<'g> {
             if let Some(hn) = atom_node[rule.head.index()] {
                 digraph.add_edge(rn, hn, EdgeSign::Pos);
             }
-            for &(a, s) in rule.body.iter() {
+            for &(a, s) in &rule.body {
                 if let Some(an) = atom_node[a.index()] {
                     let sign = match s {
                         Sign::Pos => EdgeSign::Pos,

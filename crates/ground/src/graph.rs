@@ -99,7 +99,7 @@ impl GroundGraph {
         for (i, rule) in rules.iter().enumerate() {
             let id = RuleId(i as u32);
             atom_heads[rule.head.index()].push(id);
-            for &(a, s) in rule.body.iter() {
+            for &(a, s) in &rule.body {
                 atom_uses[a.index()].push((id, s));
             }
         }
@@ -204,7 +204,7 @@ impl GroundGraph {
     pub fn push_rule(&mut self, rule: GroundRule) -> RuleId {
         let id = RuleId(u32::try_from(self.rules.len()).expect("rule ids fit u32 within budget"));
         self.atom_heads[rule.head.index()].push(id);
-        for &(a, s) in rule.body.iter() {
+        for &(a, s) in &rule.body {
             self.atom_uses[a.index()].push((id, s));
         }
         self.rules.push(rule);

@@ -299,7 +299,7 @@ impl UnfoundedEngine {
             if hn != NO_NODE && cone.atom_in[rule.head.index()] {
                 digraph.add_edge(rn, hn, EdgeSign::Pos);
             }
-            for &(a, s) in rule.body.iter() {
+            for &(a, s) in &rule.body {
                 if !cone.atom_in[a.index()] {
                     continue;
                 }
@@ -409,7 +409,7 @@ impl UnfoundedEngine {
             if closer.atom_alive(rule.head) {
                 link(self.atom_comp[rule.head.index()], &mut uf);
             }
-            for &(a, _) in rule.body.iter() {
+            for &(a, _) in &rule.body {
                 if closer.atom_alive(a) {
                     link(self.atom_comp[a.index()], &mut uf);
                 }
@@ -596,7 +596,7 @@ impl UnfoundedEngine {
             if hn != NO_NODE {
                 digraph.add_edge(rn, hn, EdgeSign::Pos);
             }
-            for &(a, s) in rule.body.iter() {
+            for &(a, s) in &rule.body {
                 let an = self.node_of_atom[a.index()];
                 if an != NO_NODE {
                     let sign = match s {

@@ -154,10 +154,24 @@ impl Solver {
         database: Database,
         config: EngineConfig,
     ) -> Result<Self, SemanticsError> {
+        let mut config = config;
+        if config.analysis {
+            let report = datalog_analyze::analyze(
+                &program,
+                Some(&database),
+                &datalog_analyze::AnalyzeConfig::for_ground(config.ground),
+            );
+            if report.has_errors() {
+                return Err(SemanticsError::Rejected(report.error_messages().join("; ")));
+            }
+            if report.certificate.is_some_and(|c| c.arms_fast_path()) {
+                config.eval.certified_total = true;
+            }
+        }
         let prepared = prepare(&program, &database, &config)?;
         let mut const_refs: FxHashMap<ConstSym, usize> = FxHashMap::default();
         for fact in database.facts() {
-            for &c in fact.args.iter() {
+            for &c in &fact.args {
                 *const_refs.entry(c).or_insert(0) += 1;
             }
         }
@@ -356,7 +370,11 @@ impl Solver {
             let expected = self
                 .program
                 .arity(fact.pred)
-                .or_else(|| self.database.relation(fact.pred).map(|r| r.arity()))
+                .or_else(|| {
+                    self.database
+                        .relation(fact.pred)
+                        .map(datalog_ast::Relation::arity)
+                })
                 .or_else(|| batch_arity.get(&fact.pred).copied());
             if let Some(expected) = expected {
                 if expected != fact.args.len() {
@@ -380,13 +398,13 @@ impl Solver {
             self.database
                 .insert(fact.clone())
                 .expect("arities pre-validated");
-            for &c in fact.args.iter() {
+            for &c in &fact.args {
                 *self.const_refs.entry(c).or_insert(0) += 1;
             }
         }
         for fact in &retracts {
             self.database.remove(fact);
-            for &c in fact.args.iter() {
+            for &c in &fact.args {
                 if let Some(n) = self.const_refs.get_mut(&c) {
                     *n = n.saturating_sub(1);
                 }
@@ -487,7 +505,7 @@ impl Solver {
     ) -> SolverError {
         for fact in inserts {
             self.database.remove(fact);
-            for &c in fact.args.iter() {
+            for &c in &fact.args {
                 if let Some(n) = self.const_refs.get_mut(&c) {
                     *n = n.saturating_sub(1);
                 }
@@ -497,7 +515,7 @@ impl Solver {
             self.database
                 .insert(fact.clone())
                 .expect("fact was present before");
-            for &c in fact.args.iter() {
+            for &c in &fact.args {
                 *self.const_refs.entry(c).or_insert(0) += 1;
             }
         }
@@ -710,6 +728,12 @@ impl Solver {
         &self,
         factory: &F,
     ) -> Result<InterpreterRun, SemanticsError> {
+        if self.config.eval.certified_total {
+            // A stratification-grade certificate: no tie can fire, so
+            // the plain well-founded path computes the same (total)
+            // model without paying for tie machinery.
+            return self.well_founded_run();
+        }
         scheduler::run_session(self, Some(factory), true)
     }
 

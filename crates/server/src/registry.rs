@@ -47,6 +47,12 @@ use crate::script::ScriptSession;
 pub struct RegistryConfig {
     /// Engine configuration applied to every prepared session.
     pub engine: EngineConfig,
+    /// Strict admission: run the static analyzer on every miss before
+    /// paying for preparation. Error-severity lints reject the open
+    /// (cheaply, pre-lock); a stratification-grade certificate arms the
+    /// session's evaluation fast path; the analysis summary is cached
+    /// on the entry and echoed in the open response.
+    pub strict: bool,
     /// `? outcomes` semantics for prepared sessions (`pure-tb` vs
     /// wf-tb).
     pub pure: bool,
@@ -62,6 +68,7 @@ impl Default for RegistryConfig {
         let engine = EngineConfig::default();
         RegistryConfig {
             engine,
+            strict: false,
             pure: false,
             max_sessions: 64,
             // Default pool: four sessions' worth of the per-session
@@ -81,12 +88,21 @@ pub struct SessionEntry {
     resident_atoms: AtomicUsize,
     /// LRU stamp from the registry's logical clock.
     last_used: AtomicU64,
+    /// One-line analysis summary (strict mode only), echoed to every
+    /// connection that opens this session.
+    analysis: Option<String>,
 }
 
 impl SessionEntry {
     /// The registry key (FxHash of program + database source).
     pub fn key(&self) -> u64 {
         self.key
+    }
+
+    /// The cached analysis summary, when the registry ran in strict
+    /// mode when this entry was prepared.
+    pub fn analysis_summary(&self) -> Option<&str> {
+        self.analysis.as_deref()
     }
 
     /// Locks the interpreter. Poisoning is survivable: the solver
@@ -114,6 +130,9 @@ impl SessionEntry {
 pub enum OpenError {
     /// The program/database failed to parse or prepare.
     Prepare(String),
+    /// Strict mode: the static analyzer found error-severity lints, so
+    /// the open was refused before preparation was paid for.
+    Rejected(String),
     /// The prepared session alone exceeds the resident-atom budget;
     /// admitting it could not be fixed by evicting others.
     AdmissionDenied {
@@ -128,6 +147,7 @@ impl std::fmt::Display for OpenError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OpenError::Prepare(msg) => write!(f, "prepare failed: {msg}"),
+            OpenError::Rejected(msg) => write!(f, "rejected by analysis: {msg}"),
             OpenError::AdmissionDenied { atoms, budget } => write!(
                 f,
                 "admission denied: session needs {atoms} resident ground atoms, pool budget is \
@@ -237,13 +257,34 @@ impl SessionRegistry {
             });
         }
 
-        // Miss: prepare outside the lock.
-        let solver = Solver::with_config(
-            datalog_ast::parse_program(program).map_err(|e| OpenError::Prepare(e.to_string()))?,
-            datalog_ast::parse_database(database).map_err(|e| OpenError::Prepare(e.to_string()))?,
-            self.config.engine,
-        )
-        .map_err(|e| OpenError::Prepare(e.to_string()))?;
+        // Miss: parse, (optionally) analyze, then prepare — all outside
+        // the lock. In strict mode the analyzer runs before preparation
+        // so a certain blowup costs a predicate-level pass, not a
+        // grounding attempt.
+        let ast_program =
+            datalog_ast::parse_program(program).map_err(|e| OpenError::Prepare(e.to_string()))?;
+        let ast_database =
+            datalog_ast::parse_database(database).map_err(|e| OpenError::Prepare(e.to_string()))?;
+        let mut engine = self.config.engine;
+        let mut summary = None;
+        if self.config.strict {
+            let report = datalog_analyze::analyze(
+                &ast_program,
+                Some(&ast_database),
+                &datalog_analyze::AnalyzeConfig::for_ground(engine.ground),
+            );
+            if report.has_errors() {
+                let mut inner = self.lock_inner();
+                inner.counters.rejected += 1;
+                return Err(OpenError::Rejected(report.error_messages().join("; ")));
+            }
+            if report.certificate.is_some_and(|c| c.arms_fast_path()) {
+                engine.eval.certified_total = true;
+            }
+            summary = Some(report.summary());
+        }
+        let solver = Solver::with_config(ast_program, ast_database, engine)
+            .map_err(|e| OpenError::Prepare(e.to_string()))?;
         let atoms = solver.footprint().atoms;
 
         if atoms as u64 > self.config.max_resident_atoms {
@@ -260,6 +301,7 @@ impl SessionRegistry {
             session: Mutex::new(ScriptSession::new(solver, self.config.pure)),
             resident_atoms: AtomicUsize::new(atoms),
             last_used: AtomicU64::new(self.tick()),
+            analysis: summary,
         });
 
         let mut inner = self.lock_inner();

@@ -309,7 +309,7 @@ pub fn write_outcomes(
         let facts: Vec<String> = model
             .true_atoms(atoms)
             .iter()
-            .map(|f| f.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         writeln!(
             out,

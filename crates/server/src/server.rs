@@ -349,6 +349,9 @@ fn handle_open(
             if let Some(diag) = diagnostic {
                 let _ = write!(response, "\n% {diag}");
             }
+            if let Some(summary) = outcome.entry.analysis_summary() {
+                let _ = write!(response, "\n% analysis: {summary}");
+            }
             drop(session);
             *entry = Some(outcome.entry);
             *lineno = 0;

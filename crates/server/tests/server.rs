@@ -281,7 +281,7 @@ fn fuzzed_byte_streams_never_panic_the_frame_parser() {
             match read_frame(&mut cursor, 64) {
                 Ok(Some(_)) => {}
                 Ok(None) => break,
-                Err(WireError::Oversized { .. }) | Err(WireError::Io(_)) => break,
+                Err(WireError::Oversized { .. } | WireError::Io(_)) => break,
             }
         }
     }
@@ -290,4 +290,53 @@ fn fuzzed_byte_streams_never_panic_the_frame_parser() {
     write_frame(&mut buf, b"ok").expect("write");
     let mut cursor = std::io::Cursor::new(buf);
     assert_eq!(read_frame(&mut cursor, 64).unwrap().unwrap(), b"ok");
+}
+
+#[test]
+fn strict_mode_rejects_certain_blowups_before_prepare() {
+    use tiebreak_core::EngineConfig;
+
+    let config = ServerConfig {
+        registry: RegistryConfig {
+            engine: EngineConfig::default().with_ground_mode(datalog_ground::GroundMode::Full),
+            strict: true,
+            ..RegistryConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let (addr, registry, handle) = start_server(config);
+    let mut client = Client::connect(addr).expect("connect");
+
+    // 7-step chained join over a path: 9^8 ≈ 43M exact full-mode rule
+    // instances, so the analyzer's error lint must refuse the open
+    // without attempting the grounding.
+    let blowup = "big(A, H) :- e(A, B), e(B, C), e(C, D), e(D, E), e(E, F), e(F, G), e(G, H).";
+    let mut db = String::new();
+    for i in 0..8 {
+        db.push_str(&format!("e(c{}, c{}).\n", i, i + 1));
+    }
+    let err = client.open(blowup, &db).expect_err("must reject");
+    match err {
+        ClientError::Server(msg) => {
+            assert!(msg.contains("rejected by analysis"), "{msg}");
+            assert!(msg.contains("ground-cost"), "{msg}");
+        }
+        other => panic!("expected server rejection, got {other:?}"),
+    }
+    let stats = registry.stats();
+    assert_eq!(stats.sessions, 0, "nothing was prepared or admitted");
+    assert_eq!(stats.rejected, 1);
+
+    // A benign stratified program on the same connection still opens,
+    // and the response carries the analysis summary comment.
+    let resp = client
+        .open("reach(X) :- edge(X).", "edge(a).")
+        .expect("clean open");
+    assert!(
+        resp.body.contains("% analysis: certificate=stratified"),
+        "{}",
+        resp.body
+    );
+
+    stop_server(addr, handle);
 }

@@ -51,7 +51,11 @@ fn main() {
     let program = circuit.to_program(&x);
     println!("\nreduction for x = (1, 0, 1):\n{program}");
     let useless = useless_predicates(&program);
-    let mut names: Vec<String> = useless.useless.iter().map(|p| p.to_string()).collect();
+    let mut names: Vec<String> = useless
+        .useless
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     names.sort();
     println!("useless predicates (gates evaluating to 0): {names:?}");
 }

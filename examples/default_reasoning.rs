@@ -28,7 +28,7 @@ fn main() {
 
     let (program, database) = theory.to_program();
     println!("corresponding program:\n{program}");
-    println!("Δ = W = {{ {} }}\n", database);
+    println!("Δ = W = {{ {database} }}\n");
 
     // Reiter extensions by brute force.
     let extensions = theory.extensions();

@@ -27,7 +27,11 @@ fn main() {
         let mut policy = ScriptedPolicy::new(script.clone(), false);
         let out = engine.well_founded_tie_breaking(&mut policy).expect("runs");
         assert!(out.total, "structurally total: every script totals");
-        let model: Vec<String> = out.true_facts.iter().map(|f| f.to_string()).collect();
+        let model: Vec<String> = out
+            .true_facts
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         println!("script {script:?} -> {{{}}}", model.join(", "));
         outcomes.insert(model.join(","));
     }
@@ -39,7 +43,7 @@ fn main() {
         .iter()
         .map(|m| {
             m.iter()
-                .map(|f| f.to_string())
+                .map(std::string::ToString::to_string)
                 .collect::<Vec<_>>()
                 .join(",")
         })

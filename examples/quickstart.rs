@@ -37,7 +37,11 @@ fn main() {
     for (name, root_true) in [("root-true", true), ("root-false", false)] {
         let mut policy = ScriptedPolicy::new(vec![root_true, root_true], root_true);
         let out = engine.well_founded_tie_breaking(&mut policy).expect("runs");
-        let facts: Vec<String> = out.true_facts.iter().map(|f| f.to_string()).collect();
+        let facts: Vec<String> = out
+            .true_facts
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         println!(
             "tie-breaking [{name}]: total = {}, ties broken = {}, true = {{{}}}",
             out.total,
@@ -50,7 +54,7 @@ fn main() {
     let stable = engine.stable_models().expect("enumerates");
     println!("stable models: {}", stable.len());
     for (i, model) in stable.iter().enumerate() {
-        let facts: Vec<String> = model.iter().map(|f| f.to_string()).collect();
+        let facts: Vec<String> = model.iter().map(std::string::ToString::to_string).collect();
         println!("  #{}: {{{}}}", i + 1, facts.join(", "));
     }
 }

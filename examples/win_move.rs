@@ -35,7 +35,7 @@ fn main() {
         "  undefined: {:?}",
         wf.undefined
             .iter()
-            .map(|a| a.to_string())
+            .map(std::string::ToString::to_string)
             .collect::<Vec<_>>()
     );
 
@@ -48,7 +48,7 @@ fn main() {
             .true_facts
             .iter()
             .filter(|f| f.pred.as_str() == "win")
-            .map(|f| f.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         println!(
             "tie-breaking (seed {seed}): total = {}, wins = {{{}}}",

@@ -34,13 +34,16 @@
 //! assert!(out.total);
 //! ```
 //!
-//! The six crates re-exported here can also be used individually:
+//! The crates re-exported here can also be used individually:
 //! [`ast`] (language front-end), [`graph`] (signed graphs and ties),
 //! [`ground`] (ground graphs and `close`), [`core`] (semantics and
-//! analyses), [`runtime`] (the parallel session solver: ground once,
-//! close once, serve many evaluations), and [`constructions`]
-//! (reductions and generators).
+//! analyses), [`analyze`] (the pre-grounding static analyzer: safety
+//! lints, totality certificates, grounding cost estimates),
+//! [`runtime`] (the parallel session solver: ground once, close once,
+//! serve many evaluations), and [`constructions`] (reductions and
+//! generators).
 
+pub use datalog_analyze as analyze;
 pub use datalog_ast as ast;
 pub use datalog_ground as ground;
 pub use paper_constructions as constructions;
@@ -50,6 +53,10 @@ pub use tiebreak_runtime as runtime;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use datalog_analyze::{
+        analyze, AnalysisReport, AnalyzeConfig, CertificateGrade, Lint, LintCode, Severity,
+        TotalityCertificate,
+    };
     pub use datalog_ast::{
         parse_database, parse_program, Atom, Database, GroundAtom, Literal, Program,
         ProgramBuilder, Rule, Term,

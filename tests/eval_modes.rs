@@ -99,7 +99,7 @@ fn outcome_set(
                 let mut t: Vec<String> = m
                     .true_atoms(graph.atoms())
                     .iter()
-                    .map(|a| a.to_string())
+                    .map(std::string::ToString::to_string)
                     .collect();
                 t.sort();
                 let mut u: Vec<String> = m

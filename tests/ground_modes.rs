@@ -67,7 +67,7 @@ fn residual(graph: &GroundGraph, program: &Program, database: &Database) -> Resi
     let mut true_atoms: Vec<String> = model
         .true_atoms(graph.atoms())
         .iter()
-        .map(|a| a.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     true_atoms.sort();
     Residual {
@@ -94,7 +94,7 @@ fn outcome_set(
             let mut t: Vec<String> = m
                 .true_atoms(graph.atoms())
                 .iter()
-                .map(|a| a.to_string())
+                .map(std::string::ToString::to_string)
                 .collect();
             t.sort();
             let mut u: Vec<String> = m
@@ -131,7 +131,7 @@ fn assert_equivalent(program: &Program, database: &Database) {
         let mut v: Vec<String> = m
             .true_atoms(g.atoms())
             .iter()
-            .map(|a| a.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         v.sort();
         v

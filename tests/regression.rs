@@ -159,7 +159,10 @@ fn corpus_semantics_are_pinned() {
 
         // Tie-breaking totalization: check over ALL choice scripts.
         let outcomes = all_outcomes(&graph, &program, &db, false, 64).unwrap();
-        let any_total = outcomes.models.iter().any(|m| m.is_total());
+        let any_total = outcomes
+            .models
+            .iter()
+            .any(tie_breaking_datalog::prelude::PartialModel::is_total);
         if case.tb_totalizes {
             assert!(any_total, "{}: tie-breaking should totalize", case.name);
             // And every total outcome is stable (Lemma 3).

@@ -84,8 +84,16 @@ fn solver_for(program: &Program, db: &Database, mode: GroundMode, threads: usize
 }
 
 fn decoded(outcome: &EvalOutcome) -> (Vec<String>, Vec<String>) {
-    let mut t: Vec<String> = outcome.true_facts.iter().map(|a| a.to_string()).collect();
-    let mut u: Vec<String> = outcome.undefined.iter().map(|a| a.to_string()).collect();
+    let mut t: Vec<String> = outcome
+        .true_facts
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
+    let mut u: Vec<String> = outcome
+        .undefined
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     t.sort();
     u.sort();
     (t, u)
@@ -101,7 +109,11 @@ fn outcome_set_of_models(
     models
         .iter()
         .map(|m| {
-            let mut t: Vec<String> = m.true_atoms(atoms).iter().map(|a| a.to_string()).collect();
+            let mut t: Vec<String> = m
+                .true_atoms(atoms)
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect();
             t.sort();
             let mut u: Vec<String> = m
                 .undefined_atoms()
@@ -123,7 +135,7 @@ fn assert_threads_agree(program: &Program, db: &Database, mode: GroundMode) {
         .model
         .true_atoms(ref_graph.atoms())
         .iter()
-        .map(|a| a.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     ref_true.sort();
 

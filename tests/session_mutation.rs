@@ -74,8 +74,16 @@ fn solver_for(program: &Program, db: &Database, mode: GroundMode, threads: usize
 }
 
 fn decoded(outcome: &EvalOutcome) -> (Vec<String>, Vec<String>) {
-    let mut t: Vec<String> = outcome.true_facts.iter().map(|a| a.to_string()).collect();
-    let mut u: Vec<String> = outcome.undefined.iter().map(|a| a.to_string()).collect();
+    let mut t: Vec<String> = outcome
+        .true_facts
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
+    let mut u: Vec<String> = outcome
+        .undefined
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     t.sort();
     u.sort();
     (t, u)
@@ -90,7 +98,11 @@ fn outcome_set(solver: &Solver, pure: bool) -> BTreeSet<Outcome> {
     set.models
         .iter()
         .map(|m| {
-            let mut t: Vec<String> = m.true_atoms(atoms).iter().map(|a| a.to_string()).collect();
+            let mut t: Vec<String> = m
+                .true_atoms(atoms)
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect();
             t.sort();
             let mut u: Vec<String> = m
                 .undefined_atoms()
