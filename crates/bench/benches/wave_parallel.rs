@@ -1,0 +1,96 @@
+//! E-WAVE — intra-branch wave scheduling on single-branch residuals.
+//!
+//! The branch scheduler's unit of parallelism is a weakly-connected
+//! branch, so a single giant residual — the shape the paper's win–move
+//! and counter-machine constructions produce at scale — used to get zero
+//! speedup from extra threads. The wave scheduler splits such a branch
+//! *internally* into equal-depth component waves. Two instances:
+//!
+//! * **`wave_braided_unfounded`** — [`braided unfounded
+//!   chain`](generators::braided_unfounded_chain_program): one branch,
+//!   waves as wide as the chain count, real well-founded work per
+//!   component (a full unfounded cascade each). This is the instance the
+//!   CI `bench-trajectory` gate measures (≥2× at 4 threads on ≥4-core
+//!   runners).
+//! * **`wave_braided_ties`** — [`braided tie
+//!   chain`](generators::braided_tie_chain_db): the draw-pocket braid;
+//!   per-component work is small, so this measures the wave machinery's
+//!   coordination overhead floor rather than its throughput.
+//!
+//! Each iteration prepares a fresh [`Solver`]: the session's branch
+//! cache memoizes policy-free branches, so re-running `well_founded` on
+//! one solver would time the cache replay, not the wave kernel. Only the
+//! evaluation is inside the timed closure.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use paper_constructions::generators;
+use tiebreak_core::{EngineConfig, RuntimeConfig};
+use tiebreak_runtime::Solver;
+
+fn bench_braided_unfounded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wave_braided_unfounded");
+    group.sample_size(10);
+    let (chains, pockets, loop_size) = (8usize, 4usize, 128usize);
+    let program = generators::braided_unfounded_chain_program(chains, pockets, loop_size);
+    let db = datalog_ast::Database::new();
+    group.throughput(Throughput::Elements((chains * pockets * loop_size) as u64));
+    for &threads in &[1usize, 2, 4] {
+        let id = BenchmarkId::new("threads", threads);
+        group.bench_with_input(id, &threads, |b, &threads| {
+            b.iter_batched(
+                || {
+                    let s = Solver::with_config(
+                        program.clone(),
+                        db.clone(),
+                        EngineConfig::default().with_runtime(RuntimeConfig::with_threads(threads)),
+                    )
+                    .expect("prepares");
+                    assert_eq!(s.branch_count(), 1);
+                    s
+                },
+                |s| {
+                    let out = s.well_founded().expect("runs");
+                    assert!(out.total);
+                    std::hint::black_box(out);
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_braided_ties(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wave_braided_ties");
+    group.sample_size(10);
+    let (chains, pockets) = (64usize, 32usize);
+    let program = datalog_ast::parse_program("win(X) :- move(X, Y), not win(Y).").expect("parses");
+    let db = generators::braided_tie_chain_db(chains, pockets);
+    group.throughput(Throughput::Elements((chains * pockets) as u64));
+    for &threads in &[1usize, 2, 4] {
+        let id = BenchmarkId::new("threads", threads);
+        group.bench_with_input(id, &threads, |b, &threads| {
+            b.iter_batched(
+                || {
+                    let s = Solver::with_config(
+                        program.clone(),
+                        db.clone(),
+                        EngineConfig::default().with_runtime(RuntimeConfig::with_threads(threads)),
+                    )
+                    .expect("prepares");
+                    assert_eq!(s.branch_count(), 1);
+                    s
+                },
+                |s| {
+                    let out = s.well_founded().expect("runs");
+                    std::hint::black_box(out);
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_braided_unfounded, bench_braided_ties);
+criterion_main!(benches);

@@ -133,6 +133,76 @@ pub fn wide_tie_forest_db(chains: usize, pockets: usize) -> Database {
     db
 }
 
+/// A **braided tie chain** for the win–move game: `chains` parallel
+/// pocket chains of `pockets` draw pockets each, plus one hub position
+/// `h` that can advance into every chain's first pocket. The hub moves
+/// weakly connect everything, so the residual condensation is a *single*
+/// branch — the shape branch-level scheduling cannot split — while the
+/// pockets at equal chain offset share no path and form waves of width
+/// `chains`: the canonical workload for the intra-branch wave scheduler.
+/// (The hub itself sits alone in the deepest wave, exercising the
+/// single-component short-circuit.)
+pub fn braided_tie_chain_db(chains: usize, pockets: usize) -> Database {
+    let mut db = Database::new();
+    let mut insert = |from: &str, to: &str| {
+        db.insert(GroundAtom::from_texts("move", &[from, to]))
+            .expect("binary facts");
+    };
+    for c in 0..chains {
+        for i in 0..pockets {
+            insert(&format!("t{c}a{i}"), &format!("t{c}b{i}"));
+            insert(&format!("t{c}b{i}"), &format!("t{c}a{i}"));
+            if i + 1 < pockets {
+                insert(&format!("t{c}a{i}"), &format!("t{c}a{}", i + 1));
+            }
+        }
+        insert("h", &format!("t{c}a0"));
+    }
+    db
+}
+
+/// A **braided unfounded chain**: `chains` parallel chains of `pockets`
+/// positive loops of `loop_size` atoms each (`p_i ← p_{i+1 mod m}`), a
+/// link rule handing each pocket support from its predecessor pocket,
+/// and a guarded hub atom supported by every chain's last pocket. Like
+/// [`braided_tie_chain_db`] the hub makes the residual one
+/// weakly-connected branch with waves of width `chains`, but here every
+/// component does real well-founded work — a `loop_size`-long unfounded
+/// cascade plus the `close` that retires it — so the instance measures
+/// wave *throughput* on the policy-free hot path rather than tie
+/// bookkeeping. The well-founded model is total (everything false).
+pub fn braided_unfounded_chain_program(chains: usize, pockets: usize, loop_size: usize) -> Program {
+    assert!(loop_size >= 2, "a link rule needs a second loop atom");
+    let mut b = ProgramBuilder::new();
+    let name = |c: usize, j: usize, i: usize| format!("u{c}p{j}n{i}");
+    for c in 0..chains {
+        for j in 0..pockets {
+            for i in 0..loop_size {
+                let head = name(c, j, i);
+                let next = name(c, j, (i + 1) % loop_size);
+                b = b.rule(&head, &[], |body| {
+                    body.pos(&next, &[]);
+                });
+            }
+            if j > 0 {
+                // In-pocket second literal pulls the link rule into the
+                // pocket's SCC, keeping one component per pocket.
+                let head = name(c, j, 0);
+                let prev = name(c, j - 1, 0);
+                let sibling = name(c, j, 1);
+                b = b.rule(&head, &[], |body| {
+                    body.pos(&prev, &[]).pos(&sibling, &[]);
+                });
+            }
+        }
+        let last = name(c, pockets - 1, 0);
+        b = b.rule("hub", &[], |body| {
+            body.pos(&last, &[]).pos("hub", &[]);
+        });
+    }
+    b.build().expect("valid")
+}
+
 /// An **outcome-enumeration workload** for the win–move game: a decided
 /// move chain of `decided` edges (the well-founded core resolves it in
 /// the first `close`) plus `pockets` independent draw pockets. With `k`

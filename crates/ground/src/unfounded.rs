@@ -42,6 +42,110 @@ use crate::graph::RuleId;
 /// Sentinel component id for nodes not alive when the engine was built.
 const NO_COMP: u32 = u32::MAX;
 
+/// A compressed-sparse-row arena: per-slot `(start, len)` spans into one
+/// contiguous data slab. The per-component member tables use this instead
+/// of `Vec<Vec<_>>` so that (a) iterating a component touches one cache
+/// line run instead of chasing a pointer per component, and (b) cloning
+/// the engine for a worker fork is three flat `memcpy`s rather than one
+/// allocation per component.
+///
+/// [`UnfoundedEngine::patch_cone`] keeps arenas valid across incremental
+/// patches: retiring a component empties its span (the slab range becomes
+/// garbage), re-condensed components append at the slab tail, and the slab
+/// is compacted once per patch when garbage dominates — so a session
+/// flapping facts forever holds the slab at O(live members).
+#[derive(Clone)]
+struct CsrArena<T> {
+    /// Per slot: `(start, len)` into `data`. Cleared slots are `(0, 0)`.
+    spans: Vec<(u32, u32)>,
+    data: Vec<T>,
+    /// Total length of all live spans (slab minus garbage).
+    live: u32,
+}
+
+impl<T: Copy> CsrArena<T> {
+    /// A counting-sort shell: spans sized from `counts`, slab filled with
+    /// `fill`. Returns the arena and the per-slot write cursors for
+    /// [`CsrArena::place`].
+    fn from_counts(counts: &[u32], fill: T) -> (Self, Vec<u32>) {
+        let mut spans = Vec::with_capacity(counts.len());
+        let mut start = 0u32;
+        for &c in counts {
+            spans.push((start, c));
+            start += c;
+        }
+        let cursors: Vec<u32> = spans.iter().map(|&(s, _)| s).collect();
+        let arena = CsrArena {
+            spans,
+            data: vec![fill; start as usize],
+            live: start,
+        };
+        (arena, cursors)
+    }
+
+    /// Placement write during a counting-sort build: `item` goes to slot
+    /// `c`'s next cursor position.
+    fn place(&mut self, cursors: &mut [u32], c: u32, item: T) {
+        let at = cursors[c as usize];
+        self.data[at as usize] = item;
+        cursors[c as usize] = at + 1;
+    }
+
+    /// The members of slot `c`.
+    fn get(&self, c: u32) -> &[T] {
+        let (start, len) = self.spans[c as usize];
+        &self.data[start as usize..(start + len) as usize]
+    }
+
+    /// Number of slots (live and cleared alike).
+    fn slot_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Grows the span table to cover slot `c`; new slots are empty.
+    fn ensure_slot(&mut self, c: u32) {
+        if c as usize >= self.spans.len() {
+            self.spans.resize(c as usize + 1, (0, 0));
+        }
+    }
+
+    /// Empties slot `c`; its old slab range becomes garbage until the
+    /// next [`CsrArena::compact`].
+    fn clear(&mut self, c: u32) {
+        let (_, len) = self.spans[c as usize];
+        self.live -= len;
+        self.spans[c as usize] = (0, 0);
+    }
+
+    /// Points slot `c` (which must be empty or cleared) at a fresh span
+    /// appended to the slab tail.
+    fn set(&mut self, c: u32, items: &[T]) {
+        self.clear(c);
+        let start = self.data.len() as u32;
+        self.data.extend_from_slice(items);
+        self.spans[c as usize] = (start, items.len() as u32);
+        self.live += items.len() as u32;
+    }
+
+    /// Rewrites the slab to live spans only, once garbage dominates (the
+    /// `2 × live + 64` bound keeps compaction amortized O(1) per patched
+    /// member while still capping the slab at O(live)). Slot contents are
+    /// untouched; only their slab positions move.
+    fn compact(&mut self) {
+        if self.data.len() as u32 <= self.live.saturating_mul(2) + 64 {
+            return;
+        }
+        let mut data = Vec::with_capacity(self.live as usize);
+        for span in &mut self.spans {
+            let (start, len) = *span;
+            let new_start = data.len() as u32;
+            data.extend_from_slice(&self.data[start as usize..(start + len) as usize]);
+            *span = (new_start, len);
+        }
+        self.data = data;
+    }
+}
+
 /// The SCC condensation of a residual graph, with component-scoped
 /// unfounded-set and tie-structure queries.
 ///
@@ -58,13 +162,13 @@ pub struct UnfoundedEngine {
     atom_comp: Vec<u32>,
     /// Component of each rule node; [`NO_COMP`] if dead at build time.
     rule_comp: Vec<u32>,
-    /// Member atoms of each component.
-    comp_atoms: Vec<Vec<AtomId>>,
+    /// Member atoms of each component (CSR over one contiguous slab).
+    comp_atoms: CsrArena<AtomId>,
     /// Member rule nodes of each component.
-    comp_rules: Vec<Vec<RuleId>>,
+    comp_rules: CsrArena<RuleId>,
     /// Alive-at-build rules whose *head* lies in the component (includes
     /// external support rules sitting in upstream components).
-    comp_head_rules: Vec<Vec<RuleId>>,
+    comp_head_rules: CsrArena<RuleId>,
     /// Component ids in topological order of the condensation (sources
     /// first — the processing order).
     order: Vec<u32>,
@@ -75,6 +179,15 @@ pub struct UnfoundedEngine {
     comp_group: Vec<u32>,
     /// Member components of each group, in topological order.
     group_comps: Vec<Vec<u32>>,
+    /// Wave depth of each component: its longest-path layer in the
+    /// condensation DAG (sources are 0). Every condensation edge strictly
+    /// increases depth, so equal-depth components share no path — the
+    /// members of one *wave* are causally independent and can be
+    /// evaluated on divergent forks (the wave scheduler's dispatch unit).
+    comp_depth: Vec<u32>,
+    /// Widest wave (largest equal-depth component count) of each branch
+    /// group — the group's intra-branch parallelism budget.
+    group_width: Vec<u32>,
     /// Component ids retired by earlier [`UnfoundedEngine::patch_cone`]
     /// calls and not yet reassigned, kept sorted descending (allocation
     /// pops the smallest). Bounds the component tables at their peak
@@ -142,23 +255,45 @@ impl UnfoundedEngine {
 
         let mut atom_comp = vec![NO_COMP; graph.atom_count()];
         let mut rule_comp = vec![NO_COMP; graph.rule_count()];
-        let mut comp_atoms: Vec<Vec<AtomId>> = vec![Vec::new(); n_comps];
-        let mut comp_rules: Vec<Vec<RuleId>> = vec![Vec::new(); n_comps];
+        // Counting-sort the members into CSR arenas: one sizing pass, one
+        // placement pass, preserving the node order of `remaining_digraph`
+        // (atoms ascending, then rules ascending) within each component.
+        let mut atom_counts = vec![0u32; n_comps];
+        let mut rule_counts = vec![0u32; n_comps];
+        for (node, &kind) in rem.kinds.iter().enumerate() {
+            let c = sccs.component_of(node as NodeId) as usize;
+            match kind {
+                NodeKind::Atom(_) => atom_counts[c] += 1,
+                NodeKind::Rule(_) => rule_counts[c] += 1,
+            }
+        }
+        let (mut comp_atoms, mut atom_cursors) = CsrArena::from_counts(&atom_counts, AtomId(0));
+        let (mut comp_rules, mut rule_cursors) = CsrArena::from_counts(&rule_counts, RuleId(0));
         for (node, &kind) in rem.kinds.iter().enumerate() {
             let c = sccs.component_of(node as NodeId);
             match kind {
                 NodeKind::Atom(a) => {
                     atom_comp[a.index()] = c;
-                    comp_atoms[c as usize].push(a);
+                    comp_atoms.place(&mut atom_cursors, c, a);
                 }
                 NodeKind::Rule(r) => {
                     rule_comp[r.index()] = c;
-                    comp_rules[c as usize].push(r);
+                    comp_rules.place(&mut rule_cursors, c, r);
                 }
             }
         }
 
-        let mut comp_head_rules: Vec<Vec<RuleId>> = vec![Vec::new(); n_comps];
+        let mut head_counts = vec![0u32; n_comps];
+        for (i, rule) in graph.rules().iter().enumerate() {
+            if closer.rule_alive(RuleId(i as u32)) {
+                let head_comp = atom_comp[rule.head.index()];
+                if head_comp != NO_COMP {
+                    head_counts[head_comp as usize] += 1;
+                }
+            }
+        }
+        let (mut comp_head_rules, mut head_cursors) =
+            CsrArena::from_counts(&head_counts, RuleId(0));
         for (i, rule) in graph.rules().iter().enumerate() {
             let r = RuleId(i as u32);
             if !closer.rule_alive(r) {
@@ -166,7 +301,7 @@ impl UnfoundedEngine {
             }
             let head_comp = atom_comp[rule.head.index()];
             if head_comp != NO_COMP {
-                comp_head_rules[head_comp as usize].push(r);
+                comp_head_rules.place(&mut head_cursors, head_comp, r);
             }
         }
 
@@ -180,6 +315,8 @@ impl UnfoundedEngine {
             order,
             comp_group: Vec::new(),
             group_comps: Vec::new(),
+            comp_depth: Vec::new(),
+            group_width: Vec::new(),
             free_comps: Vec::new(),
             pending: vec![0; graph.rule_count()],
             removed: vec![false; graph.atom_count()],
@@ -242,7 +379,7 @@ impl UnfoundedEngine {
 
         // Retire every component the cone touches.
         let mut retired: Vec<u32> = Vec::new();
-        let mut is_retired = vec![false; self.comp_atoms.len()];
+        let mut is_retired = vec![false; self.comp_atoms.slot_count()];
         let retire = |c: u32, is_retired: &mut Vec<bool>, retired: &mut Vec<u32>| {
             if c != NO_COMP && !is_retired[c as usize] {
                 is_retired[c as usize] = true;
@@ -258,9 +395,9 @@ impl UnfoundedEngine {
             self.rule_comp[r.index()] = NO_COMP;
         }
         for &c in &retired {
-            self.comp_atoms[c as usize].clear();
-            self.comp_rules[c as usize].clear();
-            self.comp_head_rules[c as usize].clear();
+            self.comp_atoms.clear(c);
+            self.comp_rules.clear(c);
+            self.comp_head_rules.clear(c);
         }
 
         // Re-condense the alive cone remnant. Edges to alive atoms
@@ -327,10 +464,11 @@ impl UnfoundedEngine {
         let new_ids: Vec<u32> = (0..added)
             .map(|_| {
                 self.free_comps.pop().unwrap_or_else(|| {
-                    self.comp_atoms.push(Vec::new());
-                    self.comp_rules.push(Vec::new());
-                    self.comp_head_rules.push(Vec::new());
-                    (self.comp_atoms.len() - 1) as u32
+                    let id = self.comp_atoms.slot_count() as u32;
+                    self.comp_atoms.ensure_slot(id);
+                    self.comp_rules.ensure_slot(id);
+                    self.comp_head_rules.ensure_slot(id);
+                    id
                 })
             })
             .collect();
@@ -338,31 +476,50 @@ impl UnfoundedEngine {
         for (rank, c) in sccs.topological_order().enumerate() {
             rank_of_sub[c as usize] = rank as u32;
         }
+        // Buffer the new members per component (same push order as
+        // before: node_kinds order for members, cone_atoms order for head
+        // rules), then splice each buffer into the arenas as one span.
+        let mut new_atoms: Vec<Vec<AtomId>> = vec![Vec::new(); added];
+        let mut new_rules: Vec<Vec<RuleId>> = vec![Vec::new(); added];
         for (node, &kind) in node_kinds.iter().enumerate() {
-            let c = new_ids[rank_of_sub[sccs.component_of(node as NodeId) as usize] as usize];
+            let rank = rank_of_sub[sccs.component_of(node as NodeId) as usize] as usize;
+            let c = new_ids[rank];
             match kind {
                 NodeKind::Atom(a) => {
                     self.atom_comp[a.index()] = c;
-                    self.comp_atoms[c as usize].push(a);
+                    new_atoms[rank].push(a);
                 }
                 NodeKind::Rule(r) => {
                     self.rule_comp[r.index()] = c;
-                    self.comp_rules[c as usize].push(r);
+                    new_rules[rank].push(r);
                 }
             }
         }
+        let mut rank_of_comp = vec![usize::MAX; self.comp_atoms.slot_count()];
+        for (rank, &c) in new_ids.iter().enumerate() {
+            rank_of_comp[c as usize] = rank;
+        }
+        let mut new_heads: Vec<Vec<RuleId>> = vec![Vec::new(); added];
         for &a in &cone_atoms {
             self.node_of_atom[a.index()] = NO_NODE; // reset scratch
             if !closer.atom_alive(a) {
                 continue;
             }
-            let c = self.atom_comp[a.index()];
+            let rank = rank_of_comp[self.atom_comp[a.index()] as usize];
             for &r in graph.heads_of(a) {
                 if closer.rule_alive(r) {
-                    self.comp_head_rules[c as usize].push(r);
+                    new_heads[rank].push(r);
                 }
             }
         }
+        for (rank, &c) in new_ids.iter().enumerate() {
+            self.comp_atoms.set(c, &new_atoms[rank]);
+            self.comp_rules.set(c, &new_rules[rank]);
+            self.comp_head_rules.set(c, &new_heads[rank]);
+        }
+        self.comp_atoms.compact();
+        self.comp_rules.compact();
+        self.comp_head_rules.compact();
 
         // New order: retained components in place, cone components after
         // (their in-edges all come from retained components or from
@@ -384,7 +541,7 @@ impl UnfoundedEngine {
     /// numbering rule as [`UnfoundedEngine::build`].
     fn rebuild_groups(&mut self, closer: &Closer<'_>) {
         let graph = closer.graph();
-        let n_comps = self.comp_atoms.len();
+        let n_comps = self.comp_atoms.slot_count();
         let mut uf: Vec<u32> = (0..n_comps as u32).collect();
         fn find(uf: &mut [u32], mut x: u32) -> u32 {
             while uf[x as usize] != x {
@@ -432,6 +589,70 @@ impl UnfoundedEngine {
             self.comp_group[c as usize] = g;
             self.group_comps[g as usize].push(c);
         }
+        self.rebuild_depths(closer);
+    }
+
+    /// Recomputes wave depths and per-group wave widths from the current
+    /// component assignment and aliveness, in one pass over the
+    /// topological order. A component's in-edges are exactly (a) its
+    /// alive head rules sitting in another component (external support)
+    /// and (b) the out-of-component alive positive/negative body atoms of
+    /// its member rules — both derived from the bipartite edges `close`
+    /// propagates along, so the depth layering is faithful to the
+    /// condensation DAG the scheduler walks.
+    fn rebuild_depths(&mut self, closer: &Closer<'_>) {
+        let graph = closer.graph();
+        self.comp_depth = vec![0; self.comp_atoms.slot_count()];
+        for i in 0..self.order.len() {
+            let c = self.order[i];
+            let mut depth = 0u32;
+            for &r in self.comp_head_rules.get(c) {
+                if !closer.rule_alive(r) {
+                    continue;
+                }
+                let rc = self.rule_comp[r.index()];
+                if rc != NO_COMP && rc != c {
+                    depth = depth.max(self.comp_depth[rc as usize] + 1);
+                }
+            }
+            for &r in self.comp_rules.get(c) {
+                if !closer.rule_alive(r) {
+                    continue;
+                }
+                for &(a, _) in &graph.rule(r).body {
+                    if !closer.atom_alive(a) {
+                        continue;
+                    }
+                    let ac = self.atom_comp[a.index()];
+                    if ac != NO_COMP && ac != c {
+                        depth = depth.max(self.comp_depth[ac as usize] + 1);
+                    }
+                }
+            }
+            self.comp_depth[c as usize] = depth;
+        }
+        let mut depths: Vec<u32> = Vec::new();
+        self.group_width = Vec::with_capacity(self.group_comps.len());
+        for comps in &self.group_comps {
+            depths.clear();
+            for &c in comps {
+                depths.push(self.comp_depth[c as usize]);
+            }
+            depths.sort_unstable();
+            let mut widest = 0u32;
+            let mut run = 0u32;
+            let mut prev = u32::MAX;
+            for &d in &depths {
+                if d == prev {
+                    run += 1;
+                } else {
+                    prev = d;
+                    run = 1;
+                }
+                widest = widest.max(run);
+            }
+            self.group_width.push(widest);
+        }
     }
 
     /// Number of branch groups (weakly connected families of components).
@@ -455,7 +676,28 @@ impl UnfoundedEngine {
 
     /// The member atoms of component `c` (aliveness as of build time).
     pub fn component_atoms(&self, c: u32) -> &[AtomId] {
-        &self.comp_atoms[c as usize]
+        self.comp_atoms.get(c)
+    }
+
+    /// Wave depth of component `c`: its longest-path layer in the
+    /// condensation DAG (sources are 0). Equal-depth components of one
+    /// branch share no path and are therefore causally independent.
+    pub fn component_depth(&self, c: u32) -> u32 {
+        self.comp_depth[c as usize]
+    }
+
+    /// The widest wave (largest number of equal-depth components) of
+    /// branch group `g` — how many workers an intra-branch wave of this
+    /// group can keep busy at once.
+    pub fn group_wave_width(&self, g: u32) -> usize {
+        self.group_width[g as usize] as usize
+    }
+
+    /// The widest wave over all branch groups: the exploitable
+    /// parallelism of the prepared state when branch-level scheduling
+    /// alone cannot split the work.
+    pub fn widest_wave(&self) -> usize {
+        self.group_width.iter().copied().max().unwrap_or(0) as usize
     }
 
     /// The component of `atom`, if it was alive at build time.
@@ -468,9 +710,7 @@ impl UnfoundedEngine {
 
     /// `true` iff component `c` still contains an alive (undefined) atom.
     pub fn has_alive_atoms(&self, closer: &Closer<'_>, c: u32) -> bool {
-        self.comp_atoms[c as usize]
-            .iter()
-            .any(|&a| closer.atom_alive(a))
+        self.comp_atoms.get(c).iter().any(|&a| closer.atom_alive(a))
     }
 
     /// The unfounded subset of component `c` at the current state of
@@ -484,7 +724,7 @@ impl UnfoundedEngine {
         let graph = closer.graph();
         debug_assert!(self.queue.is_empty());
 
-        for &r in &self.comp_head_rules[c as usize] {
+        for &r in self.comp_head_rules.get(c) {
             if !closer.rule_alive(r) {
                 continue;
             }
@@ -532,7 +772,7 @@ impl UnfoundedEngine {
         }
 
         let mut unfounded = Vec::new();
-        for &a in &self.comp_atoms[c as usize] {
+        for &a in self.comp_atoms.get(c) {
             if closer.atom_alive(a) && !self.removed[a.index()] {
                 unfounded.push(a);
             }
@@ -547,8 +787,8 @@ impl UnfoundedEngine {
     /// global remaining graph that descend from `c`.
     pub fn alive_subgraph(&mut self, closer: &Closer<'_>, c: u32) -> ComponentGraph {
         let graph = closer.graph();
-        let atoms = &self.comp_atoms[c as usize];
-        let rules = &self.comp_rules[c as usize];
+        let atoms = self.comp_atoms.get(c);
+        let rules = self.comp_rules.get(c);
 
         // Dense renumbering: alive atoms first (indexed through the
         // graph-sized `node_of_atom` scratch, reset on exit), then alive
@@ -973,8 +1213,15 @@ mod tests {
                 for c in &patch.new_components {
                     assert!(engine.order().contains(c));
                 }
+                // The CSR slab never holds more than the compaction
+                // bound's worth of garbage, however long the churn runs.
+                assert!(
+                    engine.comp_atoms.data.len() as u32
+                        <= engine.comp_atoms.live.saturating_mul(2) + 64,
+                    "atom slab outgrew the compaction bound"
+                );
             }
-            table_sizes.push(engine.comp_atoms.len());
+            table_sizes.push(engine.comp_atoms.slot_count());
             // Steady state: same live partition as a fresh build.
             assert_eq!(
                 engine.component_count(),
@@ -985,6 +1232,66 @@ mod tests {
             table_sizes.windows(2).all(|w| w[0] == w[1]),
             "component tables grew under flapping: {table_sizes:?}"
         );
+    }
+
+    #[test]
+    fn wave_depths_layer_the_condensation() {
+        // Two independent ties at depth 0 feed a stuck loop through one
+        // rule each: the stuck loop sits at depth 1, the ties form one
+        // two-wide wave, and the whole thing is a single branch group.
+        let (g, p, d) = closed(
+            "a :- not b.\nb :- not a.\nc :- not d.\nd :- not c.\ne :- not a, not c, not e.",
+            "",
+        );
+        let (closer, _) = run_close(&g, &p, &d);
+        let engine = UnfoundedEngine::build(&closer);
+        let ca = engine.component_of_atom(atom(&g, "a")).unwrap();
+        let cc = engine.component_of_atom(atom(&g, "c")).unwrap();
+        let ce = engine.component_of_atom(atom(&g, "e")).unwrap();
+        assert_eq!(engine.component_depth(ca), 0);
+        assert_eq!(engine.component_depth(cc), 0);
+        assert_eq!(engine.component_depth(ce), 1);
+        assert_eq!(engine.group_count(), 1);
+        assert_eq!(engine.group_wave_width(0), 2);
+        assert_eq!(engine.widest_wave(), 2);
+        // Edges strictly increase depth, so a depth layering is always a
+        // topological layering of the processing order.
+        let pos = |c: u32| engine.order().iter().position(|&x| x == c).unwrap();
+        assert!(pos(ca) < pos(ce) && pos(cc) < pos(ce));
+    }
+
+    #[test]
+    fn patched_engine_keeps_wave_depths_fresh() {
+        // Retracting the bridge fact splits the branch; depths and wave
+        // widths must match a fresh build on the mutated state.
+        let p = parse_program(
+            "p :- not q.\nq :- not p.\na :- not b.\nb :- not a.\nr :- not p, not a, e.",
+        )
+        .unwrap();
+        let d = parse_database("e.").unwrap();
+        let g = ground(&p, &d, &GroundConfig::default()).unwrap();
+        let (mut closer, mut model) = run_close(&g, &p, &d);
+        let mut engine = UnfoundedEngine::build(&closer);
+        assert_eq!(engine.widest_wave(), 2, "p-tie and a-tie share depth 0");
+
+        let e = g
+            .atoms()
+            .id_of(&datalog_ast::GroundAtom::from_texts("e", &[]))
+            .unwrap();
+        let d2 = datalog_ast::Database::new();
+        let initial = PartialModel::initial(&p, &d2, g.atoms());
+        let cone = g.forward_cone([e], []);
+        closer.reopen_cone(&mut model, &initial, &cone);
+        closer.run(&mut model).unwrap();
+        engine.patch_cone(&closer, &cone);
+
+        let fresh = UnfoundedEngine::build(&closer);
+        assert_eq!(engine.widest_wave(), fresh.widest_wave());
+        for a in closer.alive_atoms() {
+            let pd = engine.component_depth(engine.component_of_atom(a).unwrap());
+            let fd = fresh.component_depth(fresh.component_of_atom(a).unwrap());
+            assert_eq!(pd, fd, "depth differs at {}", g.atoms().decode(a));
+        }
     }
 
     #[test]

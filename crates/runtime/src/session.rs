@@ -270,14 +270,13 @@ impl Solver {
     }
 
     /// The worker count an evaluation will actually use: the resolved
-    /// [`tiebreak_core::RuntimeConfig`] threads, capped by the branch
-    /// count (extra workers would only idle).
+    /// [`tiebreak_core::RuntimeConfig`] threads, capped by the maximum
+    /// exploitable parallelism of the prepared state — the branch count,
+    /// or the widest intra-branch wave when a single wide branch is the
+    /// whole workload (extra workers would only idle either way).
     pub fn effective_threads(&self) -> usize {
-        self.config
-            .runtime
-            .resolved_threads()
-            .min(self.branch_count())
-            .max(1)
+        let width = self.branch_count().max(self.engine.widest_wave());
+        self.config.runtime.resolved_threads().min(width).max(1)
     }
 
     /// Inserts one fact (see [`Solver::apply`]).

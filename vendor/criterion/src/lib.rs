@@ -3,7 +3,8 @@
 //! The build image has no registry access, so this workspace vendors the
 //! slice of the criterion 0.5 API its benches use: [`Criterion`],
 //! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], `Bencher::iter`,
-//! [`black_box`], and the `criterion_group!`/`criterion_main!` macros.
+//! `Bencher::iter_batched` (with [`BatchSize`]), [`black_box`], and the
+//! `criterion_group!`/`criterion_main!` macros.
 //!
 //! Instead of criterion's statistical machinery it runs a short
 //! fixed-budget timing loop per benchmark and prints one line with the
@@ -74,6 +75,15 @@ pub struct Bencher {
     total: Duration,
 }
 
+/// How criterion amortizes setup cost across a batch. The stand-in times
+/// every routine call individually, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // One warm-up call outside the timed region.
@@ -82,6 +92,25 @@ impl Bencher {
         while self.iters < MAX_ITERS && budget_start.elapsed() < MEASURE_BUDGET {
             let t = Instant::now();
             black_box(f());
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Runs `setup` outside the timed region before every `routine` call,
+    /// for benchmarks whose subject consumes (or memoizes into) its input.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // One warm-up call outside the timed region.
+        black_box(routine(setup()));
+        let budget_start = Instant::now();
+        while self.iters < MAX_ITERS && budget_start.elapsed() < MEASURE_BUDGET {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
             self.total += t.elapsed();
             self.iters += 1;
         }
