@@ -75,6 +75,11 @@ pub fn analyze(
     database: Option<&Database>,
     config: &AnalyzeConfig,
 ) -> AnalysisReport {
+    let _span = tiebreak_trace::span(
+        "analyze",
+        "analyze",
+        &[("rules", program.rules().len() as u64)],
+    );
     let mut lints = Vec::new();
 
     safety_lints(program, &mut lints);

@@ -159,7 +159,9 @@ impl Parser {
 /// [`AstError::Parse`] on syntax errors; [`AstError::Validation`] if a
 /// predicate occurs with inconsistent arities.
 pub fn parse_program(input: &str) -> Result<Program, AstError> {
+    let mut span = tiebreak_trace::span("parse", "parse_program", &[("bytes", input.len() as u64)]);
     let rules = Parser::new(input)?.program()?;
+    span.arg("rules", rules.len() as u64);
     Ok(Program::with_spans(rules)?)
 }
 
@@ -170,6 +172,7 @@ pub fn parse_program(input: &str) -> Result<Program, AstError> {
 /// [`AstError::Parse`] on syntax errors or non-fact clauses;
 /// [`AstError::Validation`] on arity conflicts.
 pub fn parse_database(input: &str) -> Result<Database, AstError> {
+    let _span = tiebreak_trace::span("parse", "parse_database", &[("bytes", input.len() as u64)]);
     let mut parser = Parser::new(input)?;
     let mut db = Database::new();
     while *parser.peek() != Token::Eof {

@@ -17,8 +17,16 @@
 //! datalog serve    [--addr HOST:PORT] [--semantics tb|pure-tb] [--threads N]
 //!                  [--max-sessions N] [--max-resident-atoms N] [--strict]
 //! datalog client   <program.dl> [database.dl] --addr HOST:PORT [--script FILE]
-//! datalog client   --addr HOST:PORT --shutdown
+//! datalog client   --addr HOST:PORT --stats | --metrics | --shutdown
 //! ```
+//!
+//! `run`, `outcomes`, `session`, and `serve` accept `--trace-out FILE`
+//! (write a chrome://tracing Trace Event JSON file when the command
+//! finishes) and `--trace summary` (print a per-span aggregate table on
+//! stderr). Either flag turns the span recorder on for the whole
+//! command; without them tracing stays disabled and costs one atomic
+//! load per instrumentation point. Tracing also unlocks the
+//! `% timing: …` annotation on open replies and script query replies.
 //!
 //! `check` runs the `datalog-analyze` static pass — safety lints,
 //! totality certificates, grounding cost estimates against the budget,
@@ -100,7 +108,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  datalog analyze <program.dl>\n  datalog check <program.dl> [db.dl] [--format text|json]\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N] [--threads N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb] [--threads N]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N] [--threads N]\n  datalog totality <program.dl> [--nonuniform]\n  datalog session <program.dl> [db.dl] [--script FILE] [--semantics tb|pure-tb] [--threads N]\n  datalog serve [--addr HOST:PORT] [--semantics tb|pure-tb] [--threads N] [--max-sessions N] [--max-resident-atoms N] [--strict]\n  datalog client <program.dl> [db.dl] --addr HOST:PORT [--script FILE]\n  datalog client --addr HOST:PORT --shutdown\n\nGrounding commands also accept --ground-mode full|relevant (default: relevant).\nEvaluating commands also accept --eval-mode global|stratified (default: stratified).\n--threads N (N >= 1) routes run/outcomes/explain through the parallel session\nruntime; omit the flag for automatic selection via TIEBREAK_THREADS or the\nmachine's parallelism.\nsession scripts: '+fact.' insert, '-fact.' retract, '? wf', '?fact.',\n'? outcomes [N]', '? stats', '#' comments; reads stdin without --script.\nserve listens for client connections and keeps prepared sessions resident\nbehind an LRU; client opens (or reuses) a server-side session and streams a\nscript against it.\ncheck exits non-zero exactly when an error-severity lint fires; serve --strict\nruns the same analysis on every open and rejects error lints before preparing."
+    "usage:\n  datalog analyze <program.dl>\n  datalog check <program.dl> [db.dl] [--format text|json]\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N] [--threads N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb] [--threads N]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N] [--threads N]\n  datalog totality <program.dl> [--nonuniform]\n  datalog session <program.dl> [db.dl] [--script FILE] [--semantics tb|pure-tb] [--threads N]\n  datalog serve [--addr HOST:PORT] [--semantics tb|pure-tb] [--threads N] [--max-sessions N] [--max-resident-atoms N] [--strict]\n  datalog client <program.dl> [db.dl] --addr HOST:PORT [--script FILE]\n  datalog client --addr HOST:PORT --stats | --metrics | --shutdown\n\nGrounding commands also accept --ground-mode full|relevant (default: relevant).\nrun/outcomes/session/serve accept --trace-out FILE (chrome://tracing JSON) and\n--trace summary (aggregate span table on stderr); either enables the recorder.\nEvaluating commands also accept --eval-mode global|stratified (default: stratified).\n--threads N (N >= 1) routes run/outcomes/explain through the parallel session\nruntime; omit the flag for automatic selection via TIEBREAK_THREADS or the\nmachine's parallelism.\nsession scripts: '+fact.' insert, '-fact.' retract, '? wf', '?fact.',\n'? outcomes [N]', '? stats', '#' comments; reads stdin without --script.\nserve listens for client connections and keeps prepared sessions resident\nbehind an LRU; client opens (or reuses) a server-side session and streams a\nscript against it.\ncheck exits non-zero exactly when an error-severity lint fires; serve --strict\nruns the same analysis on every open and rejects error lints before preparing."
         .to_owned()
 }
 
@@ -124,6 +132,10 @@ struct Options {
     shutdown: bool,
     format: String,
     strict: bool,
+    trace_out: Option<String>,
+    trace_summary: bool,
+    stats: bool,
+    metrics: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -146,6 +158,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         shutdown: false,
         format: "text".to_owned(),
         strict: false,
+        trace_out: None,
+        trace_summary: false,
+        stats: false,
+        metrics: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -228,6 +244,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--shutdown" => opts.shutdown = true,
             "--strict" => opts.strict = true,
+            "--stats" => opts.stats = true,
+            "--metrics" => opts.metrics = true,
+            "--trace-out" => {
+                opts.trace_out = Some(it.next().ok_or("--trace-out needs a file path")?.clone());
+            }
+            "--trace" => match it.next().ok_or("--trace needs a value (summary)")?.as_str() {
+                "summary" => opts.trace_summary = true,
+                other => return Err(format!("unknown trace mode {other} (summary)")),
+            },
             "--format" => {
                 let value = it.next().ok_or("--format needs a value")?;
                 match value.as_str() {
@@ -327,15 +352,45 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     let opts = parse_options(&args[1..])?;
 
-    match command.as_str() {
+    let tracing = opts.trace_out.is_some() || opts.trace_summary;
+    if tracing {
+        tiebreak_trace::set_enabled(true);
+    }
+    let result = dispatch(command, &opts);
+    if tracing {
+        // Command failures still export whatever was recorded — a trace
+        // of the failing run is exactly what you want to look at.
+        let trace = tiebreak_trace::Trace::from_events(tiebreak_trace::drain());
+        let mut export_err = None;
+        if let Some(path) = &opts.trace_out {
+            match std::fs::write(path, trace.to_chrome_json()) {
+                Ok(()) => eprintln!("% trace: {} event(s) written to {path}", trace.events.len()),
+                Err(e) => export_err = Some(format!("cannot write trace to {path}: {e}")),
+            }
+        }
+        if opts.trace_summary {
+            eprintln!("{}", trace.summary());
+        }
+        if let Some(e) = export_err {
+            return Err(match result {
+                Ok(()) => e,
+                Err(first) => format!("{first}\n{e}"),
+            });
+        }
+    }
+    result
+}
+
+fn dispatch(command: &str, opts: &Options) -> Result<(), String> {
+    match command {
         "analyze" => {
-            let engine = load_engine(&opts)?;
+            let engine = load_engine(opts)?;
             let report = engine.analyze().map_err(|e| e.to_string())?;
             print!("{report}");
             Ok(())
         }
         "check" => {
-            let (program_src, db_src) = load_sources(&opts)?;
+            let (program_src, db_src) = load_sources(opts)?;
             let program = datalog_ast::parse_program(&program_src).map_err(|e| e.to_string())?;
             let database = match opts.files.get(1) {
                 Some(_) => Some(datalog_ast::parse_database(&db_src).map_err(|e| e.to_string())?),
@@ -361,11 +416,11 @@ fn run(args: &[String]) -> Result<(), String> {
             let outcome = match opts.semantics.as_str() {
                 "wf" => {
                     if opts.threads.is_some() {
-                        load_solver(&opts)?
+                        load_solver(opts)?
                             .well_founded()
                             .map_err(|e| e.to_string())?
                     } else {
-                        load_engine(&opts)?
+                        load_engine(opts)?
                             .well_founded()
                             .map_err(|e| e.to_string())?
                     }
@@ -373,10 +428,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 "tb" | "pure-tb" => {
                     let pure = opts.semantics == "pure-tb";
                     if opts.threads.is_some() {
-                        let solver = load_solver(&opts)?;
-                        solver_tie_breaking(&solver, pure, &opts)?
+                        let solver = load_solver(opts)?;
+                        solver_tie_breaking(&solver, pure, opts)?
                     } else {
-                        let engine = load_engine(&opts)?;
+                        let engine = load_engine(opts)?;
                         let mut policy: Box<dyn TiePolicy> = match opts.policy.as_str() {
                             "root-true" => Box::new(RootTruePolicy),
                             "root-false" => Box::new(RootFalsePolicy),
@@ -400,7 +455,7 @@ fn run(args: &[String]) -> Result<(), String> {
                                 .to_owned(),
                         );
                     }
-                    let engine = load_engine(&opts)?;
+                    let engine = load_engine(opts)?;
                     let run = engine.stratified().map_err(|e| e.to_string())?;
                     for fact in run.true_atoms() {
                         println!("{fact}.");
@@ -425,7 +480,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "models" => {
-            let engine = load_engine(&opts)?;
+            let engine = load_engine(opts)?;
             let models = if opts.stable {
                 engine.stable_models().map_err(|e| e.to_string())?
             } else {
@@ -455,7 +510,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "ground" => {
-            let engine = load_engine(&opts)?;
+            let engine = load_engine(opts)?;
             let graph = engine.ground().map_err(|e| e.to_string())?;
             println!(
                 "% {} ground atoms, {} rule nodes, {} edges",
@@ -487,7 +542,7 @@ fn run(args: &[String]) -> Result<(), String> {
             if opts.threads.is_some() {
                 // Session path: the solver's prepared graph carries the
                 // atom space the parallel run's model is indexed by.
-                let solver = load_solver(&opts)?;
+                let solver = load_solver(opts)?;
                 let run = match opts.semantics.as_str() {
                     "wf" => solver.well_founded_run().map_err(|e| e.to_string())?,
                     "tb" => solver
@@ -503,7 +558,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     &ground_atom,
                 )
             } else {
-                let engine = load_engine(&opts)?;
+                let engine = load_engine(opts)?;
                 let graph = engine.ground().map_err(|e| e.to_string())?;
                 let program = engine.program();
                 let database = engine.database();
@@ -539,13 +594,13 @@ fn run(args: &[String]) -> Result<(), String> {
             if opts.threads.is_some() {
                 // Session path: one ground + close, copy-on-write forks
                 // per tie script.
-                let solver = load_solver(&opts)?;
+                let solver = load_solver(opts)?;
                 let set = solver
                     .all_outcomes(pure, max_runs)
                     .map_err(|e| e.to_string())?;
                 print_outcomes(&set, solver.graph().atoms());
             } else {
-                let engine = load_engine(&opts)?;
+                let engine = load_engine(opts)?;
                 let graph = engine.ground().map_err(|e| e.to_string())?;
                 let set = tiebreak_core::semantics::outcomes::all_outcomes_with(
                     &graph,
@@ -561,7 +616,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "totality" => {
-            let engine = load_engine(&opts)?;
+            let engine = load_engine(opts)?;
             let report = tiebreak_core::analysis::propositional_totality(
                 engine.program(),
                 opts.nonuniform,
@@ -585,12 +640,12 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "session" => {
-            let solver = load_solver(&opts)?;
+            let solver = load_solver(opts)?;
             match &opts.script {
                 Some(path) => {
                     let script = std::fs::read_to_string(path)
                         .map_err(|e| format!("cannot read {path}: {e}"))?;
-                    run_session_lines(solver, script.lines().map(|l| Ok(l.to_owned())), &opts)
+                    run_session_lines(solver, script.lines().map(|l| Ok(l.to_owned())), opts)
                 }
                 None => {
                     // Line-streamed so the session can be driven
@@ -605,13 +660,13 @@ fn run(args: &[String]) -> Result<(), String> {
                             .lock()
                             .lines()
                             .map(|l| l.map_err(|e| format!("cannot read stdin: {e}"))),
-                        &opts,
+                        opts,
                     )
                 }
             }
         }
-        "serve" => run_serve(&opts),
-        "client" => run_client(&opts),
+        "serve" => run_serve(opts),
+        "client" => run_client(opts),
         other => Err(format!("unknown command {other}\n{}", usage())),
     }
 }
@@ -717,6 +772,23 @@ fn run_client(opts: &Options) -> Result<(), String> {
     if opts.shutdown {
         let response = client.shutdown().map_err(|e| e.to_string())?;
         println!("% {}", response.status);
+        return Ok(());
+    }
+    if opts.stats {
+        let response = client.stats().map_err(|e| e.to_string())?;
+        println!("% {}", response.status);
+        // Per-session breakdown (and, with a session open on this
+        // connection, the thread-pool line) rides in the body.
+        if !response.body.is_empty() {
+            println!("{}", response.body);
+        }
+        let _ = client.bye();
+        return Ok(());
+    }
+    if opts.metrics {
+        let response = client.metrics().map_err(|e| e.to_string())?;
+        print!("{}", response.body);
+        let _ = client.bye();
         return Ok(());
     }
     let (program_src, db_src) = load_sources(opts)?;
@@ -845,6 +917,39 @@ mod tests {
     fn unknown_flag_rejected() {
         let args = vec!["--bogus".to_owned()];
         assert!(parse_options(&args).is_err());
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let args: Vec<String> = ["prog.dl", "--trace-out", "trace.json", "--trace", "summary"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        let opts = parse_options(&args).unwrap();
+        assert_eq!(opts.trace_out.as_deref(), Some("trace.json"));
+        assert!(opts.trace_summary);
+    }
+
+    #[test]
+    fn bad_trace_mode_rejected() {
+        let args: Vec<String> = ["--trace", "everything"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        let err = parse_options(&args).unwrap_err();
+        assert!(err.contains("unknown trace mode"));
+    }
+
+    #[test]
+    fn client_stats_and_metrics_flags_parse() {
+        let args: Vec<String> = ["--addr", "127.0.0.1:4545", "--stats", "--metrics"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        let opts = parse_options(&args).unwrap();
+        assert!(opts.stats);
+        assert!(opts.metrics);
+        assert_eq!(opts.addr.as_deref(), Some("127.0.0.1:4545"));
     }
 
     #[test]

@@ -681,3 +681,43 @@ fn eval_mode_flag_switches_interpreters() {
     let text = String::from_utf8_lossy(&out.stderr);
     assert!(text.contains("unknown eval mode"), "{text}");
 }
+
+#[test]
+fn trace_out_writes_a_valid_chrome_trace() {
+    let prog = write_temp("tr.dl", "win(X) :- move(X, Y), not win(Y).");
+    let db = write_temp("tr_db.dl", "move(a, b).\nmove(b, c).");
+    let trace_path = write_temp("tr_trace.json", "");
+    let out = datalog(&[
+        "run",
+        prog.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("win(b)."), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("% trace:"), "{stderr}");
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let check = tiebreak_trace::validate_trace_json(&text).expect("exported trace validates");
+    assert!(
+        check.spans >= 4,
+        "expected the pipeline spans, got {check:?}"
+    );
+
+    // The summary mode prints a table on stderr without disturbing the
+    // fact output on stdout.
+    let out = datalog(&[
+        "run",
+        prog.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--trace",
+        "summary",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("win(b)."));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ground"), "{stderr}");
+}

@@ -517,6 +517,7 @@ impl Engine {
     /// Grounding failures.
     pub fn well_founded(&self) -> Result<EvalOutcome, SemanticsError> {
         let graph = self.ground()?;
+        let _span = tiebreak_trace::span("eval", "well_founded", &[]);
         let run = well_founded_with(&graph, &self.program, &self.database, &self.config.eval)?;
         Ok(self.decode(&graph, run))
     }
@@ -531,6 +532,7 @@ impl Engine {
         policy: &mut P,
     ) -> Result<EvalOutcome, SemanticsError> {
         let graph = self.ground()?;
+        let _span = tiebreak_trace::span("eval", "pure_tie_breaking", &[]);
         let run = pure_tie_breaking_with(
             &graph,
             &self.program,
@@ -551,6 +553,7 @@ impl Engine {
         policy: &mut P,
     ) -> Result<EvalOutcome, SemanticsError> {
         let graph = self.ground()?;
+        let _span = tiebreak_trace::span("eval", "well_founded_tie_breaking", &[]);
         let run = well_founded_tie_breaking_with(
             &graph,
             &self.program,

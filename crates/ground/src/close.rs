@@ -286,6 +286,15 @@ impl<'g> Closer<'g> {
         initial: &PartialModel,
         cone: &crate::graph::Cone,
     ) {
+        let _span = tiebreak_trace::span(
+            "close",
+            "reopen_cone",
+            &[
+                ("cone_atoms", cone.atoms.len() as u64),
+                ("cone_rules", cone.rules.len() as u64),
+            ],
+        );
+        tiebreak_trace::metrics().cones_reopened.inc();
         assert!(self.queue.is_empty(), "reopen requires a quiescent closer");
         // Over-delete: revert the cone to its pre-close state.
         for &a in &cone.atoms {
@@ -422,7 +431,22 @@ impl<'g> Closer<'g> {
     ///
     /// [`CloseConflict`] if a firing rule's head is already false.
     pub fn run(&mut self, model: &mut PartialModel) -> Result<(), CloseConflict> {
+        let mut processed: u64 = 0;
+        let result = self.run_inner(model, &mut processed);
+        // One coarse metrics update per run, never per event.
+        let m = tiebreak_trace::metrics();
+        m.close_runs.inc();
+        m.close_events.add(processed);
+        result
+    }
+
+    fn run_inner(
+        &mut self,
+        model: &mut PartialModel,
+        processed: &mut u64,
+    ) -> Result<(), CloseConflict> {
         while let Some(event) = self.queue.pop_front() {
+            *processed += 1;
             match event {
                 Event::AtomDefined(atom) => {
                     if !self.atom_alive[atom.index()] {

@@ -116,6 +116,7 @@ impl SessionGrounder {
         database: &Database,
         config: &GroundConfig,
     ) -> Result<(GroundGraph, SessionGrounder), GroundError> {
+        let mut span = tiebreak_trace::span("ground", "session_ground", &[]);
         let (graph, supportable, ground_db) = match config.mode {
             GroundMode::Full => (ground(program, database, config)?, Database::new(), {
                 // Full mode instantiates every rule over U up front: the
@@ -126,6 +127,12 @@ impl SessionGrounder {
             GroundMode::Relevant => {
                 let (graph, supportable) =
                     relevant::ground_relevant_parts(program, database, config)?;
+                // The Full arm routes through `ground`, which books these
+                // itself; the parts entry point is only reached here.
+                let m = tiebreak_trace::metrics();
+                m.ground_runs.inc();
+                m.ground_atoms.add(graph.atom_count() as u64);
+                m.ground_instances.add(graph.rule_count() as u64);
                 let mut ground_db = Database::new();
                 for fact in database.facts() {
                     if program.arity(fact.pred).is_some() {
@@ -166,6 +173,8 @@ impl SessionGrounder {
             .collect();
 
         let ignored_facts = relevant::ignored_fact_count(program, database);
+        span.arg("atoms", graph.atom_count() as u64);
+        span.arg("instances", graph.rule_count() as u64);
         Ok((
             graph,
             SessionGrounder {
@@ -210,6 +219,11 @@ impl SessionGrounder {
         config: &GroundConfig,
         inserted: &[GroundAtom],
     ) -> Result<DeltaGround, GroundError> {
+        let _span = tiebreak_trace::span(
+            "ground",
+            "delta_insert",
+            &[("inserted", inserted.len() as u64)],
+        );
         let mut out = DeltaGround {
             first_new_atom: graph.atom_count(),
             first_new_rule: graph.rule_count(),

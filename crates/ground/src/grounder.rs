@@ -209,11 +209,19 @@ pub fn ground(
     database: &Database,
     config: &GroundConfig,
 ) -> Result<GroundGraph, GroundError> {
+    let mut span = tiebreak_trace::span("ground", "ground", &[]);
     database.validate_against(program)?;
-    match config.mode {
+    let graph = match config.mode {
         GroundMode::Full => ground_full(program, database, config),
         GroundMode::Relevant => crate::relevant::ground_relevant(program, database, config),
-    }
+    }?;
+    span.arg("atoms", graph.atom_count() as u64);
+    span.arg("instances", graph.rule_count() as u64);
+    let m = tiebreak_trace::metrics();
+    m.ground_runs.inc();
+    m.ground_atoms.add(graph.atom_count() as u64);
+    m.ground_instances.add(graph.rule_count() as u64);
+    Ok(graph)
 }
 
 fn ground_full(

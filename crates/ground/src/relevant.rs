@@ -98,6 +98,7 @@ pub(crate) fn supportable_set(
     // database so memory stays bounded by the atom budget (T̂ never
     // exceeds the dense atom space Σ |U|^arity, so an instance Full mode
     // accepts is never rejected here).
+    let mut pass1 = tiebreak_trace::span("ground", "candidates_pass", &[]);
     let skeletons: Vec<RuleEvaluator<'_>> = program
         .rules()
         .iter()
@@ -115,6 +116,8 @@ pub(crate) fn supportable_set(
             Ok(())
         })?;
     }
+    pass1.arg("candidates", candidates.len() as u64);
+    drop(pass1);
 
     // Pass 2: downward iteration of the positive-envelope operator from
     // T̂ to its greatest fixpoint S. Each round discards atoms whose
@@ -122,13 +125,16 @@ pub(crate) fn supportable_set(
     // every round (M₀ makes its atoms true regardless of rules). The
     // rounds only shrink (F(X) ⊆ X from a pre-fixpoint), so the cap
     // check is purely defensive.
+    let mut pass2 = tiebreak_trace::span("ground", "envelope_pass", &[]);
     let envelopes: Vec<RuleEvaluator<'_>> = program
         .rules()
         .iter()
         .map(RuleEvaluator::envelope)
         .collect();
     let mut supportable = candidates;
+    let mut rounds: u64 = 0;
     loop {
+        rounds += 1;
         let mut next = database.clone();
         for (rule, ev) in program.rules().iter().zip(&envelopes) {
             ev.for_each_substitution::<GroundError>(&supportable, universe, &mut |assignment| {
@@ -146,6 +152,8 @@ pub(crate) fn supportable_set(
             break;
         }
     }
+    pass2.arg("rounds", rounds);
+    pass2.arg("supportable", supportable.len() as u64);
     Ok(supportable)
 }
 
@@ -157,6 +165,7 @@ pub(crate) fn emit_instances(
     universe: &[ConstSym],
     supportable: &Database,
 ) -> Result<GroundGraph, GroundError> {
+    let _span = tiebreak_trace::span("ground", "emit_pass", &[]);
     let mut interner = AtomInterner::new(universe.to_vec(), config.max_atoms);
     let mut delta_facts: Vec<GroundAtom> = database
         .facts()

@@ -248,6 +248,8 @@ impl ComponentGraph {
 impl UnfoundedEngine {
     /// Condenses the residual graph of `closer` (everything still alive).
     pub fn build(closer: &Closer<'_>) -> Self {
+        let mut span = tiebreak_trace::span("condense", "condense", &[]);
+        tiebreak_trace::metrics().condense_runs.inc();
         let graph = closer.graph();
         let rem = closer.remaining_digraph();
         let sccs = Sccs::compute(&rem.digraph);
@@ -327,6 +329,7 @@ impl UnfoundedEngine {
         // implementation shared with the cone patch, so group numbering
         // can never drift between a fresh build and a patched engine.
         engine.rebuild_groups(closer);
+        span.arg("components", engine.component_count() as u64);
         engine
     }
 
@@ -369,6 +372,15 @@ impl UnfoundedEngine {
     /// cache entry — exclude everything in
     /// [`ConePatch::new_components`].
     pub fn patch_cone(&mut self, closer: &Closer<'_>, cone: &crate::graph::Cone) -> ConePatch {
+        let _span = tiebreak_trace::span(
+            "condense",
+            "patch_cone",
+            &[
+                ("cone_atoms", cone.atoms.len() as u64),
+                ("cone_rules", cone.rules.len() as u64),
+            ],
+        );
+        tiebreak_trace::metrics().cones_patched.inc();
         let graph = closer.graph();
         // The graph may have grown since the engine was built.
         self.atom_comp.resize(graph.atom_count(), NO_COMP);

@@ -44,6 +44,8 @@ pub(crate) fn all_outcomes(
     pure: bool,
     max_runs: usize,
 ) -> Result<OutcomeSet, SemanticsError> {
+    let mut span = tiebreak_trace::span("eval", "outcomes", &[("max_runs", max_runs as u64)]);
+    let span_id = span.id();
     let order: Vec<u32> = solver.engine.order().to_vec();
     let threads = solver.config.runtime.resolved_threads().max(1);
 
@@ -106,13 +108,16 @@ pub(crate) fn all_outcomes(
             std::thread::scope(|scope| {
                 let (cursor, slots, batch, run_prefix) = (&cursor, &slots, &batch, &run_prefix);
                 for engine in worker_engines.iter_mut().take(workers) {
-                    scope.spawn(move || loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= batch.len() {
-                            break;
+                    scope.spawn(move || {
+                        let _w = tiebreak_trace::child_span("eval", "outcome_worker", span_id, &[]);
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= batch.len() {
+                                break;
+                            }
+                            let r = run_prefix(&batch[i], engine);
+                            *slots[i].lock().expect("slot lock") = Some(r);
                         }
-                        let r = run_prefix(&batch[i], engine);
-                        *slots[i].lock().expect("slot lock") = Some(r);
                     });
                 }
             });
@@ -139,6 +144,9 @@ pub(crate) fn all_outcomes(
         }
     }
 
+    span.arg("runs", runs as u64);
+    span.arg("models", models.len() as u64);
+    tiebreak_trace::metrics().outcome_scripts.add(runs as u64);
     Ok(OutcomeSet {
         models,
         runs,

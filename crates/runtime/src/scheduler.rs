@@ -132,6 +132,8 @@ struct WaveResult {
     /// Position in the branch's topological component order — the
     /// deterministic merge key.
     pos: usize,
+    /// The component id, carried for the merge trace event.
+    comp: u32,
     events: TrailEvents,
     stats: RunStats,
 }
@@ -247,6 +249,13 @@ pub(crate) fn run_session<F: PolicyFactory>(
     let branches = solver.engine.group_count();
     let threads = solver.effective_threads();
     let detailed = solver.config.eval.detailed_stats;
+    let mut eval_span = tiebreak_trace::span(
+        "eval",
+        "evaluate",
+        &[("branches", branches as u64), ("threads", threads as u64)],
+    );
+    let eval_id = eval_span.id();
+    tiebreak_trace::metrics().evaluations.inc();
     // Only the policy-free well-founded flavour is memoizable: a tie
     // policy makes branch results run-dependent.
     let caching = factory.is_none() && use_unfounded && !detailed;
@@ -304,6 +313,15 @@ pub(crate) fn run_session<F: PolicyFactory>(
         let is_wave_ref = &is_wave;
 
         let worker = |worker_id: usize| -> Vec<BranchOutcome> {
+            // Workers live on scoped threads: parent to the evaluation
+            // span by explicit id (the TLS stack is per-thread), and
+            // flush at exit so the trace survives the thread.
+            let _worker_span = tiebreak_trace::child_span(
+                "eval",
+                "worker",
+                eval_id,
+                &[("worker", worker_id as u64)],
+            );
             let mut closer = Closer::from_state(&solver.graph, &solver.base_close);
             let mut fork_model = solver.base_model.clone();
             let mut engine = solver.engine.clone();
@@ -324,6 +342,8 @@ pub(crate) fn run_session<F: PolicyFactory>(
                     continue;
                 }
                 let branch = b as u32;
+                let _branch_span =
+                    tiebreak_trace::span("eval", "branch", &[("branch", u64::from(branch))]);
                 let outcome = catch_unwind(AssertUnwindSafe(
                     || -> Result<BranchOutcome, SemanticsError> {
                         let comps = solver.engine.group_components(branch);
@@ -371,7 +391,7 @@ pub(crate) fn run_session<F: PolicyFactory>(
             // failure the work is skipped, never the barriers.
             for plan in wave_plans_ref {
                 let mut merged: Vec<(usize, RunStats)> = Vec::new();
-                for wave_comps in &plan.waves {
+                for (wave_idx, wave_comps) in plan.waves.iter().enumerate() {
                     if wave_comps.len() < min_width {
                         // Narrow wave: sequential kernel inline on the
                         // coordinator, no barrier traffic.
@@ -410,6 +430,19 @@ pub(crate) fn run_session<F: PolicyFactory>(
                     // is complete and the claim cursor reset.
                     wave_ref.barrier.wait();
                     if !wave_ref.has_failed() {
+                        // One span per wave × worker: how much of the
+                        // wave each worker actually claimed.
+                        let mut wave_span = tiebreak_trace::span(
+                            "eval",
+                            "wave",
+                            &[
+                                ("branch", u64::from(plan.branch)),
+                                ("wave", wave_idx as u64),
+                                ("width", wave_comps.len() as u64),
+                                ("worker", worker_id as u64),
+                            ],
+                        );
+                        let mut claimed: u64 = 0;
                         let outcome =
                             catch_unwind(AssertUnwindSafe(|| -> Result<(), SemanticsError> {
                                 drain_trail(wave_ref, &mut replayed, &mut closer, &mut fork_model)?;
@@ -419,6 +452,7 @@ pub(crate) fn run_session<F: PolicyFactory>(
                                         break;
                                     }
                                     let (pos, c) = wave_comps[i];
+                                    claimed += 1;
                                     let (events, comp_stats) = run_wave_component(
                                         &mut closer,
                                         &mut fork_model,
@@ -429,12 +463,15 @@ pub(crate) fn run_session<F: PolicyFactory>(
                                     )?;
                                     lock(&wave_ref.staged).push(WaveResult {
                                         pos,
+                                        comp: c,
                                         events,
                                         stats: comp_stats,
                                     });
                                 }
                                 Ok(())
                             }));
+                        wave_span.arg("claimed", claimed);
+                        drop(wave_span);
                         match outcome {
                             Ok(Ok(())) => {}
                             Ok(Err(e)) => wave_ref.fail(WaveFailure::Error(e)),
@@ -450,10 +487,27 @@ pub(crate) fn run_session<F: PolicyFactory>(
                     wave_ref.barrier.wait();
                     if worker_id == 0 {
                         let mut staged = std::mem::take(&mut *lock(&wave_ref.staged));
+                        let m = tiebreak_trace::metrics();
+                        m.waves_dispatched.inc();
+                        m.wave_width.record(wave_comps.len() as u64);
+                        m.merge_queue_depth.record(staged.len() as u64);
                         staged.sort_unstable_by_key(|r| r.pos);
                         {
                             let mut log = lock(&wave_ref.trail);
                             for result in staged {
+                                // Merge events fire in component order —
+                                // the determinism suite checks the drain
+                                // stays topological per wave.
+                                tiebreak_trace::instant(
+                                    "eval",
+                                    "merge",
+                                    &[
+                                        ("branch", u64::from(plan.branch)),
+                                        ("wave", wave_idx as u64),
+                                        ("pos", result.pos as u64),
+                                        ("component", u64::from(result.comp)),
+                                    ],
+                                );
                                 merged.push((result.pos, result.stats));
                                 log.push(result.events);
                             }
@@ -499,6 +553,9 @@ pub(crate) fn run_session<F: PolicyFactory>(
                     }
                 }
             }
+            // Phase barrier for the recorder: scoped workers die right
+            // after returning, so push their ring buffers to the sink.
+            tiebreak_trace::flush();
             done
         };
 
@@ -554,6 +611,10 @@ pub(crate) fn run_session<F: PolicyFactory>(
                 stats.merge(&partial.stats);
             }
         }
+        let m = tiebreak_trace::metrics();
+        m.branches_evaluated.add(partials.len() as u64);
+        m.branch_cache_hits.add(stats.branches_reused as u64);
+        eval_span.arg("branches_reused", stats.branches_reused as u64);
     }
 
     let total = model.is_total();

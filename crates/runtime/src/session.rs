@@ -67,12 +67,16 @@ fn prepare(
     database: &Database,
     config: &EngineConfig,
 ) -> Result<Prepared, SemanticsError> {
+    let _span = tiebreak_trace::span("session", "prepare", &[]);
     let (graph, grounder) = SessionGrounder::build(program, database, &config.ground)?;
     let m0 = PartialModel::initial(program, database, graph.atoms());
     let mut base_model = m0.clone();
     let mut closer = Closer::new(&graph);
-    closer.bootstrap(&base_model);
-    closer.run(&mut base_model)?;
+    {
+        let _close = tiebreak_trace::span("close", "base_close", &[]);
+        closer.bootstrap(&base_model);
+        closer.run(&mut base_model)?;
+    }
     let engine = UnfoundedEngine::build(&closer);
     let base_close = closer.snapshot();
     drop(closer);
@@ -279,6 +283,17 @@ impl Solver {
         self.config.runtime.resolved_threads().min(width).max(1)
     }
 
+    /// Whether a plain well-founded evaluation of this prepared state
+    /// would dispatch intra-branch waves: more than one effective worker
+    /// and at least one branch whose widest wave meets the configured
+    /// minimum width ([`tiebreak_core::RuntimeConfig`]). Front-ends
+    /// report this next to the thread count so `? stats` and the server
+    /// `stats` verb agree on the pool configuration.
+    pub fn wave_dispatch_eligible(&self) -> bool {
+        self.effective_threads() > 1
+            && self.engine.widest_wave() >= self.config.runtime.resolved_wave_min_width()
+    }
+
     /// Inserts one fact (see [`Solver::apply`]).
     ///
     /// # Errors
@@ -326,6 +341,8 @@ impl Solver {
     /// is applied), and grounding-budget overflows (the session
     /// re-prepares on the old database and reports the error).
     pub fn apply(&mut self, mutations: Vec<Mutation>) -> Result<PrepareDelta, SolverError> {
+        let _span =
+            tiebreak_trace::span("session", "apply", &[("mutations", mutations.len() as u64)]);
         // Net effect, last mutation per fact wins.
         let mut staged: Vec<(GroundAtom, bool)> = Vec::new();
         let mut staged_index: FxHashMap<GroundAtom, usize> = FxHashMap::default();

@@ -107,13 +107,25 @@ impl Client {
         self.call(&payload)
     }
 
-    /// Fetches registry counters.
+    /// Fetches registry counters plus the per-session breakdown (the
+    /// body carries one `% session key=… epoch=… atoms=… last_used=…`
+    /// line per resident session).
     ///
     /// # Errors
     ///
     /// Transport errors.
     pub fn stats(&mut self) -> Result<Response, ClientError> {
         self.call(b"stats")
+    }
+
+    /// Fetches the Prometheus text exposition of the server's metrics
+    /// registry (the response body).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn metrics(&mut self) -> Result<Response, ClientError> {
+        self.call(b"metrics")
     }
 
     /// Liveness probe.

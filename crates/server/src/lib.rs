@@ -47,7 +47,9 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError, Response};
-pub use registry::{OpenError, OpenOutcome, RegistryConfig, RegistryStats, SessionRegistry};
+pub use registry::{
+    OpenError, OpenOutcome, RegistryConfig, RegistryStats, SessionRegistry, SessionStat,
+};
 pub use script::{LineOutcome, ScriptSession};
 pub use server::{Server, ServerConfig};
 pub use wire::{read_frame, write_frame, WireError, DEFAULT_MAX_FRAME_BYTES};

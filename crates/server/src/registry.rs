@@ -86,6 +86,10 @@ pub struct SessionEntry {
     /// Ground-graph atom count, refreshed by [`SessionEntry::sync_footprint`]
     /// after mutations. Read lock-free by the admission check.
     resident_atoms: AtomicUsize,
+    /// Mutation epoch mirror of the solver's, refreshed alongside
+    /// `resident_atoms` so `stats` can report it without taking the
+    /// session lock.
+    epoch: AtomicU64,
     /// LRU stamp from the registry's logical clock.
     last_used: AtomicU64,
     /// One-line analysis summary (strict mode only), echoed to every
@@ -112,15 +116,20 @@ impl SessionEntry {
         self.session.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Re-reads the ground-graph footprint into the lock-free counter.
-    /// Call after running script batches: incremental grounding can
-    /// grow the graph, and admission control should see that growth.
+    /// Re-reads the ground-graph footprint (and mutation epoch) into the
+    /// lock-free mirrors. Call after running script batches: incremental
+    /// grounding can grow the graph, and admission control should see
+    /// that growth.
     pub fn sync_footprint(&self, session: &ScriptSession) {
         self.resident_atoms
             .store(session.solver().footprint().atoms, Ordering::Relaxed);
+        self.epoch
+            .store(session.solver().epoch(), Ordering::Relaxed);
     }
 
-    fn atoms(&self) -> usize {
+    /// Resident ground atoms (lock-free mirror; see
+    /// [`SessionEntry::sync_footprint`]).
+    pub fn atoms(&self) -> usize {
         self.resident_atoms.load(Ordering::Relaxed)
     }
 }
@@ -171,7 +180,7 @@ pub struct OpenOutcome {
 }
 
 /// Point-in-time registry counters (the server's `stats` verb).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct RegistryStats {
     /// Resident sessions.
     pub sessions: usize,
@@ -185,6 +194,22 @@ pub struct RegistryStats {
     pub evictions: u64,
     /// Opens refused by admission control.
     pub rejected: u64,
+    /// Per-session breakdown, most-recently-used first.
+    pub per_session: Vec<SessionStat>,
+}
+
+/// One resident session's line in the `stats` breakdown.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionStat {
+    /// Registry key (FxHash of program + database source).
+    pub key: u64,
+    /// Mutation epoch the session has reached.
+    pub epoch: u64,
+    /// Resident ground atoms pinned by this session.
+    pub resident_atoms: u64,
+    /// LRU stamp from the registry's logical clock (higher = more
+    /// recently used).
+    pub last_used: u64,
 }
 
 #[derive(Default)]
@@ -247,9 +272,13 @@ impl SessionRegistry {
     /// [`OpenError::AdmissionDenied`] when the session alone exceeds
     /// the resident-atom budget.
     pub fn open(&self, program: &str, database: &str) -> Result<OpenOutcome, OpenError> {
+        // Parents the prepare spans Solver::with_config opens below, so
+        // a traced open shows request → registry_open → prepare.
+        let mut span = tiebreak_trace::span("server", "registry_open", &[]);
         let key = Self::key_of(program, database);
 
         if let Some(entry) = self.lookup(key) {
+            span.arg("hit", 1);
             return Ok(OpenOutcome {
                 entry,
                 reused: true,
@@ -276,6 +305,7 @@ impl SessionRegistry {
             if report.has_errors() {
                 let mut inner = self.lock_inner();
                 inner.counters.rejected += 1;
+                tiebreak_trace::metrics().registry_rejected.inc();
                 return Err(OpenError::Rejected(report.error_messages().join("; ")));
             }
             if report.certificate.is_some_and(|c| c.arms_fast_path()) {
@@ -290,16 +320,19 @@ impl SessionRegistry {
         if atoms as u64 > self.config.max_resident_atoms {
             let mut inner = self.lock_inner();
             inner.counters.rejected += 1;
+            tiebreak_trace::metrics().registry_rejected.inc();
             return Err(OpenError::AdmissionDenied {
                 atoms: atoms as u64,
                 budget: self.config.max_resident_atoms,
             });
         }
 
+        let epoch = solver.epoch();
         let entry = Arc::new(SessionEntry {
             key,
             session: Mutex::new(ScriptSession::new(solver, self.config.pure)),
             resident_atoms: AtomicUsize::new(atoms),
+            epoch: AtomicU64::new(epoch),
             last_used: AtomicU64::new(self.tick()),
             analysis: summary,
         });
@@ -311,6 +344,7 @@ impl SessionRegistry {
             let existing = Arc::clone(existing);
             existing.last_used.store(self.tick(), Ordering::Relaxed);
             inner.counters.hits += 1;
+            tiebreak_trace::metrics().registry_hits.inc();
             return Ok(OpenOutcome {
                 entry: existing,
                 reused: true,
@@ -321,6 +355,9 @@ impl SessionRegistry {
         let evicted = self.make_room(&mut inner, atoms as u64);
         inner.counters.misses += 1;
         inner.counters.evictions += evicted as u64;
+        let m = tiebreak_trace::metrics();
+        m.registry_misses.inc();
+        m.registry_evictions.add(evicted as u64);
         inner.entries.insert(key, Arc::clone(&entry));
         Ok(OpenOutcome {
             entry,
@@ -337,20 +374,33 @@ impl SessionRegistry {
         let removed = inner.entries.remove(&key).is_some();
         if removed {
             inner.counters.evictions += 1;
+            tiebreak_trace::metrics().registry_evictions.inc();
         }
         removed
     }
 
-    /// Current registry counters.
+    /// Current registry counters plus the per-session breakdown.
     pub fn stats(&self) -> RegistryStats {
         let inner = self.lock_inner();
+        let mut per_session: Vec<SessionStat> = inner
+            .entries
+            .values()
+            .map(|e| SessionStat {
+                key: e.key,
+                epoch: e.epoch.load(Ordering::Relaxed),
+                resident_atoms: e.atoms() as u64,
+                last_used: e.last_used.load(Ordering::Relaxed),
+            })
+            .collect();
+        per_session.sort_by_key(|s| std::cmp::Reverse(s.last_used));
         RegistryStats {
             sessions: inner.entries.len(),
-            resident_atoms: inner.entries.values().map(|e| e.atoms() as u64).sum(),
+            resident_atoms: per_session.iter().map(|s| s.resident_atoms).sum(),
             hits: inner.counters.hits,
             misses: inner.counters.misses,
             evictions: inner.counters.evictions,
             rejected: inner.counters.rejected,
+            per_session,
         }
     }
 
@@ -360,6 +410,7 @@ impl SessionRegistry {
             let entry = Arc::clone(entry);
             entry.last_used.store(self.tick(), Ordering::Relaxed);
             inner.counters.hits += 1;
+            tiebreak_trace::metrics().registry_hits.inc();
             return Some(entry);
         }
         None

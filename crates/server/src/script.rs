@@ -146,8 +146,20 @@ impl ScriptSession {
             let fact = parse_fact(rest)?;
             self.staged.push(Mutation::Retract(fact));
         } else if let Some(rest) = line.strip_prefix('?') {
+            let prepare_started = std::time::Instant::now();
             self.flush_staged(out)?;
+            let prepare_ms = prepare_started.elapsed().as_secs_f64() * 1e3;
+            let eval_started = std::time::Instant::now();
             self.query(rest.trim(), out)?;
+            // Annotate only when tracing is on so the default reply
+            // format stays byte-stable for existing drivers.
+            if tiebreak_trace::enabled() {
+                let eval_ms = eval_started.elapsed().as_secs_f64() * 1e3;
+                writeln!(
+                    out,
+                    "% timing: prepare={prepare_ms:.3}ms eval={eval_ms:.3}ms"
+                )?;
+            }
         } else {
             return Err(Failure::Script(format!(
                 "expected '+fact.', '-fact.', or '?query', got {line:?}"
@@ -199,6 +211,14 @@ impl ScriptSession {
                 fp.atoms,
                 fp.rules,
                 fp.approx_bytes / 1024,
+            )?;
+            // Same accessors as the server's `stats` verb, so the two
+            // views of the thread pool cannot disagree.
+            writeln!(
+                out,
+                "% threads={} wave_dispatch={}",
+                self.solver.effective_threads(),
+                self.solver.wave_dispatch_eligible(),
             )?;
             if let Some(delta) = self.solver.last_delta() {
                 writeln!(out, "{}", describe_delta(delta))?;

@@ -9,6 +9,7 @@
 //! open <prog_byte_len>\n<program bytes><database bytes>
 //! script\n<session-script lines>
 //! stats
+//! metrics
 //! ping
 //! bye
 //! shutdown
@@ -244,6 +245,9 @@ fn serve_connection(
 
 /// Dispatches one request frame. Writes the response into `response`;
 /// infallible from the transport's point of view (in-band errors).
+/// Every request is counted, latency-bucketed per verb, and (when
+/// tracing is on) wrapped in a `server` span that parents the prepare
+/// and evaluation spans the handlers open further down the stack.
 fn handle_request(
     payload: &[u8],
     registry: &SessionRegistry,
@@ -251,15 +255,24 @@ fn handle_request(
     lineno: &mut usize,
     response: &mut Vec<u8>,
 ) -> Next {
+    let m = tiebreak_trace::metrics();
+    m.requests.inc();
+    let started = std::time::Instant::now();
     let Ok(text) = std::str::from_utf8(payload) else {
         let _ = write!(response, "error request frame is not valid UTF-8");
+        m.request_errors.inc();
         return Next::Continue;
     };
     let (verb_line, body) = match text.split_once('\n') {
         Some((v, b)) => (v.trim_end_matches('\r'), b),
         None => (text, ""),
     };
-    match verb_line.split_whitespace().next().unwrap_or("") {
+    let verb = verb_line.split_whitespace().next().unwrap_or("");
+    let vi = tiebreak_trace::metrics::verb_index(verb);
+    // Span name is the canonical verb (a static string), so `bye`,
+    // `shutdown`, and unknown verbs all show up as `control` requests.
+    let span = tiebreak_trace::span("server", tiebreak_trace::metrics::VERBS[vi], &[]);
+    let next = match verb {
         "open" => {
             handle_open(verb_line, body, registry, entry, lineno, response);
             Next::Continue
@@ -269,12 +282,16 @@ fn handle_request(
             Next::Continue
         }
         "stats" => {
+            handle_stats(registry, entry.as_deref(), response);
+            Next::Continue
+        }
+        "metrics" => {
+            // Gauges are point-in-time: refresh them from the registry
+            // right before rendering so the exposition is coherent.
             let s = registry.stats();
-            let _ = write!(
-                response,
-                "ok sessions={} resident_atoms={} hits={} misses={} evictions={} rejected={}",
-                s.sessions, s.resident_atoms, s.hits, s.misses, s.evictions, s.rejected
-            );
+            m.sessions_resident.set(s.sessions as u64);
+            m.resident_atoms.set(s.resident_atoms);
+            let _ = write!(response, "ok\n{}", m.snapshot().render_prometheus());
             Next::Continue
         }
         "ping" => {
@@ -292,11 +309,52 @@ fn handle_request(
         other => {
             let _ = write!(
                 response,
-                "error unknown verb {other:?} (expected open, script, stats, ping, bye, or \
-                 shutdown)"
+                "error unknown verb {other:?} (expected open, script, stats, metrics, ping, bye, \
+                 or shutdown)"
             );
             Next::Continue
         }
+    };
+    drop(span);
+    // Connection threads are long-lived: flush the thread-local ring at
+    // this request boundary so a `--trace-out` drain sees every event.
+    tiebreak_trace::flush();
+    if response.starts_with(b"error") {
+        m.request_errors.inc();
+    }
+    let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    m.request_latency_us[vi].record(elapsed_us);
+    next
+}
+
+/// The `stats` verb: registry-wide counters, the per-session breakdown,
+/// and — when this connection has a session open — its thread-pool
+/// state, reported through the same [`Solver`] accessors as the script
+/// language's `? stats` so the two views cannot disagree.
+///
+/// [`Solver`]: tiebreak_runtime::Solver
+fn handle_stats(registry: &SessionRegistry, entry: Option<&SessionEntry>, response: &mut Vec<u8>) {
+    let s = registry.stats();
+    let _ = write!(
+        response,
+        "ok sessions={} resident_atoms={} hits={} misses={} evictions={} rejected={}",
+        s.sessions, s.resident_atoms, s.hits, s.misses, s.evictions, s.rejected
+    );
+    for per in &s.per_session {
+        let _ = write!(
+            response,
+            "\n% session key={:016x} epoch={} atoms={} last_used={}",
+            per.key, per.epoch, per.resident_atoms, per.last_used
+        );
+    }
+    if let Some(entry) = entry {
+        let session = entry.lock();
+        let _ = write!(
+            response,
+            "\n% threads={} wave_dispatch={}",
+            session.solver().effective_threads(),
+            session.solver().wave_dispatch_eligible(),
+        );
     }
 }
 
@@ -329,8 +387,10 @@ fn handle_open(
         return;
     };
     let database = &body[len..];
+    let opened_at = std::time::Instant::now();
     match registry.open(program, database) {
         Ok(outcome) => {
+            let prepare_ms = opened_at.elapsed().as_secs_f64() * 1e3;
             let session = outcome.entry.lock();
             let threads = session.solver().effective_threads();
             let diagnostic = session.solver().thread_diagnostic();
@@ -351,6 +411,11 @@ fn handle_open(
             }
             if let Some(summary) = outcome.entry.analysis_summary() {
                 let _ = write!(response, "\n% analysis: {summary}");
+            }
+            // Timing annotations ride along only when tracing is on, so
+            // the default wire format stays byte-stable.
+            if tiebreak_trace::enabled() {
+                let _ = write!(response, "\n% timing: prepare={prepare_ms:.3}ms");
             }
             drop(session);
             *entry = Some(outcome.entry);

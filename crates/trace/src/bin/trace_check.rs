@@ -1,0 +1,35 @@
+//! `trace_check FILE...` — validates Trace Event JSON files emitted by
+//! `--trace-out` against the schema subset the workspace produces
+//! (structure, required fields, span id uniqueness, parent linkage).
+//! Exits nonzero on the first invalid file; CI runs it on the smoke
+//! trace before uploading the artifact.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: trace_check FILE...");
+        return ExitCode::FAILURE;
+    }
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("trace_check: {file}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match tiebreak_trace::validate_trace_json(&text) {
+            Ok(check) => println!(
+                "{file}: ok ({} events: {} spans, {} instants)",
+                check.events, check.spans, check.instants
+            ),
+            Err(err) => {
+                eprintln!("trace_check: {file}: invalid trace: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

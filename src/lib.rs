@@ -40,7 +40,8 @@
 //! analyses), [`analyze`] (the pre-grounding static analyzer: safety
 //! lints, totality certificates, grounding cost estimates),
 //! [`runtime`] (the parallel session solver: ground once, close once,
-//! serve many evaluations), and [`constructions`] (reductions and
+//! serve many evaluations), [`trace`] (structured tracing and metrics
+//! across every layer), and [`constructions`] (reductions and
 //! generators).
 
 pub use datalog_analyze as analyze;
@@ -50,6 +51,7 @@ pub use paper_constructions as constructions;
 pub use signed_graph as graph;
 pub use tiebreak_core as core;
 pub use tiebreak_runtime as runtime;
+pub use tiebreak_trace as trace;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -75,4 +77,5 @@ pub mod prelude {
         SessionConfig,
     };
     pub use tiebreak_runtime::{uniform, PolicyFactory, Solver};
+    pub use tiebreak_trace::{metrics, MetricsSnapshot, Trace};
 }

@@ -1,0 +1,219 @@
+//! Observability determinism suite: the span recorder must be a pure
+//! observer.
+//!
+//! Three families of checks over the braided wave workload and the
+//! serving tier:
+//!
+//! * **well-formedness across thread counts** — for `threads ∈ {1, 2, 8}`
+//!   every drained trace has unique sequence stamps, every span closed
+//!   with a valid (earlier-allocated) parent, the per-wave `merge`
+//!   instants in component-position order, and a chrome://tracing
+//!   export that round-trips through the vendored validator;
+//! * **bit-identical results** — well-founded models, outcome sets, and
+//!   merged [`RunStats`] are `==` with the recorder on and off;
+//! * **server span tree** — one traced `open` + `? query` exchange
+//!   yields `server` request spans that parent the registry open and
+//!   the evaluation spans recorded further down the stack, and the
+//!   `metrics` verb renders parseable Prometheus text.
+//!
+//! The recorder is process-global, so every test serializes on one
+//! mutex and drains the sink before and after itself.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use tie_breaking_datalog::constructions::generators;
+use tie_breaking_datalog::prelude::*;
+use tie_breaking_datalog::trace::{self, TraceEvent, TraceEventKind};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+const CHAINS: usize = 4;
+const POCKETS: usize = 2;
+const LOOP: usize = 16;
+
+/// Serializes the tests (the recorder and its sink are process-global)
+/// and guarantees a clean disabled/empty state on entry and exit.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let guard = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    trace::set_enabled(false);
+    drop(trace::drain());
+    guard
+}
+
+fn braided_solver(threads: usize) -> Solver {
+    let program = generators::braided_unfounded_chain_program(CHAINS, POCKETS, LOOP);
+    Solver::with_config(
+        program,
+        Database::new(),
+        EngineConfig::default().with_runtime(RuntimeConfig::with_threads(threads)),
+    )
+    .expect("prepares")
+}
+
+/// Merge instants carry `(branch, wave, pos, component)`; within one
+/// `(branch, wave)` group the coordinator must have recorded them in
+/// strictly increasing component-position order — the deterministic
+/// merge order the scheduler promises.
+fn assert_merges_topo_ordered(events: &[TraceEvent]) {
+    use std::collections::HashMap;
+    let mut last_pos: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut merges: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.kind == TraceEventKind::Instant && e.name == "merge")
+        .collect();
+    merges.sort_by_key(|e| e.seq);
+    for e in &merges {
+        let branch = e.arg("branch").expect("merge has branch");
+        let wave = e.arg("wave").expect("merge has wave");
+        let pos = e.arg("pos").expect("merge has pos");
+        if let Some(prev) = last_pos.insert((branch, wave), pos) {
+            assert!(
+                pos > prev,
+                "merge order regressed in branch {branch} wave {wave}: pos {pos} after {prev}"
+            );
+        }
+    }
+}
+
+#[test]
+fn traces_are_well_formed_across_thread_counts() {
+    let _guard = exclusive();
+    for threads in THREADS {
+        trace::set_enabled(true);
+        let solver = braided_solver(threads);
+        let out = solver.well_founded().expect("runs");
+        assert!(out.total, "the braid is decided");
+        trace::set_enabled(false);
+        let events = trace::drain();
+        assert!(!events.is_empty(), "threads={threads} recorded nothing");
+        let built = trace::Trace::from_events(events);
+        built
+            .well_formed()
+            .unwrap_or_else(|e| panic!("threads={threads}: {e}"));
+        assert_merges_topo_ordered(&built.events);
+        // The evaluation root exists and the scheduler's spans hang off
+        // it (directly or through a worker span).
+        assert!(
+            built.events.iter().any(|e| e.name == "evaluate"),
+            "threads={threads} has no evaluate span"
+        );
+        let check = trace::validate_trace_json(&built.to_chrome_json())
+            .unwrap_or_else(|e| panic!("threads={threads} export invalid: {e}"));
+        assert_eq!(check.events, built.events.len());
+    }
+}
+
+#[test]
+fn tracing_leaves_results_bit_identical() {
+    let _guard = exclusive();
+    for threads in THREADS {
+        let quiet = braided_solver(threads);
+        let quiet_wf = quiet.well_founded().expect("runs");
+        let quiet_outcomes = quiet.all_outcomes(false, 64).expect("enumerates");
+
+        trace::set_enabled(true);
+        let traced = braided_solver(threads);
+        let traced_wf = traced.well_founded().expect("runs");
+        let traced_outcomes = traced.all_outcomes(false, 64).expect("enumerates");
+        trace::set_enabled(false);
+        drop(trace::drain());
+
+        assert_eq!(
+            quiet_wf.true_facts, traced_wf.true_facts,
+            "threads={threads}"
+        );
+        assert_eq!(quiet_wf.undefined, traced_wf.undefined, "threads={threads}");
+        assert_eq!(quiet_wf.total, traced_wf.total, "threads={threads}");
+        assert_eq!(quiet_wf.stats, traced_wf.stats, "threads={threads}");
+        assert_eq!(
+            quiet_outcomes.models, traced_outcomes.models,
+            "threads={threads}"
+        );
+        assert_eq!(
+            quiet_outcomes.runs, traced_outcomes.runs,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn server_request_spans_parent_the_pipeline_and_metrics_render() {
+    use tiebreak_server::{Client, Server, ServerConfig};
+
+    let _guard = exclusive();
+    trace::set_enabled(true);
+
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("binds");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).expect("connects");
+    client
+        .open("win(X) :- move(X, Y), not win(Y).", "move(a, b).")
+        .expect("opens");
+    let reply = client.script("? win(a)\n").expect("scripts");
+    assert!(reply.body.contains("win(a): true"), "{}", reply.body);
+    // Tracing is on, so the reply carries the timing annotation.
+    assert!(reply.body.contains("% timing: prepare="), "{}", reply.body);
+
+    let metrics_reply = client.metrics().expect("metrics verb");
+    assert!(
+        metrics_reply.body.contains("tiebreak_requests_total"),
+        "{}",
+        metrics_reply.body
+    );
+    // Every non-comment line is `name{labels}? value` — the same shape
+    // check the Prometheus scraper effectively performs.
+    for line in metrics_reply.body.lines().filter(|l| !l.starts_with('#')) {
+        let (name, value) = line.rsplit_once(' ').expect("space-separated");
+        assert!(!name.is_empty(), "{line:?}");
+        assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+    }
+
+    client.shutdown().expect("shuts down");
+    handle.join().expect("joins").expect("serves");
+    trace::set_enabled(false);
+
+    let trace = trace::Trace::from_events(trace::drain());
+    trace.well_formed().expect("server trace well-formed");
+    let span = |name: &str| {
+        trace
+            .events
+            .iter()
+            .find(|e| e.kind == TraceEventKind::Span && e.name == name)
+            .unwrap_or_else(|| panic!("no {name} span in the server trace"))
+    };
+    // Walks parent links from `e` and reports whether `ancestor` is on
+    // the chain.
+    let has_ancestor = |e: &TraceEvent, ancestor: u64| {
+        let mut parent = e.parent;
+        while parent != 0 {
+            if parent == ancestor {
+                return true;
+            }
+            parent = trace
+                .events
+                .iter()
+                .find(|p| p.id == parent)
+                .map_or(0, |p| p.parent);
+        }
+        false
+    };
+    let open_request = span("open");
+    let registry_open = span("registry_open");
+    let prepare = span("prepare");
+    let script_request = span("script");
+    let evaluate = span("evaluate");
+    assert_eq!(
+        registry_open.parent, open_request.id,
+        "registry open is a child of the open request"
+    );
+    assert!(
+        has_ancestor(prepare, registry_open.id),
+        "prepare descends from the registry open"
+    );
+    assert!(
+        has_ancestor(evaluate, script_request.id),
+        "evaluation descends from the script request"
+    );
+}
