@@ -16,7 +16,9 @@
 //!                  [--threads N]
 //! datalog serve    [--addr HOST:PORT] [--semantics tb|pure-tb] [--threads N]
 //!                  [--max-sessions N] [--max-resident-atoms N] [--strict]
+//!                  [--reactor | --legacy-threads] [--max-idle-secs N]
 //! datalog client   <program.dl> [database.dl] --addr HOST:PORT [--script FILE]
+//!                  [--concurrency N] [--repeat K]
 //! datalog client   --addr HOST:PORT --stats | --metrics | --shutdown
 //! ```
 //!
@@ -55,10 +57,17 @@
 //! `serve` exposes the same session machinery over TCP: a long-lived
 //! process managing many prepared sessions behind an LRU keyed by
 //! program + database source, so repeated opens of the same pair skip
-//! the ground → close → condense preparation entirely. `client` drives
-//! a served session with the same script language (and `--shutdown`
-//! stops the server). See the `tiebreak-server` crate docs for the wire
-//! protocol.
+//! the ground → close → condense preparation entirely. The default
+//! transport is a poll-based reactor with cross-connection query
+//! batching (read-only script frames from many clients against one
+//! session share a single evaluation); `--legacy-threads` selects the
+//! pre-reactor thread-per-connection transport, and `--max-idle-secs N`
+//! sets the reactor's idle-connection reaping deadline (0 disables).
+//! `client` drives a served session with the same script language (and
+//! `--shutdown` stops the server); `--concurrency N --repeat K` turns
+//! it into a load generator that opens N concurrent connections and
+//! streams the script K times on each, reporting aggregate throughput.
+//! See the `tiebreak-server` crate docs for the wire protocol.
 //!
 //! Every command that grounds accepts `--ground-mode full|relevant`:
 //! `relevant` (the production default) builds the join-based relevant
@@ -108,7 +117,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  datalog analyze <program.dl>\n  datalog check <program.dl> [db.dl] [--format text|json]\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N] [--threads N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb] [--threads N]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N] [--threads N]\n  datalog totality <program.dl> [--nonuniform]\n  datalog session <program.dl> [db.dl] [--script FILE] [--semantics tb|pure-tb] [--threads N]\n  datalog serve [--addr HOST:PORT] [--semantics tb|pure-tb] [--threads N] [--max-sessions N] [--max-resident-atoms N] [--strict]\n  datalog client <program.dl> [db.dl] --addr HOST:PORT [--script FILE]\n  datalog client --addr HOST:PORT --stats | --metrics | --shutdown\n\nGrounding commands also accept --ground-mode full|relevant (default: relevant).\nrun/outcomes/session/serve accept --trace-out FILE (chrome://tracing JSON) and\n--trace summary (aggregate span table on stderr); either enables the recorder.\nEvaluating commands also accept --eval-mode global|stratified (default: stratified).\n--threads N (N >= 1) routes run/outcomes/explain through the parallel session\nruntime; omit the flag for automatic selection via TIEBREAK_THREADS or the\nmachine's parallelism.\nsession scripts: '+fact.' insert, '-fact.' retract, '? wf', '?fact.',\n'? outcomes [N]', '? stats', '#' comments; reads stdin without --script.\nserve listens for client connections and keeps prepared sessions resident\nbehind an LRU; client opens (or reuses) a server-side session and streams a\nscript against it.\ncheck exits non-zero exactly when an error-severity lint fires; serve --strict\nruns the same analysis on every open and rejects error lints before preparing."
+    "usage:\n  datalog analyze <program.dl>\n  datalog check <program.dl> [db.dl] [--format text|json]\n  datalog run <program.dl> [db.dl] [--semantics wf|tb|pure-tb|stratified] [--policy root-true|root-false|random] [--seed N] [--threads N]\n  datalog models <program.dl> [db.dl] [--stable] [--limit N]\n  datalog ground <program.dl> [db.dl]\n  datalog explain <program.dl> [db.dl] --atom \"win(a)\" [--semantics wf|tb] [--threads N]\n  datalog outcomes <program.dl> [db.dl] [--semantics tb|pure-tb] [--limit N] [--threads N]\n  datalog totality <program.dl> [--nonuniform]\n  datalog session <program.dl> [db.dl] [--script FILE] [--semantics tb|pure-tb] [--threads N]\n  datalog serve [--addr HOST:PORT] [--semantics tb|pure-tb] [--threads N] [--max-sessions N] [--max-resident-atoms N] [--strict] [--reactor | --legacy-threads] [--max-idle-secs N]\n  datalog client <program.dl> [db.dl] --addr HOST:PORT [--script FILE] [--concurrency N] [--repeat K]\n  datalog client --addr HOST:PORT --stats | --metrics | --shutdown\n\nGrounding commands also accept --ground-mode full|relevant (default: relevant).\nrun/outcomes/session/serve accept --trace-out FILE (chrome://tracing JSON) and\n--trace summary (aggregate span table on stderr); either enables the recorder.\nEvaluating commands also accept --eval-mode global|stratified (default: stratified).\n--threads N (N >= 1) routes run/outcomes/explain through the parallel session\nruntime; omit the flag for automatic selection via TIEBREAK_THREADS or the\nmachine's parallelism.\nsession scripts: '+fact.' insert, '-fact.' retract, '? wf', '?fact.',\n'? outcomes [N]', '? stats', '#' comments; reads stdin without --script.\nserve listens for client connections and keeps prepared sessions resident\nbehind an LRU; client opens (or reuses) a server-side session and streams a\nscript against it.\ncheck exits non-zero exactly when an error-severity lint fires; serve --strict\nruns the same analysis on every open and rejects error lints before preparing."
         .to_owned()
 }
 
@@ -136,6 +145,11 @@ struct Options {
     trace_summary: bool,
     stats: bool,
     metrics: bool,
+    reactor: bool,
+    legacy_threads: bool,
+    max_idle_secs: u64,
+    concurrency: usize,
+    repeat: usize,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -162,6 +176,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         trace_summary: false,
         stats: false,
         metrics: false,
+        reactor: false,
+        legacy_threads: false,
+        max_idle_secs: tiebreak_server::DEFAULT_MAX_IDLE_SECS,
+        concurrency: 1,
+        repeat: 1,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -244,6 +263,37 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--shutdown" => opts.shutdown = true,
             "--strict" => opts.strict = true,
+            "--reactor" => opts.reactor = true,
+            "--legacy-threads" => opts.legacy_threads = true,
+            "--max-idle-secs" => {
+                opts.max_idle_secs = it
+                    .next()
+                    .ok_or("--max-idle-secs needs a value (0 disables reaping)")?
+                    .parse()
+                    .map_err(|e| format!("bad idle deadline: {e}"))?;
+            }
+            "--concurrency" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--concurrency needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad concurrency: {e}"))?;
+                if n == 0 {
+                    return Err("bad concurrency 0: need at least one connection".to_owned());
+                }
+                opts.concurrency = n;
+            }
+            "--repeat" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--repeat needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad repeat count: {e}"))?;
+                if n == 0 {
+                    return Err("bad repeat count 0: need at least one round".to_owned());
+                }
+                opts.repeat = n;
+            }
             "--stats" => opts.stats = true,
             "--metrics" => opts.metrics = true,
             "--trace-out" => {
@@ -745,11 +795,23 @@ fn run_serve(opts: &Options) -> Result<(), String> {
     if opts.max_resident_atoms > 0 {
         registry.max_resident_atoms = opts.max_resident_atoms;
     }
+    if opts.reactor && opts.legacy_threads {
+        return Err("--reactor and --legacy-threads are mutually exclusive".to_owned());
+    }
+    let mode = if opts.legacy_threads {
+        tiebreak_server::ServerMode::LegacyThreads
+    } else {
+        // The reactor is the default; --reactor spells it out.
+        tiebreak_server::ServerMode::Reactor
+    };
     let server = Server::bind(
         addr,
         ServerConfig {
             registry,
             max_frame_bytes: 0,
+            mode,
+            max_idle_secs: opts.max_idle_secs,
+            workers: 0,
         },
     )
     .map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -792,15 +854,6 @@ fn run_client(opts: &Options) -> Result<(), String> {
         return Ok(());
     }
     let (program_src, db_src) = load_sources(opts)?;
-    let response = client
-        .open(&program_src, &db_src)
-        .map_err(|e| e.to_string())?;
-    println!("% {}", response.status);
-    // The body carries server-side diagnostics (e.g. the
-    // TIEBREAK_THREADS fallback warning) — show them.
-    if !response.body.is_empty() {
-        println!("{}", response.body);
-    }
     let script = match &opts.script {
         Some(path) => {
             std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
@@ -814,6 +867,21 @@ fn run_client(opts: &Options) -> Result<(), String> {
             buf
         }
     };
+    if opts.concurrency > 1 || opts.repeat > 1 {
+        // Load-generator mode: this connection only probed the server;
+        // the generator opens its own.
+        let _ = client.bye();
+        return run_load(opts, addr, &program_src, &db_src, &script);
+    }
+    let response = client
+        .open(&program_src, &db_src)
+        .map_err(|e| e.to_string())?;
+    println!("% {}", response.status);
+    // The body carries server-side diagnostics (e.g. the
+    // TIEBREAK_THREADS fallback warning) — show them.
+    if !response.body.is_empty() {
+        println!("{}", response.body);
+    }
     let response = client.script(&script).map_err(|e| e.to_string())?;
     print!("{}", response.body);
     let _ = client.bye();
@@ -825,6 +893,87 @@ fn run_client(opts: &Options) -> Result<(), String> {
         .unwrap_or(0);
     if errors > 0 {
         return Err(format!("server reported {errors} script error(s)"));
+    }
+    Ok(())
+}
+
+/// `datalog client --concurrency N --repeat K`: a built-in load
+/// generator. N connections open the same session concurrently and
+/// each streams the script K times; per-script bodies are discarded
+/// and one summary line reports aggregate throughput, so the bench and
+/// smoke jobs can drive real concurrent connections without ad-hoc
+/// shell scaffolding. Exits non-zero if any connection fails or any
+/// script line errors.
+fn run_load(
+    opts: &Options,
+    addr: &str,
+    program_src: &str,
+    db_src: &str,
+    script: &str,
+) -> Result<(), String> {
+    let conns = opts.concurrency;
+    let repeat = opts.repeat;
+    let started = std::time::Instant::now();
+    let results: Vec<Result<usize, String>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..conns)
+            .map(|_| {
+                scope.spawn(move || -> Result<usize, String> {
+                    let mut client = Client::connect(addr)
+                        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                    client
+                        .open(program_src, db_src)
+                        .map_err(|e| format!("open failed: {e}"))?;
+                    let mut errors = 0usize;
+                    for _ in 0..repeat {
+                        let response = client
+                            .script(script)
+                            .map_err(|e| format!("script failed: {e}"))?;
+                        errors += response
+                            .status
+                            .strip_prefix("errors=")
+                            .and_then(|s| s.split_whitespace().next())
+                            .and_then(|s| s.parse::<usize>().ok())
+                            .unwrap_or(0);
+                    }
+                    let _ = client.bye();
+                    Ok(errors)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().unwrap_or_else(|_| Err("worker panicked".into())))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let mut failures = Vec::new();
+    let mut script_errors = 0usize;
+    for result in results {
+        match result {
+            Ok(errors) => script_errors += errors,
+            Err(e) => failures.push(e),
+        }
+    }
+    let scripts = conns * repeat;
+    let per_sec = if wall.as_secs_f64() > 0.0 {
+        scripts as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    println!(
+        "% load: concurrency={conns} repeat={repeat} scripts={scripts} wall_ms={:.1} \
+         scripts_per_sec={per_sec:.0} script_errors={script_errors} failed_connections={}",
+        wall.as_secs_f64() * 1e3,
+        failures.len(),
+    );
+    if let Some(first) = failures.first() {
+        return Err(format!(
+            "{} of {conns} connection(s) failed, first: {first}",
+            failures.len()
+        ));
+    }
+    if script_errors > 0 {
+        return Err(format!("server reported {script_errors} script error(s)"));
     }
     Ok(())
 }
@@ -950,6 +1099,67 @@ mod tests {
         assert!(opts.stats);
         assert!(opts.metrics);
         assert_eq!(opts.addr.as_deref(), Some("127.0.0.1:4545"));
+    }
+
+    #[test]
+    fn reactor_and_idle_flags_parse() {
+        let args: Vec<String> = ["--reactor", "--max-idle-secs", "45"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        let opts = parse_options(&args).unwrap();
+        assert!(opts.reactor);
+        assert!(!opts.legacy_threads);
+        assert_eq!(opts.max_idle_secs, 45);
+    }
+
+    #[test]
+    fn legacy_threads_flag_parses() {
+        let args = vec!["--legacy-threads".to_owned()];
+        let opts = parse_options(&args).unwrap();
+        assert!(opts.legacy_threads);
+        assert_eq!(
+            opts.max_idle_secs,
+            tiebreak_server::DEFAULT_MAX_IDLE_SECS,
+            "idle deadline defaults to the server's constant"
+        );
+    }
+
+    #[test]
+    fn load_generator_flags_parse() {
+        let args: Vec<String> = [
+            "prog.dl",
+            "--addr",
+            "127.0.0.1:4545",
+            "--concurrency",
+            "32",
+            "--repeat",
+            "8",
+        ]
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
+        let opts = parse_options(&args).unwrap();
+        assert_eq!(opts.concurrency, 32);
+        assert_eq!(opts.repeat, 8);
+    }
+
+    #[test]
+    fn zero_concurrency_and_repeat_rejected() {
+        let err = parse_options(&["--concurrency".to_owned(), "0".to_owned()]).unwrap_err();
+        assert!(err.contains("at least one connection"));
+        let err = parse_options(&["--repeat".to_owned(), "0".to_owned()]).unwrap_err();
+        assert!(err.contains("at least one round"));
+    }
+
+    #[test]
+    fn conflicting_transport_flags_rejected() {
+        let args: Vec<String> = ["serve", "--reactor", "--legacy-threads"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("mutually exclusive"));
     }
 
     #[test]

@@ -88,5 +88,5 @@ mod scheduler;
 mod session;
 
 pub use policy::{uniform, PolicyFactory, UniformPolicy};
-pub use session::{Solver, SolverError};
+pub use session::{ReadAnswer, ReadBatch, ReadQuery, Solver, SolverError};
 pub use tiebreak_core::{Mutation, PrepareDelta, RuntimeConfig, SessionConfig};

@@ -767,6 +767,32 @@ impl Solver {
         Ok(self.decode(run))
     }
 
+    /// Answers a batch of read-only queries against **one** shared
+    /// policy-free evaluation: the first query triggers a single
+    /// wave-parallel [`Solver::well_founded_run`], every further query
+    /// is answered from that run by an O(1) model lookup (or a one-time
+    /// decode for [`ReadQuery::Model`]). This is the serving tier's
+    /// batched read path: N clients querying the same session+epoch cost
+    /// one branch-scheduled pass instead of N, and because the run is a
+    /// pure read of the prepared state the per-query answers are
+    /// bit-identical to N independent [`Solver::well_founded`] calls.
+    ///
+    /// Answers are returned in query order.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Solver::well_founded`].
+    pub fn query_many(&self, queries: &[ReadQuery]) -> Result<Vec<ReadAnswer>, SemanticsError> {
+        let mut batch = ReadBatch::new();
+        queries
+            .iter()
+            .map(|query| match query {
+                ReadQuery::Model => Ok(ReadAnswer::Model(batch.model(self)?.clone())),
+                ReadQuery::Truth(fact) => Ok(ReadAnswer::Truth(batch.truth(self, fact)?)),
+            })
+            .collect()
+    }
+
     /// Explores every tie script of the chosen interpreter flavour
     /// (`pure` selects Pure Tie-Breaking; otherwise Well-Founded
     /// Tie-Breaking), forking each script copy-on-write off the shared
@@ -803,5 +829,98 @@ impl Solver {
     /// [`EvalOutcome::decode`], so facade and session output coincide).
     pub(crate) fn decode(&self, run: InterpreterRun) -> EvalOutcome {
         EvalOutcome::decode(self.graph.atoms(), run)
+    }
+}
+
+/// One read-only query for [`Solver::query_many`].
+#[derive(Clone, Debug)]
+pub enum ReadQuery {
+    /// The full decoded well-founded model ([`EvalOutcome`]).
+    Model,
+    /// One ground atom's three-valued verdict (`None` when the atom is
+    /// not in the ground atom space, which the well-founded semantics
+    /// reads as false).
+    Truth(GroundAtom),
+}
+
+/// One answer from [`Solver::query_many`], in query order.
+#[derive(Clone, Debug)]
+pub enum ReadAnswer {
+    /// Answer to [`ReadQuery::Model`].
+    Model(EvalOutcome),
+    /// Answer to [`ReadQuery::Truth`].
+    Truth(Option<TruthValue>),
+}
+
+/// The incremental form of [`Solver::query_many`]: a lazily-evaluated
+/// shared run that answers read-only queries one at a time. Drivers
+/// that interleave query answering with formatting (the serving tier's
+/// per-connection fan-out) use this directly; `query_many` is the
+/// vector form built on top of it.
+///
+/// A batch is pinned to the epoch of its first query: feeding it a
+/// solver that has since mutated (or a different solver) is a logic
+/// error and panics in debug builds. Create a fresh batch per
+/// session-lock acquisition.
+#[derive(Debug, Default)]
+pub struct ReadBatch {
+    run: Option<InterpreterRun>,
+    outcome: Option<EvalOutcome>,
+    epoch: Option<u64>,
+}
+
+impl ReadBatch {
+    /// An empty batch; the first query pays the evaluation.
+    pub fn new() -> Self {
+        ReadBatch::default()
+    }
+
+    /// The shared run, evaluating it on first use.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Solver::well_founded`].
+    pub fn run(&mut self, solver: &Solver) -> Result<&InterpreterRun, SemanticsError> {
+        debug_assert!(
+            self.epoch.is_none() || self.epoch == Some(solver.epoch()),
+            "ReadBatch reused across epochs"
+        );
+        if self.run.is_none() {
+            self.run = Some(solver.well_founded_run()?);
+            self.epoch = Some(solver.epoch());
+        }
+        Ok(self.run.as_ref().expect("run populated above"))
+    }
+
+    /// The decoded model (decoded at most once per batch).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Solver::well_founded`].
+    pub fn model(&mut self, solver: &Solver) -> Result<&EvalOutcome, SemanticsError> {
+        if self.outcome.is_none() {
+            let run = self.run(solver)?.clone();
+            self.outcome = Some(solver.decode(run));
+        }
+        Ok(self.outcome.as_ref().expect("outcome populated above"))
+    }
+
+    /// One atom's verdict from the shared run (`None`: not in the ground
+    /// atom space).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Solver::well_founded`].
+    pub fn truth(
+        &mut self,
+        solver: &Solver,
+        fact: &GroundAtom,
+    ) -> Result<Option<TruthValue>, SemanticsError> {
+        let run = self.run(solver)?;
+        Ok(solver
+            .graph()
+            .atoms()
+            .id_of(fact)
+            .map(|id| run.model.get(id)))
     }
 }

@@ -70,6 +70,9 @@ impl Client {
     /// Socket connect failures.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        // Request/response round trips are latency-bound: never let
+        // Nagle delay a small frame.
+        let _ = stream.set_nodelay(true);
         let write_half = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),

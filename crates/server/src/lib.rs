@@ -17,8 +17,14 @@
 //!   database source, with admission control denominated in ground
 //!   atoms (the grounder's own budget unit) and eviction as graceful
 //!   degradation;
-//! * [`server`] / [`client`] — the TCP server (thread-per-connection,
-//!   clean shutdown) and a blocking client.
+//! * [`server`] / [`client`] — the TCP server and a blocking client.
+//!   The server's default transport is a poll-based reactor with a
+//!   bounded worker pool and **cross-connection query batching**:
+//!   read-only `script` frames from many clients against the same
+//!   session coalesce into one wave-parallel evaluation with
+//!   byte-identical per-client answers, and mutating frames act as
+//!   epoch barriers. The pre-reactor thread-per-connection transport
+//!   remains available as [`ServerMode::LegacyThreads`].
 //!
 //! # Example
 //!
@@ -41,6 +47,10 @@
 #![warn(missing_docs)]
 
 pub mod client;
+#[cfg(unix)]
+mod dispatch;
+#[cfg(unix)]
+mod reactor;
 pub mod registry;
 pub mod script;
 pub mod server;
@@ -51,5 +61,5 @@ pub use registry::{
     OpenError, OpenOutcome, RegistryConfig, RegistryStats, SessionRegistry, SessionStat,
 };
 pub use script::{LineOutcome, ScriptSession};
-pub use server::{Server, ServerConfig};
-pub use wire::{read_frame, write_frame, WireError, DEFAULT_MAX_FRAME_BYTES};
+pub use server::{Server, ServerConfig, ServerMode, DEFAULT_MAX_IDLE_SECS};
+pub use wire::{read_frame, write_frame, FrameDecoder, WireError, DEFAULT_MAX_FRAME_BYTES};

@@ -34,7 +34,7 @@ use std::io::{self, Write};
 use datalog_ast::GroundAtom;
 use tiebreak_core::semantics::outcomes::OutcomeSet;
 use tiebreak_core::{Mutation, PrepareDelta};
-use tiebreak_runtime::Solver;
+use tiebreak_runtime::{ReadBatch, Solver};
 
 /// Default cap on `? outcomes` enumeration when the script names none.
 pub const DEFAULT_OUTCOME_RUNS: usize = 256;
@@ -138,6 +138,180 @@ impl ScriptSession {
         }
     }
 
+    /// Whether every effective line of a script frame is a `?` query —
+    /// the frame cannot mutate the session, so the server may coalesce
+    /// it with other read-only frames into one shared evaluation.
+    ///
+    /// This classification is frame-local and sound because `script`
+    /// frames are transactional: staged mutations never survive a frame
+    /// boundary (the server calls [`ScriptSession::finish`] per frame),
+    /// so a frame of pure queries touches no mutable state.
+    pub fn frame_is_read_only(body: &str) -> bool {
+        body.lines().map(str::trim).all(|line| {
+            line.is_empty()
+                || line.starts_with('#')
+                || line.starts_with('%')
+                || line.starts_with('?')
+        })
+    }
+
+    /// Runs one read-only frame (see
+    /// [`frame_is_read_only`](ScriptSession::frame_is_read_only)) against
+    /// a shared [`ReadBatch`], producing byte-for-byte the output
+    /// [`process_line`](ScriptSession::process_line) +
+    /// [`finish`](ScriptSession::finish) would have produced for the
+    /// same lines — but every frame sharing `batch` reuses one
+    /// wave-parallel evaluation instead of paying its own. `lineno`
+    /// advances across the frame exactly like the sequential path, and
+    /// the returned count is the frame's failed lines.
+    ///
+    /// # Errors
+    ///
+    /// Sink I/O errors only; malformed queries are reported in-band.
+    pub fn process_read_frame(
+        &self,
+        lineno: &mut usize,
+        body: &str,
+        batch: &mut ReadBatch,
+        out: &mut dyn Write,
+    ) -> io::Result<usize> {
+        debug_assert!(
+            Self::frame_is_read_only(body),
+            "process_read_frame on a frame with non-query lines"
+        );
+        let mut errors = 0;
+        for raw in body.lines() {
+            *lineno += 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+                continue;
+            }
+            let result = match line.strip_prefix('?') {
+                Some(rest) => {
+                    // Mirrors `interpret`: the prepare phase is the
+                    // staged flush, a no-op on a read-only frame but
+                    // still timed so the annotation shape matches.
+                    let prepare_started = std::time::Instant::now();
+                    let prepare_ms = prepare_started.elapsed().as_secs_f64() * 1e3;
+                    let eval_started = std::time::Instant::now();
+                    match self.read_query(rest.trim(), batch, out) {
+                        Ok(()) => {
+                            if tiebreak_trace::enabled() {
+                                let eval_ms = eval_started.elapsed().as_secs_f64() * 1e3;
+                                writeln!(
+                                    out,
+                                    "% timing: prepare={prepare_ms:.3}ms eval={eval_ms:.3}ms"
+                                )?;
+                            }
+                            Ok(())
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                // Unreachable for correctly classified frames; report
+                // with the sequential path's message so even a
+                // misclassified frame degrades to an in-band error.
+                None => Err(Failure::Script(format!(
+                    "expected '+fact.', '-fact.', or '?query', got {line:?}"
+                ))),
+            };
+            match result {
+                Ok(()) => {}
+                Err(Failure::Io(e)) => return Err(e),
+                Err(Failure::Script(msg)) => {
+                    // No staged mutations can exist here, so no discard
+                    // report — identical to the sequential path's output
+                    // for a read-only frame.
+                    writeln!(out, "! line {lineno}: {msg}")?;
+                    errors += 1;
+                }
+            }
+        }
+        Ok(errors)
+    }
+
+    /// The read-only subset of [`query`](ScriptSession::query), answered
+    /// from the batch's shared run.
+    fn read_query(
+        &self,
+        query: &str,
+        batch: &mut ReadBatch,
+        out: &mut dyn Write,
+    ) -> Result<(), Failure> {
+        if query == "wf" {
+            let outcome = batch
+                .model(&self.solver)
+                .map_err(|e| Failure::Script(e.to_string()))?;
+            for fact in &outcome.true_facts {
+                writeln!(out, "{fact}.")?;
+            }
+            if !outcome.total {
+                writeln!(
+                    out,
+                    "% partial model: {} atoms left undefined",
+                    outcome.undefined.len()
+                )?;
+            }
+        } else if query == "stats" {
+            self.write_stats(out)?;
+        } else if let Some(limit) = query.strip_prefix("outcomes") {
+            let limit = limit.trim();
+            let max_runs = if limit.is_empty() {
+                DEFAULT_OUTCOME_RUNS
+            } else {
+                limit
+                    .parse()
+                    .map_err(|e| Failure::Script(format!("bad outcome limit: {e}")))?
+            };
+            let set = self
+                .solver
+                .all_outcomes(self.pure, max_runs)
+                .map_err(|e| Failure::Script(e.to_string()))?;
+            write_outcomes(out, &set, self.solver.graph().atoms())?;
+        } else {
+            let fact = parse_fact(query)?;
+            match batch
+                .truth(&self.solver, &fact)
+                .map_err(|e| Failure::Script(e.to_string()))?
+            {
+                Some(value) => writeln!(out, "{fact}: {value}")?,
+                None => writeln!(out, "{fact}: false (not in the ground atom space)")?,
+            }
+        }
+        Ok(())
+    }
+
+    /// The `? stats` report (shared by the sequential and batched
+    /// paths so the two cannot drift).
+    fn write_stats(&self, out: &mut dyn Write) -> Result<(), Failure> {
+        let fp = self.solver.footprint();
+        writeln!(
+            out,
+            "% epoch {} | {} branches | {} components | {} residual atoms | db {} facts | \
+             graph {} atoms / {} rules / ~{} KiB",
+            self.solver.epoch(),
+            self.solver.branch_count(),
+            self.solver.component_count(),
+            self.solver.residual_atom_count(),
+            self.solver.database().len(),
+            fp.atoms,
+            fp.rules,
+            fp.approx_bytes / 1024,
+        )?;
+        // Same accessors as the server's `stats` verb, so the two
+        // views of the thread pool cannot disagree.
+        writeln!(
+            out,
+            "% threads={} wave_dispatch={}",
+            self.solver.effective_threads(),
+            self.solver.wave_dispatch_eligible(),
+        )?;
+        if let Some(delta) = self.solver.last_delta() {
+            writeln!(out, "{}", describe_delta(delta))?;
+        }
+        Ok(())
+    }
+
     fn interpret(&mut self, lineno: usize, line: &str, out: &mut dyn Write) -> Result<(), Failure> {
         if let Some(rest) = line.strip_prefix('+') {
             let fact = parse_fact(rest)?;
@@ -182,73 +356,11 @@ impl ScriptSession {
     }
 
     fn query(&mut self, query: &str, out: &mut dyn Write) -> Result<(), Failure> {
-        if query == "wf" {
-            let outcome = self
-                .solver
-                .well_founded()
-                .map_err(|e| Failure::Script(e.to_string()))?;
-            for fact in &outcome.true_facts {
-                writeln!(out, "{fact}.")?;
-            }
-            if !outcome.total {
-                writeln!(
-                    out,
-                    "% partial model: {} atoms left undefined",
-                    outcome.undefined.len()
-                )?;
-            }
-        } else if query == "stats" {
-            let fp = self.solver.footprint();
-            writeln!(
-                out,
-                "% epoch {} | {} branches | {} components | {} residual atoms | db {} facts | \
-                 graph {} atoms / {} rules / ~{} KiB",
-                self.solver.epoch(),
-                self.solver.branch_count(),
-                self.solver.component_count(),
-                self.solver.residual_atom_count(),
-                self.solver.database().len(),
-                fp.atoms,
-                fp.rules,
-                fp.approx_bytes / 1024,
-            )?;
-            // Same accessors as the server's `stats` verb, so the two
-            // views of the thread pool cannot disagree.
-            writeln!(
-                out,
-                "% threads={} wave_dispatch={}",
-                self.solver.effective_threads(),
-                self.solver.wave_dispatch_eligible(),
-            )?;
-            if let Some(delta) = self.solver.last_delta() {
-                writeln!(out, "{}", describe_delta(delta))?;
-            }
-        } else if let Some(limit) = query.strip_prefix("outcomes") {
-            let limit = limit.trim();
-            let max_runs = if limit.is_empty() {
-                DEFAULT_OUTCOME_RUNS
-            } else {
-                limit
-                    .parse()
-                    .map_err(|e| Failure::Script(format!("bad outcome limit: {e}")))?
-            };
-            let set = self
-                .solver
-                .all_outcomes(self.pure, max_runs)
-                .map_err(|e| Failure::Script(e.to_string()))?;
-            write_outcomes(out, &set, self.solver.graph().atoms())?;
-        } else {
-            let fact = parse_fact(query)?;
-            let run = self
-                .solver
-                .well_founded_run()
-                .map_err(|e| Failure::Script(e.to_string()))?;
-            match self.solver.graph().atoms().id_of(&fact) {
-                Some(id) => writeln!(out, "{fact}: {}", run.model.get(id))?,
-                None => writeln!(out, "{fact}: false (not in the ground atom space)")?,
-            }
-        }
-        Ok(())
+        // The sequential path is the batched path with a batch of one —
+        // a private shared run per query, the same formatting code — so
+        // the two paths are byte-identical by construction.
+        let mut batch = ReadBatch::new();
+        self.read_query(query, &mut batch, out)
     }
 }
 

@@ -1,9 +1,20 @@
 //! The multi-session TCP server.
 //!
 //! One [`Server`] owns a [`SessionRegistry`] and serves many concurrent
-//! connections, thread-per-connection. Each request is one
-//! [wire](crate::wire) frame whose UTF-8 payload starts with a verb
-//! line:
+//! connections over one of two transports, selected by
+//! [`ServerConfig::mode`]:
+//!
+//! * [`ServerMode::Reactor`] (the default) — a poll-based event loop
+//!   (the `reactor` module) with a bounded worker pool and
+//!   cross-connection query batching (the `dispatch` module). Idle
+//!   connections cost a `pollfd`, not a thread, and are reaped after
+//!   [`ServerConfig::max_idle_secs`] without frame activity.
+//! * [`ServerMode::LegacyThreads`] — the original thread-per-connection
+//!   transport, kept as an escape hatch and as the byte-identical
+//!   reference the batching fidelity tests compare against.
+//!
+//! Each request is one [wire](crate::wire) frame whose UTF-8 payload
+//! starts with a verb line:
 //!
 //! ```text
 //! open <prog_byte_len>\n<program bytes><database bytes>
@@ -41,13 +52,48 @@ use crate::registry::{RegistryConfig, SessionEntry, SessionRegistry};
 use crate::script::LineOutcome;
 use crate::wire::{read_frame, write_frame, WireError, DEFAULT_MAX_FRAME_BYTES};
 
+/// Default idle deadline: connections with no frame activity for this
+/// many seconds are reaped (reactor mode).
+pub const DEFAULT_MAX_IDLE_SECS: u64 = 300;
+
+/// Which transport serves connections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Poll-based reactor + worker pool with cross-connection query
+    /// batching (the default).
+    #[default]
+    Reactor,
+    /// Thread-per-connection (the pre-reactor transport).
+    LegacyThreads,
+}
+
 /// Server tuning.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
     /// Session registry sizing and engine configuration.
     pub registry: RegistryConfig,
     /// Per-frame payload cap (0 = [`DEFAULT_MAX_FRAME_BYTES`]).
     pub max_frame_bytes: u32,
+    /// Transport selection.
+    pub mode: ServerMode,
+    /// Reactor-mode idle deadline in seconds (0 = never reap;
+    /// ignored by the legacy transport).
+    pub max_idle_secs: u64,
+    /// Reactor-mode worker pool size (0 = auto: the machine's
+    /// parallelism, clamped to [2, 8]).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            registry: RegistryConfig::default(),
+            max_frame_bytes: 0,
+            mode: ServerMode::default(),
+            max_idle_secs: DEFAULT_MAX_IDLE_SECS,
+            workers: 0,
+        }
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -55,6 +101,9 @@ pub struct Server {
     listener: TcpListener,
     registry: Arc<SessionRegistry>,
     max_frame: u32,
+    mode: ServerMode,
+    max_idle_secs: u64,
+    workers: usize,
     state: Arc<SharedState>,
 }
 
@@ -71,18 +120,16 @@ impl SharedState {
     fn track(&self, stream: &TcpStream) -> Option<u64> {
         let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
         let clone = stream.try_clone().ok()?;
-        self.conns
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push((id, clone));
+        let mut conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
+        conns.push((id, clone));
+        tiebreak_trace::metrics().conns_open.set(conns.len() as u64);
         Some(id)
     }
 
     fn untrack(&self, id: u64) {
-        self.conns
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .retain(|(cid, _)| *cid != id);
+        let mut conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
+        conns.retain(|(cid, _)| *cid != id);
+        tiebreak_trace::metrics().conns_open.set(conns.len() as u64);
     }
 
     /// Half-closes every live connection so blocked `read_frame` calls
@@ -116,6 +163,9 @@ impl Server {
             listener,
             registry: Arc::new(SessionRegistry::new(config.registry)),
             max_frame,
+            mode: config.mode,
+            max_idle_secs: config.max_idle_secs,
+            workers: config.workers,
             state: Arc::new(SharedState {
                 stopping: AtomicBool::new(false),
                 next_conn: AtomicU64::new(0),
@@ -140,14 +190,47 @@ impl Server {
 
     /// Accepts and serves connections until a client sends `shutdown`.
     /// Blocks; run it on a dedicated thread if the caller needs to keep
-    /// working. On shutdown every live connection is disconnected and
-    /// every connection thread joined before this returns.
+    /// working. On shutdown every live connection is closed and every
+    /// worker thread joined before this returns.
     ///
     /// # Errors
     ///
-    /// Fatal accept-loop failures (per-connection errors are contained
-    /// in their threads).
+    /// Fatal event-loop failures (per-connection errors are contained).
     pub fn run(self) -> io::Result<()> {
+        match self.mode {
+            #[cfg(unix)]
+            ServerMode::Reactor => crate::reactor::run(self),
+            // The reactor's poll shim needs raw fds; elsewhere the
+            // thread-per-connection transport serves both modes.
+            #[cfg(not(unix))]
+            ServerMode::Reactor => self.run_legacy(),
+            ServerMode::LegacyThreads => self.run_legacy(),
+        }
+    }
+
+    /// Tears the bound server into the pieces the reactor event loop
+    /// owns: `(listener, registry, max_frame, max_idle_secs, workers)`
+    /// with the worker count resolved.
+    #[cfg(unix)]
+    pub(crate) fn into_reactor_parts(self) -> (TcpListener, Arc<SessionRegistry>, u32, u64, usize) {
+        let workers = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map_or(2, std::num::NonZeroUsize::get)
+                .clamp(2, 8)
+        } else {
+            self.workers
+        };
+        (
+            self.listener,
+            self.registry,
+            self.max_frame,
+            self.max_idle_secs,
+            workers,
+        )
+    }
+
+    /// The thread-per-connection transport.
+    fn run_legacy(self) -> io::Result<()> {
         let addr = self.listener.local_addr()?;
         let mut workers = Vec::new();
         loop {
@@ -185,7 +268,9 @@ impl Server {
 }
 
 /// What a request handler wants done with the connection afterwards.
-enum Next {
+/// Shared with the reactor's dispatch workers, which report it back to
+/// the event loop through their completion queue.
+pub(crate) enum Next {
     Continue,
     CloseConnection,
     ShutdownServer,
@@ -200,6 +285,9 @@ fn serve_connection(
     server_addr: std::net::SocketAddr,
     max_frame: u32,
 ) {
+    // Same socket options as the reactor, so the transports are
+    // comparable like for like in the batching benchmarks.
+    let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -248,7 +336,10 @@ fn serve_connection(
 /// Every request is counted, latency-bucketed per verb, and (when
 /// tracing is on) wrapped in a `server` span that parents the prepare
 /// and evaluation spans the handlers open further down the stack.
-fn handle_request(
+/// Both transports funnel through this function (the reactor's read
+/// batches excepted — those share its formatting via the script
+/// interpreter), so responses cannot differ between modes.
+pub(crate) fn handle_request(
     payload: &[u8],
     registry: &SessionRegistry,
     entry: &mut Option<Arc<SessionEntry>>,

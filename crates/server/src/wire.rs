@@ -110,6 +110,90 @@ pub fn read_frame(r: &mut impl Read, max: u32) -> Result<Option<Vec<u8>>, WireEr
     Ok(Some(payload))
 }
 
+/// Incremental frame parser for nonblocking transports (the reactor).
+///
+/// [`read_frame`] blocks until a whole frame arrives; a nonblocking
+/// connection instead hands the decoder whatever bytes `read(2)`
+/// produced and collects however many complete frames those bytes
+/// finish. The decoder carries partial state across calls, so a frame
+/// split across TCP segments reassembles and several frames coalesced
+/// into one segment all come out — byte-for-byte the same frames the
+/// blocking reader would have produced.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    max: u32,
+    header: [u8; 4],
+    header_got: usize,
+    /// `Some` once the header is complete; drained when full.
+    payload: Option<Vec<u8>>,
+    payload_got: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing the given per-frame payload cap.
+    pub fn new(max: u32) -> Self {
+        FrameDecoder {
+            max,
+            header: [0; 4],
+            header_got: 0,
+            payload: None,
+            payload_got: 0,
+        }
+    }
+
+    /// Whether the decoder is mid-frame — EOF now would truncate. The
+    /// caller uses this to tell a clean hangup from a cut-off frame.
+    pub fn mid_frame(&self) -> bool {
+        self.header_got > 0 || self.payload.is_some()
+    }
+
+    /// Feeds bytes, appending every frame they complete to `frames`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] when a header announces a payload over
+    /// the cap. As with [`read_frame`], nothing past that header has
+    /// been interpreted: the stream is desynchronized and the connection
+    /// must be closed (the decoder is poisoned against further use only
+    /// in the sense that its remaining input is meaningless).
+    pub fn feed(&mut self, mut bytes: &[u8], frames: &mut Vec<Vec<u8>>) -> Result<(), WireError> {
+        while !bytes.is_empty() {
+            if let Some(payload) = self.payload.as_mut() {
+                let want = payload.len() - self.payload_got;
+                let take = want.min(bytes.len());
+                payload[self.payload_got..self.payload_got + take].copy_from_slice(&bytes[..take]);
+                self.payload_got += take;
+                bytes = &bytes[take..];
+                if self.payload_got == payload.len() {
+                    frames.push(self.payload.take().expect("payload present"));
+                    self.payload_got = 0;
+                }
+            } else {
+                let want = self.header.len() - self.header_got;
+                let take = want.min(bytes.len());
+                self.header[self.header_got..self.header_got + take]
+                    .copy_from_slice(&bytes[..take]);
+                self.header_got += take;
+                bytes = &bytes[take..];
+                if self.header_got == self.header.len() {
+                    self.header_got = 0;
+                    let len = u32::from_be_bytes(self.header);
+                    if len > self.max {
+                        return Err(WireError::Oversized { len, max: self.max });
+                    }
+                    if len == 0 {
+                        frames.push(Vec::new());
+                    } else {
+                        self.payload = Some(vec![0u8; len as usize]);
+                        self.payload_got = 0;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +254,86 @@ mod tests {
             read_frame(&mut r, 1024),
             Err(WireError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof
         ));
+    }
+
+    #[test]
+    fn decoder_matches_blocking_reader_at_every_split_boundary() {
+        // Three frames (one empty, one 1-byte, one multi-byte) encoded
+        // into a single byte stream, then fed to the decoder split at
+        // EVERY possible boundary — including mid-header — and compared
+        // against the blocking reader's parse of the same stream.
+        let payloads: [&[u8]; 3] = [b"", b"x", b"hello, frames"];
+        let mut stream = Vec::new();
+        for p in payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+        for split in 0..=stream.len() {
+            let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_BYTES);
+            let mut frames = Vec::new();
+            dec.feed(&stream[..split], &mut frames).unwrap();
+            dec.feed(&stream[split..], &mut frames).unwrap();
+            assert_eq!(frames.len(), payloads.len(), "split at {split}");
+            for (frame, payload) in frames.iter().zip(payloads) {
+                assert_eq!(frame.as_slice(), payload, "split at {split}");
+            }
+            assert!(!dec.mid_frame(), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn decoder_reassembles_randomized_chunkings() {
+        // Deterministic xorshift so the fuzz is reproducible.
+        let mut seed: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..200 {
+            let nframes = (rng() % 6) as usize;
+            let payloads: Vec<Vec<u8>> = (0..nframes)
+                .map(|_| {
+                    let len = (rng() % 300) as usize;
+                    (0..len).map(|_| (rng() & 0xff) as u8).collect()
+                })
+                .collect();
+            let mut stream = Vec::new();
+            for p in &payloads {
+                write_frame(&mut stream, p).unwrap();
+            }
+            // Chunk sizes from 0 (empty feed) to coalescing everything.
+            let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_BYTES);
+            let mut frames = Vec::new();
+            let mut off = 0;
+            while off < stream.len() {
+                let chunk = ((rng() % 17) as usize).min(stream.len() - off);
+                dec.feed(&stream[off..off + chunk], &mut frames).unwrap();
+                off += chunk;
+            }
+            assert_eq!(frames, payloads, "round {round}");
+            assert!(!dec.mid_frame(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_headers_before_allocation() {
+        let mut dec = FrameDecoder::new(16);
+        let mut frames = Vec::new();
+        // Header arrives one byte at a time; the error fires exactly
+        // when the fourth byte lands.
+        let header = u32::MAX.to_be_bytes();
+        for (i, b) in header.iter().enumerate() {
+            let r = dec.feed(std::slice::from_ref(b), &mut frames);
+            if i < 3 {
+                r.unwrap();
+            } else {
+                assert!(matches!(
+                    r,
+                    Err(WireError::Oversized { len, max }) if len == u32::MAX && max == 16
+                ));
+            }
+        }
+        assert!(frames.is_empty());
     }
 }

@@ -10,10 +10,20 @@ use rand::{Rng, SeedableRng};
 use tiebreak_runtime::Solver;
 use tiebreak_server::{
     read_frame, write_frame, Client, ClientError, LineOutcome, RegistryConfig, ScriptSession,
-    Server, ServerConfig, SessionRegistry, WireError, DEFAULT_MAX_FRAME_BYTES,
+    Server, ServerConfig, ServerMode, SessionRegistry, WireError, DEFAULT_MAX_FRAME_BYTES,
 };
 
 const PROG: &str = "win(X) :- move(X, Y), not win(Y).";
+
+/// A default config with the transport pinned — the behavioral suites
+/// run once per [`ServerMode`] so the reactor and the legacy
+/// thread-per-connection transport stay observably interchangeable.
+fn config_for(mode: ServerMode) -> ServerConfig {
+    ServerConfig {
+        mode,
+        ..ServerConfig::default()
+    }
+}
 
 /// Starts a server on an OS-assigned port; returns its address, its
 /// registry (for stats assertions), and the run-loop thread handle.
@@ -52,8 +62,17 @@ fn fresh_solver_output(program: &str, database: &str, lines: &[&str]) -> String 
 }
 
 #[test]
-fn concurrent_clients_get_bit_identical_results() {
-    let (addr, registry, handle) = start_server(ServerConfig::default());
+fn concurrent_clients_get_bit_identical_results_reactor() {
+    concurrent_clients_case(ServerMode::Reactor);
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_results_legacy() {
+    concurrent_clients_case(ServerMode::LegacyThreads);
+}
+
+fn concurrent_clients_case(mode: ServerMode) {
+    let (addr, registry, handle) = start_server(config_for(mode));
 
     // Five clients churn disjoint sessions (each mutates its own
     // chain); five more share one tie-pocket session, query-only so the
@@ -123,8 +142,17 @@ fn concurrent_clients_get_bit_identical_results() {
 }
 
 #[test]
-fn malformed_connection_does_not_disturb_others() {
-    let (addr, _registry, handle) = start_server(ServerConfig::default());
+fn malformed_connection_does_not_disturb_others_reactor() {
+    malformed_connection_case(ServerMode::Reactor);
+}
+
+#[test]
+fn malformed_connection_does_not_disturb_others_legacy() {
+    malformed_connection_case(ServerMode::LegacyThreads);
+}
+
+fn malformed_connection_case(mode: ServerMode) {
+    let (addr, _registry, handle) = start_server(config_for(mode));
     let db = "move(a, b).\nmove(b, c).";
 
     // Client B holds a healthy connection to the same session for the
@@ -210,7 +238,7 @@ fn evicted_sessions_reprepare_transparently() {
             max_sessions: 1,
             ..RegistryConfig::default()
         },
-        max_frame_bytes: 0,
+        ..ServerConfig::default()
     };
     let (addr, registry, handle) = start_server(config);
 
@@ -230,8 +258,17 @@ fn evicted_sessions_reprepare_transparently() {
 }
 
 #[test]
-fn fuzzed_frames_never_kill_the_server() {
-    let (addr, _registry, handle) = start_server(ServerConfig::default());
+fn fuzzed_frames_never_kill_the_server_reactor() {
+    fuzzed_frames_case(ServerMode::Reactor);
+}
+
+#[test]
+fn fuzzed_frames_never_kill_the_server_legacy() {
+    fuzzed_frames_case(ServerMode::LegacyThreads);
+}
+
+fn fuzzed_frames_case(mode: ServerMode) {
+    let (addr, _registry, handle) = start_server(config_for(mode));
     let mut rng = SmallRng::seed_from_u64(0x5eed_f00d);
 
     let mut client = Client::connect(addr).expect("connect");
@@ -290,6 +327,256 @@ fn fuzzed_byte_streams_never_panic_the_frame_parser() {
     write_frame(&mut buf, b"ok").expect("write");
     let mut cursor = std::io::Cursor::new(buf);
     assert_eq!(read_frame(&mut cursor, 64).unwrap().unwrap(), b"ok");
+}
+
+/// Drives `frames` through a fresh single-session solver **with the
+/// server's per-frame structure** (process each line, then `finish`,
+/// with a line counter that persists across frames) — the oracle for
+/// per-response fidelity under batching. Returns one output string per
+/// frame.
+fn fresh_session_frames(program: &str, database: &str, frames: &[&str]) -> Vec<String> {
+    let solver = Solver::from_sources(program, database).expect("prepare");
+    let mut session = ScriptSession::new(solver, false);
+    let mut lineno = 0usize;
+    frames
+        .iter()
+        .map(|frame| {
+            let mut out = Vec::new();
+            for line in frame.lines() {
+                lineno += 1;
+                let outcome = session
+                    .process_line(lineno, line, &mut out)
+                    .expect("vec sink");
+                assert_eq!(outcome, LineOutcome::Ok, "oracle frame must be clean");
+            }
+            assert_eq!(session.finish(&mut out).expect("vec sink"), LineOutcome::Ok);
+            String::from_utf8(out).expect("utf8")
+        })
+        .collect()
+}
+
+/// The tentpole fidelity suite: 32 concurrent clients hammer **one**
+/// hot session. Thirty-one stream read-only frames (eligible for
+/// cross-connection batching); one interleaves mutating frames, which
+/// must act as epoch barriers. Every single response must be
+/// bit-identical to what a fresh solver would say — batching may never
+/// be observable in the bytes. Runs at 1 and 8 evaluation threads so
+/// the batched wave-parallel path is covered both ways.
+#[cfg(unix)]
+fn batching_fidelity_case(threads: usize) {
+    use tiebreak_core::{EngineConfig, RuntimeConfig};
+
+    let config = ServerConfig {
+        registry: RegistryConfig {
+            engine: EngineConfig::default().with_runtime(RuntimeConfig::with_threads(threads)),
+            ..RegistryConfig::default()
+        },
+        mode: ServerMode::Reactor,
+        ..ServerConfig::default()
+    };
+    let (addr, _registry, handle) = start_server(config);
+
+    // A 2-cycle: win(p) and win(q) are undefined, and stay undefined
+    // while the mutator toggles a disconnected edge move(x9, y9) — so
+    // the readers' expected bytes are invariant across epochs.
+    let db = "move(p, q).\nmove(q, p).";
+    let read_frame_body = "? win(p)\n? win(q)";
+    let expected_read = fresh_solver_output(PROG, db, &["? win(p)", "? win(q)"]);
+
+    // The sole mutator's frames are deterministic too: it alone
+    // advances the epoch counter, so its `% epoch N | …` lines replay
+    // exactly in a fresh session.
+    let mutator_frames: Vec<String> = (0..6)
+        .map(|i| {
+            if i % 2 == 0 {
+                "+ move(x9, y9).\n? win(x9)".to_owned()
+            } else {
+                "- move(x9, y9).\n? win(p)".to_owned()
+            }
+        })
+        .collect();
+    let mutator_refs: Vec<&str> = mutator_frames.iter().map(String::as_str).collect();
+    let expected_mutator = fresh_session_frames(PROG, db, &mutator_refs);
+
+    let m = tiebreak_trace::metrics();
+    let batches_before = m.batches_dispatched.get();
+    let batch_frames_before = m.batch_size.sum();
+
+    const READERS: usize = 31;
+    const REPEATS: usize = 8;
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for reader in 0..READERS {
+            let expected_read = &expected_read;
+            workers.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.open(PROG, db).expect("open");
+                for round in 0..REPEATS {
+                    let response = client.script(read_frame_body).expect("script");
+                    assert_eq!(response.status, "errors=0");
+                    assert_eq!(
+                        &response.body, expected_read,
+                        "reader {reader} round {round} (threads={threads})"
+                    );
+                }
+                client.bye().expect("bye");
+            }));
+        }
+        let expected_mutator = &expected_mutator;
+        let mutator_refs = &mutator_refs;
+        workers.push(scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            client.open(PROG, db).expect("open");
+            for (i, frame) in mutator_refs.iter().enumerate() {
+                let response = client.script(frame).expect("script");
+                assert_eq!(response.status, "errors=0");
+                assert_eq!(
+                    &response.body, &expected_mutator[i],
+                    "mutator frame {i} (threads={threads})"
+                );
+            }
+            client.bye().expect("bye");
+        }));
+        for worker in workers {
+            worker.join().expect("client thread");
+        }
+    });
+
+    // Every read-only frame went through the batched dispatch path
+    // (batch sizes of one still count); the metrics are global to the
+    // test process, so assert growth, not absolute values.
+    assert!(
+        m.batches_dispatched.get() > batches_before,
+        "read frames must flow through the batch dispatcher"
+    );
+    assert!(
+        m.batch_size.sum() >= batch_frames_before + (READERS * REPEATS) as u64,
+        "all {} read frames must be accounted to batches",
+        READERS * REPEATS
+    );
+
+    stop_server(addr, handle);
+}
+
+#[test]
+#[cfg(unix)]
+fn batching_fidelity_under_concurrent_load_threads_1() {
+    batching_fidelity_case(1);
+}
+
+#[test]
+#[cfg(unix)]
+fn batching_fidelity_under_concurrent_load_threads_8() {
+    batching_fidelity_case(8);
+}
+
+/// Frames split and coalesced at arbitrary TCP segment boundaries must
+/// round-trip: the reactor reads whatever the kernel hands it and the
+/// incremental decoder reassembles frames across reads.
+#[test]
+#[cfg(unix)]
+fn split_and_coalesced_frames_round_trip_over_tcp() {
+    use std::io::Write as _;
+
+    let (addr, _registry, handle) = start_server(config_for(ServerMode::Reactor));
+    let mut rng = SmallRng::seed_from_u64(0xc0a1e5ce);
+
+    for round in 0..20 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        // Disable Nagle so each chunk really goes out as its own
+        // segment instead of being re-coalesced by the client kernel.
+        stream.set_nodelay(true).expect("nodelay");
+
+        // One conversation, three frames: open, a read script, ping.
+        let mut wire = Vec::new();
+        let mut open = format!("open {}\n", PROG.len()).into_bytes();
+        open.extend_from_slice(PROG.as_bytes());
+        open.extend_from_slice(b"move(a, b).");
+        write_frame(&mut wire, &open).expect("vec");
+        write_frame(&mut wire, b"script\n? win(a)").expect("vec");
+        write_frame(&mut wire, b"ping").expect("vec");
+
+        // Random chunking: sometimes a byte at a time (frames split
+        // mid-header and mid-payload), sometimes everything at once
+        // (three frames coalesced into one segment).
+        let mut sent = 0usize;
+        while sent < wire.len() {
+            let n = if rng.gen_bool(0.2) {
+                wire.len() - sent
+            } else {
+                rng.gen_range(1..=7usize).min(wire.len() - sent)
+            };
+            stream.write_all(&wire[sent..sent + n]).expect("write");
+            stream.flush().expect("flush");
+            sent += n;
+            if rng.gen_bool(0.3) {
+                // Give the reactor a chance to observe a partial frame.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+
+        let open_reply = read_frame(&mut stream, DEFAULT_MAX_FRAME_BYTES)
+            .expect("read")
+            .expect("open reply");
+        assert!(
+            open_reply.starts_with(b"ok opened"),
+            "round {round}: {}",
+            String::from_utf8_lossy(&open_reply)
+        );
+        let script_reply = read_frame(&mut stream, DEFAULT_MAX_FRAME_BYTES)
+            .expect("read")
+            .expect("script reply");
+        let text = String::from_utf8_lossy(&script_reply);
+        assert!(text.starts_with("ok errors=0"), "round {round}: {text}");
+        assert!(text.contains("win(a): true"), "round {round}: {text}");
+        let pong = read_frame(&mut stream, DEFAULT_MAX_FRAME_BYTES)
+            .expect("read")
+            .expect("pong");
+        assert_eq!(&pong[..], b"ok pong", "round {round}");
+    }
+
+    stop_server(addr, handle);
+}
+
+/// `max_idle_secs` reaps connections that sit idle with no request in
+/// flight; the reap is observable as a clean EOF and a counter bump,
+/// and the server keeps serving new connections afterwards.
+#[test]
+#[cfg(unix)]
+fn idle_connections_are_reaped() {
+    use std::time::Duration;
+
+    let config = ServerConfig {
+        mode: ServerMode::Reactor,
+        max_idle_secs: 1,
+        ..ServerConfig::default()
+    };
+    let (addr, _registry, handle) = start_server(config);
+    let reaped_before = tiebreak_trace::metrics().conns_reaped.get();
+
+    let mut idle = TcpStream::connect(addr).expect("connect");
+    write_frame(&mut idle, b"ping").expect("write");
+    let pong = read_frame(&mut idle, DEFAULT_MAX_FRAME_BYTES)
+        .expect("read")
+        .expect("pong");
+    assert_eq!(&pong[..], b"ok pong");
+
+    // Now go quiet. Within the deadline (plus scheduling slack) the
+    // server must close the connection from its side: a clean EOF.
+    idle.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let eof = read_frame(&mut idle, DEFAULT_MAX_FRAME_BYTES).expect("clean close");
+    assert!(eof.is_none(), "expected EOF from the reaper, got a frame");
+    assert!(
+        tiebreak_trace::metrics().conns_reaped.get() > reaped_before,
+        "reap counter must grow"
+    );
+
+    // The server is still healthy for new arrivals.
+    let mut fresh = Client::connect(addr).expect("connect");
+    assert_eq!(fresh.ping().expect("ping").status, "pong");
+
+    stop_server(addr, handle);
 }
 
 #[test]

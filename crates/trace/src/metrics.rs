@@ -223,6 +223,11 @@ pub struct Metrics {
     /// Per-verb request latency in microseconds, indexed by
     /// [`verb_index`].
     pub request_latency_us: [Histogram; VERBS.len()],
+    // Reactor + cross-connection batching.
+    pub conns_open: Gauge,
+    pub conns_reaped: Counter,
+    pub batches_dispatched: Counter,
+    pub batch_size: Histogram,
     // The recorder's own health.
     pub trace_events_dropped: Counter,
 }
@@ -255,6 +260,10 @@ impl Metrics {
             requests: Counter::new(),
             request_errors: Counter::new(),
             request_latency_us: [const { Histogram::new() }; VERBS.len()],
+            conns_open: Gauge::new(),
+            conns_reaped: Counter::new(),
+            batches_dispatched: Counter::new(),
+            batch_size: Histogram::new(),
             trace_events_dropped: Counter::new(),
         }
     }
@@ -317,6 +326,8 @@ impl Metrics {
             ("registry_rejected", &self.registry_rejected),
             ("requests", &self.requests),
             ("request_errors", &self.request_errors),
+            ("conns_reaped", &self.conns_reaped),
+            ("batches_dispatched", &self.batches_dispatched),
             ("trace_events_dropped", &self.trace_events_dropped),
         ]
     }
@@ -325,6 +336,7 @@ impl Metrics {
         vec![
             ("sessions_resident", &self.sessions_resident),
             ("resident_atoms", &self.resident_atoms),
+            ("conns_open", &self.conns_open),
         ]
     }
 
@@ -334,6 +346,7 @@ impl Metrics {
         let mut all: Vec<(&'static str, Option<&'static str>, &Histogram)> = vec![
             ("wave_width", None, &self.wave_width),
             ("merge_queue_depth", None, &self.merge_queue_depth),
+            ("batch_size", None, &self.batch_size),
         ];
         for (verb, h) in VERBS.iter().zip(&self.request_latency_us) {
             all.push(("request_latency_us", Some(verb), h));
